@@ -1,0 +1,43 @@
+//! Ablation A3: EMBX transfer engine — CPU copy loop vs DMA offload,
+//! in simulated virtual time per transfer size (criterion's measured
+//! values are virtual nanoseconds via custom timing).
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use embera_repro::sweep::{mpsoc_send_sweep_with_cost, MpsocSender};
+use embx::EmbxCostConfig;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_embx_dma");
+    group.sample_size(10);
+    for kb in [25u64, 100, 200] {
+        for (label, dma) in [("cpu_copy", None), ("dma", Some(64 * 1024))] {
+            let cfg = EmbxCostConfig {
+                dma_threshold: dma,
+                ..Default::default()
+            };
+            group.bench_with_input(BenchmarkId::new(label, kb), &kb, |b, &kb| {
+                b.iter_custom(|iters| {
+                    let mut total = Duration::ZERO;
+                    for _ in 0..iters {
+                        let pts =
+                            mpsoc_send_sweep_with_cost(&[kb * 1024], 8, MpsocSender::St40, cfg);
+                        total += Duration::from_nanos(pts[0].mean_send_ns as u64);
+                    }
+                    total
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    // Virtual-time measurements are fully deterministic (zero variance),
+    // which breaks criterion's distribution plots — disable them.
+    config = Criterion::default().without_plots();
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! Ablation A2: mailbox implementations — the paper-faithful
+//! mutex+condvar FIFO vs a lock-free segmented queue, under
+//! single-threaded cycling and under producer/consumer threads.
+
+use bytes::Bytes;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use embera::Message;
+use embera_smp::{Mailbox, MailboxKind};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_mailbox");
+    let payload = Bytes::from(vec![7u8; 256]);
+
+    for (label, kind) in [
+        ("mutex_condvar", MailboxKind::MutexCondvar),
+        ("segqueue", MailboxKind::SegQueue),
+    ] {
+        let mb = Mailbox::new("bench", kind);
+        let p = payload.clone();
+        group.bench_with_input(
+            BenchmarkId::new("uncontended_cycle", label),
+            &kind,
+            |b, _| {
+                b.iter(|| {
+                    mb.push(Message::Data(p.clone()));
+                    std::hint::black_box(mb.try_pop());
+                });
+            },
+        );
+    }
+
+    for (label, kind) in [
+        ("mutex_condvar", MailboxKind::MutexCondvar),
+        ("segqueue", MailboxKind::SegQueue),
+    ] {
+        group.bench_with_input(
+            BenchmarkId::new("cross_thread_1k", label),
+            &kind,
+            |b, &kind| {
+                b.iter(|| {
+                    let mb = Mailbox::new("bench", kind);
+                    let tx = mb.clone();
+                    let pl = payload.clone();
+                    let producer = std::thread::spawn(move || {
+                        for _ in 0..1000 {
+                            tx.push(Message::Data(pl.clone()));
+                        }
+                    });
+                    let mut got = 0;
+                    while got < 1000 {
+                        if mb
+                            .pop_timeout(std::time::Duration::from_millis(100))
+                            .is_some()
+                        {
+                            got += 1;
+                        }
+                    }
+                    producer.join().unwrap();
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Ablation A1: what does the observation machinery cost? Runs the same
+//! SMP MJPEG pipeline with observation enabled and disabled.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use embera::{Platform, RunningApp};
+use embera_bench::stream;
+use embera_smp::{SmpConfig, SmpPlatform};
+use mjpeg::{build_smp_app, MjpegAppConfig};
+
+fn run(frames: usize, observe: bool) {
+    let (app, _probe) = build_smp_app(stream(frames, 0x578), &MjpegAppConfig::default());
+    let mut platform = SmpPlatform::with_config(SmpConfig {
+        observe,
+        ..Default::default()
+    });
+    platform
+        .deploy(app.build().expect("valid app"))
+        .expect("deploy")
+        .wait()
+        .expect("run");
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_observation_overhead");
+    group.sample_size(10);
+    let frames = 31usize;
+    for (label, observe) in [("observed", true), ("unobserved", false)] {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &observe, |b, &o| {
+            b.iter(|| run(frames, o));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

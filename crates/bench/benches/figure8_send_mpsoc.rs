@@ -1,0 +1,41 @@
+//! Figure 8 bench: EMBX-backed `send` virtual-time cost per message
+//! size and sending CPU, reported through criterion's custom timing —
+//! the measured values ARE the Figure 8 series.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use embera_repro::sweep::{mpsoc_send_sweep, MpsocSender};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figure8_send_mpsoc");
+    group.sample_size(10);
+    for kb in embera_bench::FIGURE8_SIZES_KB {
+        for (label, sender) in [("ST40", MpsocSender::St40), ("ST231", MpsocSender::St231)] {
+            group.bench_with_input(
+                BenchmarkId::new(label, kb),
+                &(kb, sender),
+                |b, &(kb, sender)| {
+                    b.iter_custom(|iters| {
+                        let mut total = Duration::ZERO;
+                        for _ in 0..iters {
+                            let pts = mpsoc_send_sweep(&[kb * 1024], 8, sender);
+                            total += Duration::from_nanos(pts[0].mean_send_ns as u64);
+                        }
+                        total
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    // Virtual-time measurements are fully deterministic (zero variance),
+    // which breaks criterion's distribution plots — disable them.
+    config = Criterion::default().without_plots();
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! Table 1 bench: end-to-end componentized MJPEG decode on the SMP
+//! backend (per-frame pipeline throughput behind the Table 1 rows).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use embera_bench::run_smp_mjpeg;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1_smp_pipeline");
+    group.sample_size(10);
+    for frames in [11usize, 31] {
+        group.throughput(Throughput::Elements((frames - 1) as u64));
+        group.bench_with_input(
+            BenchmarkId::new("frames", frames),
+            &frames,
+            |b, &frames| {
+                b.iter(|| std::hint::black_box(run_smp_mjpeg(frames, 0x578)));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

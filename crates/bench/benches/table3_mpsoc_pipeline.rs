@@ -1,0 +1,45 @@
+//! Table 3 bench: the full MJPEG pipeline on the simulated STi7200.
+//!
+//! Two metrics: `host_time` (how fast the simulator executes — wall
+//! time) and `virtual_time` (the Table 3 quantity — simulated seconds,
+//! reported through criterion's custom timing so regressions in the
+//! cost model are caught).
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use embera_bench::run_mpsoc_mjpeg;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table3_mpsoc_pipeline");
+    group.sample_size(10);
+    for frames in [11usize, 31] {
+        group.bench_with_input(BenchmarkId::new("host_time", frames), &frames, |b, &f| {
+            b.iter(|| std::hint::black_box(run_mpsoc_mjpeg(f, 0x578)));
+        });
+        group.bench_with_input(
+            BenchmarkId::new("virtual_time", frames),
+            &frames,
+            |b, &f| {
+                b.iter_custom(|iters| {
+                    let mut total = Duration::ZERO;
+                    for _ in 0..iters {
+                        let report = run_mpsoc_mjpeg(f, 0x578);
+                        total += Duration::from_nanos(report.wall_time_ns);
+                    }
+                    total
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    // Virtual-time measurements are fully deterministic (zero variance),
+    // which breaks criterion's distribution plots — disable them.
+    config = Criterion::default().without_plots();
+    targets = bench
+}
+criterion_main!(benches);

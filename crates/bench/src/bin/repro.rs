@@ -1,0 +1,378 @@
+//! `repro` — regenerate every table and figure of the EMBera paper.
+//!
+//! ```text
+//! cargo run --release -p embera-bench --bin repro -- all          # everything, reduced scale
+//! cargo run --release -p embera-bench --bin repro -- all --paper  # full 578/3000-frame streams
+//! cargo run --release -p embera-bench --bin repro -- table1|table2|figure4|figure5|table3|figure8
+//! cargo run --release -p embera-bench --bin repro -- cache|memseries|trace    # paper future work
+//! cargo run --release -p embera-bench --bin repro -- scaling|dot              # scaling study, graphs
+//! ```
+//!
+//! Reduced scale keeps the default run under a minute; `--paper` uses
+//! the paper's exact stream lengths (578 and 3000 images).
+
+use embera::{ObserverConfig, Platform, RunningApp};
+use embera_bench::{
+    run_mpsoc_mjpeg, run_smp_mjpeg, stream, FIGURE4_SIZES_KB, FIGURE8_SIZES_KB,
+};
+use embera_os21::Os21Platform;
+use embera_repro::stats::linear_fit;
+use embera_repro::sweep::{mpsoc_send_sweep, smp_send_sweep, MpsocSender};
+use embera_repro::tables::{format_table1, format_table2, format_table3, table3_ratio};
+use embera_smp::SmpPlatform;
+use mjpeg::{build_mpsoc_app, build_smp_app, MjpegAppConfig};
+
+struct Scale {
+    small: usize,
+    large: usize,
+    sweep_iters: u32,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let paper = args.iter().any(|a| a == "--paper");
+    let scale = if paper {
+        Scale {
+            small: 578,
+            large: 3000,
+            sweep_iters: 200,
+        }
+    } else {
+        Scale {
+            small: 58,
+            large: 300,
+            sweep_iters: 50,
+        }
+    };
+    let cmd = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .unwrap_or("all");
+
+    match cmd {
+        "table1" => table1_and_2(&scale, true, false),
+        "table2" => table1_and_2(&scale, false, true),
+        "figure4" => figure4(&scale),
+        "figure5" => figure5(&scale),
+        "table3" => table3(&scale),
+        "figure8" => figure8(&scale),
+        "cache" => cache(&scale),
+        "memseries" => memseries(&scale),
+        "trace" => trace_demo(),
+        "scaling" => scaling(&scale),
+        "dot" => dot(),
+        "all" => {
+            table1_and_2(&scale, true, true);
+            figure4(&scale);
+            figure5(&scale);
+            table3(&scale);
+            figure8(&scale);
+            cache(&scale);
+            memseries(&scale);
+            trace_demo();
+            scaling(&scale);
+        }
+        other => {
+            eprintln!("unknown experiment '{other}'");
+            eprintln!(
+                "available: table1 table2 figure4 figure5 table3 figure8 cache memseries trace scaling dot all"
+            );
+            std::process::exit(2);
+        }
+    }
+}
+
+fn table1_and_2(scale: &Scale, table1: bool, table2: bool) {
+    let small = run_smp_mjpeg(scale.small, 0x578);
+    let large = run_smp_mjpeg(scale.large, 0x3000);
+    if table1 {
+        println!(
+            "=== Table 1 — SMP execution time and memory ({} / {} frames) ===",
+            scale.small, scale.large
+        );
+        println!("{}", format_table1(&small, &large));
+        println!(
+            "paper: Fetch 4084/20088 us 8392 kB; IDCTx 4084/20218 us 10850 kB; Reorder 4086/21538 us 13308 kB"
+        );
+        println!();
+    }
+    if table2 {
+        println!(
+            "=== Table 2 — communication operations ({} / {} frames) ===",
+            scale.small, scale.large
+        );
+        println!("{}", format_table2(&small, &large));
+        println!(
+            "paper (578/3000): Fetch 10386/53982 sends; IDCTx 3462/17994 each way; Reorder 10386/53982 recvs"
+        );
+        println!(
+            "structure check: sends(Fetch) = 18 x (N-1) = {} / {}",
+            18 * (scale.small - 1),
+            18 * (scale.large - 1)
+        );
+        println!();
+    }
+}
+
+fn figure4(scale: &Scale) {
+    println!("=== Figure 4 — SMP send execution time vs message size ===");
+    let sizes: Vec<u64> = FIGURE4_SIZES_KB.iter().map(|k| k * 1024).collect();
+    let points = smp_send_sweep(&sizes, scale.sweep_iters * 4);
+    println!("size (kB)   mean send (us)");
+    for p in &points {
+        println!("{:>8}   {:>13.2}", p.size_bytes / 1024, p.mean_send_ns / 1e3);
+    }
+    let fit = linear_fit(
+        &points
+            .iter()
+            .map(|p| (p.size_bytes as f64 / 1024.0, p.mean_send_ns / 1e3))
+            .collect::<Vec<_>>(),
+    );
+    println!(
+        "linear fit: {:.2} us + {:.3} us/kB, r2 = {:.4}  (paper: linear, ~2.6 us/kB up to 125 kB)",
+        fit.a, fit.b, fit.r2
+    );
+    println!();
+}
+
+fn figure5(scale: &Scale) {
+    println!("=== Figure 5 — interfaces of component IDCT_1 ===");
+    let report = run_smp_mjpeg(scale.small.min(20), 1);
+    print!(
+        "{}",
+        report
+            .component("IDCT_1")
+            .expect("IDCT_1")
+            .structure
+            .format_figure5()
+    );
+    println!();
+}
+
+fn table3(scale: &Scale) {
+    println!(
+        "=== Table 3 — simulated STi7200 execution time and memory ({} frames) ===",
+        scale.small
+    );
+    let report = run_mpsoc_mjpeg(scale.small, 0x578);
+    println!("{}", format_table3(&report));
+    println!(
+        "Fetch-Reorder/IDCT task-time ratio: {:.1}x  (paper: 1173/95 = 12.3x)",
+        table3_ratio(&report)
+    );
+    println!("paper memory: Fetch-Reorder 110 kB (60 + 2x25); IDCTx 85 kB (60 + 25)");
+    println!();
+}
+
+fn figure8(scale: &Scale) {
+    println!("=== Figure 8 — STi7200 send execution time vs message size ===");
+    let sizes: Vec<u64> = FIGURE8_SIZES_KB.iter().map(|k| k * 1024).collect();
+    let st40 = mpsoc_send_sweep(&sizes, scale.sweep_iters, MpsocSender::St40);
+    let st231 = mpsoc_send_sweep(&sizes, scale.sweep_iters, MpsocSender::St231);
+    println!("size (kB)  Fetch-Reorder/ST40 (ms)  IDCT/ST231 (ms)");
+    for (a, b) in st40.iter().zip(st231.iter()) {
+        println!(
+            "{:>8}  {:>23.3}  {:>15.3}",
+            a.size_bytes / 1024,
+            a.mean_send_ns / 1e6,
+            b.mean_send_ns / 1e6
+        );
+    }
+    let slope = |pts: &[embera_repro::sweep::SweepPoint], i: usize, j: usize| {
+        (pts[j].mean_send_ns - pts[i].mean_send_ns)
+            / ((pts[j].size_bytes - pts[i].size_bytes) as f64)
+    };
+    println!(
+        "ST40 slope below knee {:.1} ns/B, above knee {:.1} ns/B (knee at 50 kB; the paper reports the same shape)",
+        slope(&st40, 1, 3),
+        slope(&st40, 4, 5)
+    );
+    println!("paper at 200 kB: Fetch-Reorder ~42 ms, IDCT ~28 ms");
+    println!();
+}
+
+fn cache(scale: &Scale) {
+    println!("=== X1 (paper section 6 future work) — cache-miss observation ===");
+    let cfg = MjpegAppConfig {
+        idct_count: 2,
+        ..Default::default()
+    };
+    let (app, _probe) = build_mpsoc_app(stream(scale.small, 0x578), &cfg);
+    let platform = Os21Platform::three_cpu();
+    let machine = platform.machine().clone();
+    let mut platform = platform;
+    platform
+        .deploy(app.build().expect("valid app"))
+        .expect("deploy")
+        .wait()
+        .expect("run");
+    println!(
+        "per-CPU L1D statistics after the MJPEG run ({} frames):",
+        scale.small
+    );
+    for cpu in 0..machine.config().num_cpus() {
+        let st = machine.dcache_stats(cpu);
+        println!(
+            "  {:<8} {:>10} hits {:>8} misses  ({:.2}% miss)",
+            machine.config().cpus[cpu].name,
+            st.hits,
+            st.misses,
+            st.miss_ratio() * 100.0
+        );
+    }
+    let bus = machine.bus_stats();
+    println!(
+        "  bus: {} transactions, busy {:.2} ms, queueing {:.2} ms",
+        bus.transactions,
+        bus.busy_ns as f64 / 1e6,
+        bus.wait_ns as f64 / 1e6
+    );
+    println!();
+}
+
+fn memseries(scale: &Scale) {
+    println!("=== X2 (paper section 6 future work) — memory evolution over execution ===");
+    let (mut app, _probe) = build_smp_app(
+        stream(scale.small.max(200), 0xCAFE),
+        &MjpegAppConfig::default(),
+    );
+    let log = app.with_observer(ObserverConfig::default().interval_ns(3_000_000));
+    SmpPlatform::new()
+        .deploy(app.build().expect("valid app"))
+        .expect("deploy")
+        .wait()
+        .expect("run");
+    println!("t (ms)   component        static mem (kB)  queued (B)  sends");
+    for r in log.records().iter().take(24) {
+        println!(
+            "{:>6.1}   {:<16} {:>15} {:>11} {:>6}",
+            r.at_ns as f64 / 1e6,
+            r.report.component,
+            r.report.os.memory_bytes / 1000,
+            r.report.os.queued_bytes,
+            r.report.app.total_sends
+        );
+    }
+    println!("({} samples total)", log.len());
+    println!();
+}
+
+fn dot() {
+    println!("=== component graphs (GraphViz dot; pipe into `dot -Tsvg`) ===\n");
+    let (mut smp, _) = build_smp_app(stream(2, 1), &MjpegAppConfig::default());
+    let _ = smp.with_observer(ObserverConfig::default());
+    println!("// paper Figure 1/3: SMP deployment with observer");
+    println!("{}", smp.build().expect("valid").to_dot());
+    let cfg = MjpegAppConfig {
+        idct_count: 2,
+        ..Default::default()
+    };
+    let (mpsoc, _) = build_mpsoc_app(stream(2, 1), &cfg);
+    println!("// paper Figure 7: STi7200 deployment");
+    println!("{}", mpsoc.build().expect("valid").to_dot());
+}
+
+fn scaling(scale: &Scale) {
+    println!("=== S1 — accelerator scaling on the simulated MPSoC ===");
+    println!(
+        "(paper section 1 motivates parts with 'dozens and even hundreds of computing cores';"
+    );
+    println!(" this sweep shows where the pipeline and the shared bus stop scaling)\n");
+    let frames = scale.small.min(40);
+    for (label, profile) in [
+        ("paper workload (Fetch-Reorder-bound)", mjpeg::WorkProfile::default()),
+        (
+            "IDCT-bound workload (200x DSP per block)",
+            mjpeg::WorkProfile {
+                idct_ops_per_block: 4_000_000,
+                ..Default::default()
+            },
+        ),
+    ] {
+        println!("{label}:");
+        println!("  IDCTs  virtual time (s)  speedup");
+        let mut base = None;
+        for n in [1usize, 2, 4, 8] {
+            let cfg = MjpegAppConfig {
+                idct_count: n,
+                profile,
+                ..Default::default()
+            };
+            let (app, _probe) = build_mpsoc_app(embera_bench::stream(frames, 0x578), &cfg);
+            let mut platform = Os21Platform::with_machine(
+                mpsoc_sim::Machine::with_accelerators(n),
+                embera_os21::Os21Config::default(),
+            );
+            let report = platform
+                .deploy(app.build().expect("valid app"))
+                .expect("deploy")
+                .wait()
+                .expect("run");
+            let t = report.wall_time_ns as f64 / 1e9;
+            let b = *base.get_or_insert(t);
+            println!("  {n:>5}  {t:>16.3}  {:>6.2}x", b / t);
+        }
+        println!();
+    }
+    println!(
+        "The paper workload does not scale: the Fetch-Reorder component's serial work\n\
+         dominates (the Table 3 bottleneck), so extra accelerators idle — Amdahl's law\n\
+         observed through the component model. The IDCT-bound variant scales until the\n\
+         ST40's per-frame fetch/reorder share becomes the new critical path."
+    );
+}
+
+fn trace_demo() {
+    println!("=== X3 (paper section 6 future work) — event trace support ===");
+    use bytes::Bytes;
+    use embera::behavior::behavior_fn;
+    use embera::{AppBuilder, ComponentSpec};
+    use embera_trace::instrument::TracedBehavior;
+    use embera_trace::{analysis::TimelineStats, TraceCollector};
+
+    let collector = TraceCollector::default();
+    let mut app = AppBuilder::new("traced");
+    app.add(
+        ComponentSpec::new(
+            "src",
+            TracedBehavior::new(
+                behavior_fn(|ctx| {
+                    for i in 0..5_000u32 {
+                        ctx.send("out", Bytes::from(vec![i as u8; 256]))?;
+                    }
+                    Ok(())
+                }),
+                collector.register("src"),
+            ),
+        )
+        .with_required("out"),
+    );
+    app.add(
+        ComponentSpec::new(
+            "dst",
+            TracedBehavior::new(
+                behavior_fn(|ctx| {
+                    for _ in 0..5_000 {
+                        ctx.recv("in")?;
+                    }
+                    Ok(())
+                }),
+                collector.register("dst"),
+            ),
+        )
+        .with_provided("in"),
+    );
+    app.connect(("src", "out"), ("dst", "in"));
+    SmpPlatform::new()
+        .deploy(app.build().expect("valid app"))
+        .expect("deploy")
+        .wait()
+        .expect("run");
+    let trace = collector.drain_sorted();
+    println!("captured {} events", trace.len());
+    println!(
+        "{}",
+        TimelineStats::from_events(&trace).format_table(&collector.names())
+    );
+}

@@ -1,0 +1,51 @@
+//! Shared helpers for the benchmark harness: canonical experiment
+//! configurations used by both the criterion benches and the `repro`
+//! binary that regenerates every table and figure of the paper.
+
+use embera::{AppReport, ObserverConfig, Platform, RunningApp};
+use embera_os21::Os21Platform;
+use embera_smp::SmpPlatform;
+use mjpeg::{build_mpsoc_app, build_smp_app, synthesize_stream, MjpegAppConfig, MjpegStream};
+
+/// Frame geometry of every experiment stream (18 blocks per image).
+pub const WIDTH: usize = 48;
+/// Frame height.
+pub const HEIGHT: usize = 24;
+/// Encoder quality.
+pub const QUALITY: u8 = 75;
+
+/// The paper's message-size sweep for Figure 4 (0–125 kB).
+pub const FIGURE4_SIZES_KB: [u64; 6] = [1, 25, 50, 75, 100, 125];
+/// The paper's message-size sweep for Figure 8 (0–200 kB).
+pub const FIGURE8_SIZES_KB: [u64; 6] = [1, 10, 25, 50, 100, 200];
+
+/// Synthesize the experiment stream for `frames` frames.
+pub fn stream(frames: usize, seed: u64) -> MjpegStream {
+    synthesize_stream(frames, WIDTH, HEIGHT, QUALITY, seed)
+}
+
+/// Run the SMP MJPEG pipeline with the observer attached (the paper's
+/// Table 1 accounting includes the observation interfaces).
+pub fn run_smp_mjpeg(frames: usize, seed: u64) -> AppReport {
+    let (mut app, _probe) = build_smp_app(stream(frames, seed), &MjpegAppConfig::default());
+    let _log = app.with_observer(ObserverConfig::default().interval_ns(20_000_000));
+    SmpPlatform::new()
+        .deploy(app.build().expect("valid app"))
+        .expect("deploy")
+        .wait()
+        .expect("run")
+}
+
+/// Run the MPSoC MJPEG pipeline on the simulated three-CPU STi7200.
+pub fn run_mpsoc_mjpeg(frames: usize, seed: u64) -> AppReport {
+    let cfg = MjpegAppConfig {
+        idct_count: 2,
+        ..Default::default()
+    };
+    let (app, _probe) = build_mpsoc_app(stream(frames, seed), &cfg);
+    Os21Platform::three_cpu()
+        .deploy(app.build().expect("valid app"))
+        .expect("deploy")
+        .wait()
+        .expect("run")
+}

@@ -1,0 +1,431 @@
+//! Application assembly: the builder, connection wiring, observer
+//! auto-wiring, and deployment-time validation.
+
+use std::collections::{HashMap, HashSet};
+
+use crate::component::{ComponentSpec, INTROSPECTION};
+use crate::error::EmberaError;
+use crate::observer::{ObservationLog, ObserverBehavior, ObserverConfig, OBSERVER_NAME};
+
+/// One end of a connection.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Endpoint {
+    /// Component name.
+    pub component: String,
+    /// Interface name on that component.
+    pub interface: String,
+}
+
+impl Endpoint {
+    /// Build an endpoint.
+    pub fn new(component: impl Into<String>, interface: impl Into<String>) -> Self {
+        Endpoint {
+            component: component.into(),
+            interface: interface.into(),
+        }
+    }
+}
+
+/// A connection "established by linking required and provided
+/// interfaces" (paper §3.1): `from` is the required side (the sender),
+/// `to` the provided side (the mailbox).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Connection {
+    /// Required-interface side.
+    pub from: Endpoint,
+    /// Provided-interface side.
+    pub to: Endpoint,
+}
+
+/// A validated, deployable application description.
+#[derive(Debug)]
+pub struct AppSpec {
+    /// Application name.
+    pub name: String,
+    /// Components, in addition order (the observer, if any, is last).
+    pub components: Vec<ComponentSpec>,
+    /// Validated connections.
+    pub connections: Vec<Connection>,
+    /// Whether an observer component was auto-wired.
+    pub has_observer: bool,
+}
+
+impl AppSpec {
+    /// Find a component index by name.
+    pub fn component_index(&self, name: &str) -> Option<usize> {
+        self.components.iter().position(|c| c.name == name)
+    }
+
+    /// The connection whose required side is `(component, interface)`.
+    pub fn connection_from(&self, component: &str, interface: &str) -> Option<&Connection> {
+        self.connections
+            .iter()
+            .find(|c| c.from.component == component && c.from.interface == interface)
+    }
+
+    /// Render the component graph in GraphViz dot format: one node per
+    /// component (observer dashed), one edge per connection (observation
+    /// wiring dotted). Paste into `dot -Tsvg` to get the paper's
+    /// Figure 1/3/7-style diagrams for any application.
+    ///
+    /// ```
+    /// use embera::behavior::behavior_fn;
+    /// use embera::{AppBuilder, ComponentSpec};
+    ///
+    /// let mut app = AppBuilder::new("demo");
+    /// app.add(ComponentSpec::new("a", behavior_fn(|_| Ok(()))).with_required("out"));
+    /// app.add(ComponentSpec::new("b", behavior_fn(|_| Ok(()))).with_provided("in"));
+    /// app.connect(("a", "out"), ("b", "in"));
+    /// let dot = app.build().unwrap().to_dot();
+    /// assert!(dot.contains("\"a\" -> \"b\""));
+    /// ```
+    pub fn to_dot(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::from("digraph embera {\n  rankdir=LR;\n  node [shape=box];\n");
+        for c in &self.components {
+            let style = if c.name == OBSERVER_NAME {
+                ", style=dashed"
+            } else {
+                ""
+            };
+            let _ = writeln!(out, "  \"{}\" [label=\"{}\"{}];", c.name, c.name, style);
+        }
+        for conn in &self.connections {
+            let observation = conn.from.interface == crate::component::INTROSPECTION
+                || conn.to.interface == crate::component::INTROSPECTION;
+            let style = if observation { " [style=dotted]" } else { "" };
+            let _ = writeln!(
+                out,
+                "  \"{}\" -> \"{}\" [label=\"{}\"]{};",
+                conn.from.component, conn.to.component, conn.from.interface, style
+            );
+        }
+        out.push_str("}\n");
+        out
+    }
+
+    /// Names of components excluding the observer.
+    pub fn application_components(&self) -> Vec<&str> {
+        self.components
+            .iter()
+            .map(|c| c.name.as_str())
+            .filter(|n| *n != OBSERVER_NAME)
+            .collect()
+    }
+}
+
+/// Builder of EMBera applications. Mirrors the paper's `main` function
+/// in which "each one of the five components and its interfaces are
+/// instantiated. Then, this function specifies the connections between
+/// all the components" (§4.3, Figure 3b).
+pub struct AppBuilder {
+    name: String,
+    components: Vec<ComponentSpec>,
+    connections: Vec<Connection>,
+    observer: Option<ObserverConfig>,
+}
+
+impl AppBuilder {
+    /// Start building an application.
+    pub fn new(name: impl Into<String>) -> Self {
+        AppBuilder {
+            name: name.into(),
+            components: Vec::new(),
+            connections: Vec::new(),
+            observer: None,
+        }
+    }
+
+    /// Add a component (the model's *creation* control operation).
+    pub fn add(&mut self, component: ComponentSpec) -> &mut Self {
+        self.components.push(component);
+        self
+    }
+
+    /// Connect a required interface to a provided interface (the model's
+    /// *interconnection* control operation). Validation happens in
+    /// [`AppBuilder::build`].
+    pub fn connect(&mut self, from: (&str, &str), to: (&str, &str)) -> &mut Self {
+        self.connections.push(Connection {
+            from: Endpoint::new(from.0, from.1),
+            to: Endpoint::new(to.0, to.1),
+        });
+        self
+    }
+
+    /// Add an observer component that periodically queries every other
+    /// component's observation interface. Returns the log the observer
+    /// fills; keep it to inspect the collected reports.
+    pub fn with_observer(&mut self, config: ObserverConfig) -> ObservationLog {
+        let log = ObservationLog::new();
+        self.observer = Some(config.with_log(log.clone()));
+        log
+    }
+
+    /// Validate and finalize the application.
+    pub fn build(mut self) -> Result<AppSpec, EmberaError> {
+        // Auto-wire the observer before validation so its connections are
+        // checked like any other.
+        let has_observer = self.observer.is_some();
+        if let Some(config) = self.observer.take() {
+            let targets: Vec<String> =
+                self.components.iter().map(|c| c.name.clone()).collect();
+            let mut observer = ComponentSpec::new(
+                OBSERVER_NAME,
+                ObserverBehavior::new(targets.clone(), config),
+            )
+            .with_provided("observations");
+            for t in &targets {
+                observer = observer.with_required(format!("obs_{t}"));
+            }
+            for t in &targets {
+                // Observer asks through obs_<t> -> t.introspection, and t
+                // answers through t.introspection -> Observer.observations.
+                self.connections.push(Connection {
+                    from: Endpoint::new(OBSERVER_NAME, format!("obs_{t}")),
+                    to: Endpoint::new(t.clone(), INTROSPECTION),
+                });
+                self.connections.push(Connection {
+                    from: Endpoint::new(t.clone(), INTROSPECTION),
+                    to: Endpoint::new(OBSERVER_NAME, "observations"),
+                });
+            }
+            self.components.push(observer);
+        }
+        self.validate()?;
+        Ok(AppSpec {
+            name: self.name,
+            components: self.components,
+            connections: self.connections,
+            has_observer,
+        })
+    }
+
+    fn validate(&self) -> Result<(), EmberaError> {
+        let err = |msg: String| Err(EmberaError::Validation(msg));
+
+        // Unique, non-empty component names.
+        let mut names = HashSet::new();
+        for c in &self.components {
+            if c.name.is_empty() {
+                return err("component with empty name".into());
+            }
+            if !names.insert(c.name.as_str()) {
+                return err(format!("duplicate component name '{}'", c.name));
+            }
+        }
+        let by_name: HashMap<&str, &ComponentSpec> = self
+            .components
+            .iter()
+            .map(|c| (c.name.as_str(), c))
+            .collect();
+
+        // Interface declarations: unique per role, 'introspection' is
+        // reserved for the implicit observation pair.
+        for c in &self.components {
+            for list in [&c.provided, &c.required] {
+                let mut seen = HashSet::new();
+                for iface in list {
+                    if iface == INTROSPECTION {
+                        return err(format!(
+                            "component '{}' declares reserved interface '{INTROSPECTION}'",
+                            c.name
+                        ));
+                    }
+                    if !seen.insert(iface.as_str()) {
+                        return err(format!(
+                            "component '{}' declares interface '{iface}' twice",
+                            c.name
+                        ));
+                    }
+                }
+            }
+        }
+
+        // Connection endpoints must exist with the right roles.
+        for conn in &self.connections {
+            let Some(from) = by_name.get(conn.from.component.as_str()) else {
+                return err(format!(
+                    "connection from unknown component '{}'",
+                    conn.from.component
+                ));
+            };
+            if !from.has_required(&conn.from.interface) {
+                return err(format!(
+                    "component '{}' has no required interface '{}'",
+                    conn.from.component, conn.from.interface
+                ));
+            }
+            let Some(to) = by_name.get(conn.to.component.as_str()) else {
+                return err(format!(
+                    "connection to unknown component '{}'",
+                    conn.to.component
+                ));
+            };
+            if !to.has_provided(&conn.to.interface) {
+                return err(format!(
+                    "component '{}' has no provided interface '{}'",
+                    conn.to.component, conn.to.interface
+                ));
+            }
+        }
+
+        // A required interface binds at most once.
+        let mut bound = HashSet::new();
+        for conn in &self.connections {
+            if !bound.insert((&conn.from.component, &conn.from.interface)) {
+                return err(format!(
+                    "required interface '{}' of '{}' connected twice",
+                    conn.from.interface, conn.from.component
+                ));
+            }
+        }
+
+        // Every *data* required interface must be bound (an unbound
+        // introspection pair just means no observer is attached).
+        for c in &self.components {
+            for r in &c.required {
+                if !bound.contains(&(&c.name, r)) {
+                    return err(format!(
+                        "required interface '{r}' of component '{}' is not connected",
+                        c.name
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::behavior::behavior_fn;
+
+    fn noop() -> impl crate::Behavior + 'static {
+        behavior_fn(|_ctx| Ok(()))
+    }
+
+    fn two_component_builder() -> AppBuilder {
+        let mut b = AppBuilder::new("app");
+        b.add(ComponentSpec::new("a", noop()).with_required("out"));
+        b.add(ComponentSpec::new("b", noop()).with_provided("in"));
+        b.connect(("a", "out"), ("b", "in"));
+        b
+    }
+
+    #[test]
+    fn valid_app_builds() {
+        let spec = two_component_builder().build().unwrap();
+        assert_eq!(spec.components.len(), 2);
+        assert_eq!(spec.connections.len(), 1);
+        assert!(!spec.has_observer);
+        assert!(spec.connection_from("a", "out").is_some());
+    }
+
+    #[test]
+    fn duplicate_component_name_rejected() {
+        let mut b = AppBuilder::new("app");
+        b.add(ComponentSpec::new("x", noop()));
+        b.add(ComponentSpec::new("x", noop()));
+        assert!(matches!(b.build(), Err(EmberaError::Validation(_))));
+    }
+
+    #[test]
+    fn unbound_required_interface_rejected() {
+        let mut b = AppBuilder::new("app");
+        b.add(ComponentSpec::new("a", noop()).with_required("out"));
+        let e = b.build().unwrap_err();
+        let EmberaError::Validation(msg) = e else {
+            panic!()
+        };
+        assert!(msg.contains("not connected"), "{msg}");
+    }
+
+    #[test]
+    fn double_binding_of_required_interface_rejected() {
+        let mut b = AppBuilder::new("app");
+        b.add(ComponentSpec::new("a", noop()).with_required("out"));
+        b.add(ComponentSpec::new("b", noop()).with_provided("in1").with_provided("in2"));
+        b.connect(("a", "out"), ("b", "in1"));
+        b.connect(("a", "out"), ("b", "in2"));
+        assert!(b.build().is_err());
+    }
+
+    #[test]
+    fn fan_in_to_one_provided_interface_is_allowed() {
+        let mut b = AppBuilder::new("app");
+        b.add(ComponentSpec::new("a", noop()).with_required("out"));
+        b.add(ComponentSpec::new("b", noop()).with_required("out"));
+        b.add(ComponentSpec::new("sink", noop()).with_provided("in"));
+        b.connect(("a", "out"), ("sink", "in"));
+        b.connect(("b", "out"), ("sink", "in"));
+        assert!(b.build().is_ok());
+    }
+
+    #[test]
+    fn connection_to_unknown_interface_rejected() {
+        let mut b = AppBuilder::new("app");
+        b.add(ComponentSpec::new("a", noop()).with_required("out"));
+        b.add(ComponentSpec::new("b", noop()));
+        b.connect(("a", "out"), ("b", "nope"));
+        assert!(b.build().is_err());
+    }
+
+    #[test]
+    fn declaring_introspection_explicitly_rejected() {
+        let mut b = AppBuilder::new("app");
+        b.add(ComponentSpec::new("a", noop()).with_provided(INTROSPECTION));
+        assert!(b.build().is_err());
+    }
+
+    #[test]
+    fn observer_autowires_connections() {
+        let mut b = two_component_builder();
+        let _log = b.with_observer(ObserverConfig::default());
+        let spec = b.build().unwrap();
+        assert!(spec.has_observer);
+        assert_eq!(spec.components.len(), 3);
+        let obs = &spec.components[2];
+        assert_eq!(obs.name, OBSERVER_NAME);
+        assert_eq!(obs.provided, vec!["observations"]);
+        assert_eq!(obs.required, vec!["obs_a", "obs_b"]);
+        // 1 data connection + 2 per observed component.
+        assert_eq!(spec.connections.len(), 1 + 4);
+        assert_eq!(spec.application_components(), vec!["a", "b"]);
+    }
+
+    #[test]
+    fn dot_export_contains_nodes_and_edges() {
+        let spec = two_component_builder().build().unwrap();
+        let dot = spec.to_dot();
+        assert!(dot.starts_with("digraph embera {"));
+        assert!(dot.contains("\"a\" [label=\"a\"];"));
+        assert!(dot.contains("\"a\" -> \"b\" [label=\"out\"];"));
+        assert!(dot.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn dot_export_marks_observer_wiring() {
+        let mut b = two_component_builder();
+        let _ = b.with_observer(ObserverConfig::default());
+        let dot = b.build().unwrap().to_dot();
+        assert!(dot.contains("style=dashed"), "observer node dashed");
+        assert!(dot.contains("style=dotted"), "observation edges dotted");
+    }
+
+    #[test]
+    fn connecting_to_introspection_directly_is_allowed() {
+        // A hand-rolled observer can target introspection itself.
+        let mut b = AppBuilder::new("app");
+        b.add(ComponentSpec::new("a", noop()));
+        b.add(
+            ComponentSpec::new("myobs", noop())
+                .with_provided("replies")
+                .with_required("ask_a"),
+        );
+        b.connect(("myobs", "ask_a"), ("a", INTROSPECTION));
+        b.connect(("a", INTROSPECTION), ("myobs", "replies"));
+        assert!(b.build().is_ok());
+    }
+}

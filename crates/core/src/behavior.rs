@@ -1,0 +1,163 @@
+//! Behaviors: the user code inside a component, and the [`Ctx`] handle
+//! the runtime hands it.
+
+use bytes::Bytes;
+use serde::{Deserialize, Serialize};
+
+use crate::error::EmberaError;
+use crate::message::Message;
+
+/// Class of computation, used by the simulated-MPSoC backend to pick
+/// per-CPU throughput (mirrors `mpsoc_sim::ComputeClass`; kept separate
+/// so the core model has no simulator dependency).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum WorkClass {
+    /// Branchy control/integer code (parsing, Huffman decoding).
+    Control,
+    /// Dense DSP kernels (IDCT, filtering).
+    Dsp,
+    /// Bulk byte movement (reordering, memcpy-like loops).
+    MemCopy,
+}
+
+/// A cost annotation describing work a behavior just performed.
+///
+/// This is how one behavior implementation drives both platforms: on the
+/// SMP backend the real code already consumed real time and
+/// [`Ctx::compute`] is a no-op; on the simulated STi7200 the annotation
+/// advances virtual time according to the machine cost model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Work {
+    /// Class of the computation.
+    pub class: WorkClass,
+    /// Abstract operation count (roughly: arithmetic ops retired).
+    pub ops: u64,
+    /// Bytes of memory traffic the computation streamed.
+    pub mem_bytes: u64,
+}
+
+impl Work {
+    /// Work of `ops` operations in `class` with no memory traffic.
+    pub fn ops(class: WorkClass, ops: u64) -> Self {
+        Work {
+            class,
+            ops,
+            mem_bytes: 0,
+        }
+    }
+
+    /// Attach memory traffic to the work item.
+    pub fn with_mem(mut self, bytes: u64) -> Self {
+        self.mem_bytes = bytes;
+        self
+    }
+}
+
+/// Handle through which a behavior interacts with its component runtime:
+/// communication primitives, time, and cost annotation. Implemented by
+/// each platform backend.
+pub trait Ctx {
+    /// Name of the component this behavior runs in.
+    fn component(&self) -> &str;
+
+    /// Send a raw message on a required interface.
+    fn send_message(&mut self, required: &str, msg: Message) -> Result<(), EmberaError>;
+
+    /// Receive the next raw message from a provided interface, blocking
+    /// until one arrives.
+    fn recv_message(&mut self, provided: &str) -> Result<Message, EmberaError>;
+
+    /// Receive with a deadline in nanoseconds; `Ok(None)` on timeout.
+    fn recv_message_timeout(
+        &mut self,
+        provided: &str,
+        timeout_ns: u64,
+    ) -> Result<Option<Message>, EmberaError>;
+
+    /// Annotate completed work (drives virtual time on simulators).
+    fn compute(&mut self, work: Work);
+
+    /// Current platform time in nanoseconds (monotonic; virtual on
+    /// simulators, wall-clock since deployment on the SMP backend).
+    fn now_ns(&self) -> u64;
+
+    /// True once the application is shutting down; long-running service
+    /// behaviors (e.g. the observer) use it to exit their loops.
+    fn should_stop(&self) -> bool;
+
+    /// Send a data payload on a required interface (the paper's `send`
+    /// primitive — counted by application-level observation and timed by
+    /// middleware-level observation).
+    fn send(&mut self, required: &str, payload: Bytes) -> Result<(), EmberaError> {
+        self.send_message(required, Message::Data(payload))
+    }
+
+    /// Receive a data payload from a provided interface (the paper's
+    /// `receive` primitive).
+    fn recv(&mut self, provided: &str) -> Result<Bytes, EmberaError> {
+        match self.recv_message(provided)? {
+            Message::Data(b) => Ok(b),
+            _ => Err(EmberaError::UnexpectedMessage {
+                interface: provided.to_string(),
+            }),
+        }
+    }
+
+    /// Receive a data payload with a deadline; `Ok(None)` on timeout.
+    fn recv_timeout(
+        &mut self,
+        provided: &str,
+        timeout_ns: u64,
+    ) -> Result<Option<Bytes>, EmberaError> {
+        match self.recv_message_timeout(provided, timeout_ns)? {
+            None => Ok(None),
+            Some(Message::Data(b)) => Ok(Some(b)),
+            Some(_) => Err(EmberaError::UnexpectedMessage {
+                interface: provided.to_string(),
+            }),
+        }
+    }
+}
+
+/// User code of a component. The component is an *active* entity: the
+/// runtime gives `run` its own execution flow (thread or simulated
+/// task — paper §3.1).
+pub trait Behavior: Send {
+    /// Body of the component. Returning ends the component's application
+    /// work; the runtime then keeps serving observation requests until
+    /// the application terminates.
+    fn run(&mut self, ctx: &mut dyn Ctx) -> Result<(), EmberaError>;
+}
+
+/// Adapter turning a closure into a [`Behavior`].
+pub struct FnBehavior<F>(pub F);
+
+impl<F> Behavior for FnBehavior<F>
+where
+    F: FnMut(&mut dyn Ctx) -> Result<(), EmberaError> + Send,
+{
+    fn run(&mut self, ctx: &mut dyn Ctx) -> Result<(), EmberaError> {
+        (self.0)(ctx)
+    }
+}
+
+/// Convenience constructor for closure behaviors.
+pub fn behavior_fn<F>(f: F) -> FnBehavior<F>
+where
+    F: FnMut(&mut dyn Ctx) -> Result<(), EmberaError> + Send,
+{
+    FnBehavior(f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn work_builders() {
+        let w = Work::ops(WorkClass::Dsp, 1024).with_mem(64);
+        assert_eq!(w.class, WorkClass::Dsp);
+        assert_eq!(w.ops, 1024);
+        assert_eq!(w.mem_bytes, 64);
+    }
+}

@@ -1,0 +1,61 @@
+//! Error type shared across the component model and its backends.
+
+use std::fmt;
+
+/// Errors of the EMBera model and platform backends.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EmberaError {
+    /// The application specification is invalid (duplicate names,
+    /// dangling connection endpoint, unbound required interface, …).
+    Validation(String),
+    /// A behavior referenced an interface its component does not declare.
+    UnknownInterface {
+        /// Component whose behavior made the call.
+        component: String,
+        /// The interface name used.
+        interface: String,
+    },
+    /// A send was attempted on a required interface with no connection.
+    Disconnected {
+        /// Component whose behavior made the call.
+        component: String,
+        /// The unbound required interface.
+        interface: String,
+    },
+    /// A receive could not complete because the application is shutting
+    /// down and no more messages will arrive.
+    Terminated,
+    /// A data receive produced a non-data message (protocol confusion).
+    UnexpectedMessage {
+        /// Interface on which the message arrived.
+        interface: String,
+    },
+    /// Backend-specific failure.
+    Platform(String),
+}
+
+impl fmt::Display for EmberaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EmberaError::Validation(msg) => write!(f, "invalid application: {msg}"),
+            EmberaError::UnknownInterface {
+                component,
+                interface,
+            } => write!(f, "component '{component}' has no interface '{interface}'"),
+            EmberaError::Disconnected {
+                component,
+                interface,
+            } => write!(
+                f,
+                "required interface '{interface}' of component '{component}' is not connected"
+            ),
+            EmberaError::Terminated => write!(f, "application terminated"),
+            EmberaError::UnexpectedMessage { interface } => {
+                write!(f, "non-data message on data interface '{interface}'")
+            }
+            EmberaError::Platform(msg) => write!(f, "platform error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for EmberaError {}

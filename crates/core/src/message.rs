@@ -1,0 +1,82 @@
+//! Messages exchanged over EMBera connections.
+
+use bytes::Bytes;
+
+use crate::observe::protocol::{ObsReply, ObsRequest};
+
+/// A message traveling over a connection. Communication is "a simple one
+/// way asynchronous message-oriented mechanism" (paper §4.1); data
+/// payloads are opaque bytes. Observation traffic travels over the
+/// dedicated `introspection` interfaces using the same mechanism.
+#[derive(Debug, Clone)]
+pub enum Message {
+    /// Application payload. Cheap to clone ([`Bytes`] is reference
+    /// counted).
+    Data(Bytes),
+    /// A request for observation information, carrying the requester's
+    /// component name so the reply can be routed.
+    ObsRequest {
+        /// Name of the requesting component (usually the observer).
+        from: String,
+        /// What is being asked.
+        request: ObsRequest,
+    },
+    /// A reply to an observation request.
+    ObsReply {
+        /// Name of the observed component.
+        from: String,
+        /// The requested information.
+        reply: Box<ObsReply>,
+    },
+}
+
+impl Message {
+    /// Payload length for data messages; observation messages count as 0
+    /// application bytes.
+    pub fn data_len(&self) -> usize {
+        match self {
+            Message::Data(b) => b.len(),
+            _ => 0,
+        }
+    }
+
+    /// Is this an application data message?
+    pub fn is_data(&self) -> bool {
+        matches!(self, Message::Data(_))
+    }
+
+    /// Approximate wire size of the message in bytes, used by backends
+    /// to charge transfer costs (observation messages are small control
+    /// frames).
+    pub fn wire_size(&self) -> usize {
+        match self {
+            Message::Data(b) => b.len(),
+            Message::ObsRequest { .. } => 64,
+            Message::ObsReply { .. } => 512,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn data_len_reflects_payload() {
+        let m = Message::Data(Bytes::from_static(b"abcd"));
+        assert_eq!(m.data_len(), 4);
+        assert!(m.is_data());
+        assert_eq!(m.wire_size(), 4);
+    }
+
+    #[test]
+    fn observation_messages_are_not_data() {
+        let m = Message::ObsRequest {
+            from: "observer".into(),
+            request: ObsRequest::Full,
+        };
+        assert_eq!(m.data_len(), 0);
+        assert!(!m.is_data());
+        assert!(m.wire_size() > 0);
+    }
+}

@@ -1,0 +1,70 @@
+//! The observation request/reply protocol carried over the
+//! `introspection` interfaces.
+
+use serde::{Deserialize, Serialize};
+
+use crate::observe::custom::CustomMetric;
+use crate::observe::report::{
+    AppStats, MiddlewareStats, ObservationReport, OsStats, StructureInfo,
+};
+
+/// What an observer asks of a component (paper §3.3: "The observation
+/// interface may provide functions related to each level such as memory
+/// and system time, communication time, and application structure").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ObsRequest {
+    /// OS-level: execution time and memory.
+    OsStats,
+    /// Middleware-level: send/receive primitive timings.
+    MiddlewareStats,
+    /// Application-level: communication counters.
+    AppStats,
+    /// Application-level: the component's interface structure
+    /// (Figure 5).
+    Structure,
+    /// Application-registered observation functions
+    /// ([`MetricSource`](crate::observe::custom::MetricSource)s).
+    Custom,
+    /// Everything at once.
+    Full,
+}
+
+/// The component runtime's answer.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ObsReply {
+    /// Answer to [`ObsRequest::OsStats`].
+    Os(OsStats),
+    /// Answer to [`ObsRequest::MiddlewareStats`].
+    Middleware(MiddlewareStats),
+    /// Answer to [`ObsRequest::AppStats`].
+    App(AppStats),
+    /// Answer to [`ObsRequest::Structure`].
+    Structure(StructureInfo),
+    /// Answer to [`ObsRequest::Custom`].
+    Custom(Vec<CustomMetric>),
+    /// Answer to [`ObsRequest::Full`].
+    Full(ObservationReport),
+}
+
+impl ObsReply {
+    /// Extract the full report if this is a [`ObsReply::Full`] reply.
+    pub fn into_full(self) -> Option<ObservationReport> {
+        match self {
+            ObsReply::Full(r) => Some(r),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn into_full_extracts_only_full() {
+        let full = ObsReply::Full(ObservationReport::default());
+        assert!(full.into_full().is_some());
+        let os = ObsReply::Os(OsStats::default());
+        assert!(os.into_full().is_none());
+    }
+}

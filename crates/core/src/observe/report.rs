@@ -1,0 +1,276 @@
+//! Report data structures produced by observation.
+
+use serde::{Deserialize, Serialize};
+
+/// Operating-system-level observation (paper §4.2): "information about
+/// the execution time and the memory occupation".
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OsStats {
+    /// Time elapsed between the start of the component and the
+    /// termination of its code execution, ns. For a still-running
+    /// component this is time since start.
+    pub exec_time_ns: u64,
+    /// Memory allocated for the component: its execution-flow stack plus
+    /// the structures of its provided interfaces (the paper's formula:
+    /// `pthread_attr_getstacksize` + `sizeof` of the interfaces).
+    pub memory_bytes: u64,
+    /// CPU time actually consumed (only meaningful on the RTOS backend,
+    /// where OS21's `task_time` provides it; 0 elsewhere).
+    pub cpu_time_ns: u64,
+    /// Bytes of message payload currently queued in the component's
+    /// provided-interface mailboxes — the dynamic part of the memory
+    /// picture (drives the paper's announced "evolution of memory during
+    /// the execution" extension, §6).
+    pub queued_bytes: u64,
+}
+
+/// Timing accumulator snapshot for one primitive (send or receive).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TimingSnapshot {
+    /// Number of operations measured.
+    pub count: u64,
+    /// Sum of durations, ns.
+    pub total_ns: u64,
+    /// Minimum duration, ns (0 when count is 0).
+    pub min_ns: u64,
+    /// Maximum duration, ns.
+    pub max_ns: u64,
+}
+
+impl TimingSnapshot {
+    /// Mean duration in ns (0 when no samples).
+    pub fn mean_ns(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.total_ns / self.count
+        }
+    }
+}
+
+/// One message-size histogram bucket of primitive timings.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SizeBucket {
+    /// Inclusive lower bound of the bucket, bytes.
+    pub lo: u64,
+    /// Exclusive upper bound (u64::MAX for the last bucket).
+    pub hi: u64,
+    /// Operations in the bucket.
+    pub count: u64,
+    /// Total duration of those operations, ns.
+    pub total_ns: u64,
+}
+
+impl SizeBucket {
+    /// Mean duration per operation in this bucket.
+    pub fn mean_ns(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.total_ns / self.count
+        }
+    }
+}
+
+/// Middleware-level observation (paper §4.2): "information about the
+/// execution time of send and receive operations by instrumenting send
+/// and receive primitives".
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MiddlewareStats {
+    /// Timing of the `send` primitive.
+    pub send: TimingSnapshot,
+    /// Timing of the `receive` primitive (excluding blocking waits; the
+    /// paper instruments the primitive's execution, not queue idleness).
+    pub recv: TimingSnapshot,
+    /// Send timings bucketed by message size (basis for Figure 4-style
+    /// analyses).
+    pub send_by_size: Vec<SizeBucket>,
+    /// Total data bytes sent.
+    pub bytes_sent: u64,
+    /// Total data bytes received.
+    pub bytes_received: u64,
+}
+
+/// Per-interface communication counters.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IfaceCounterSnapshot {
+    /// Interface name.
+    pub interface: String,
+    /// Data messages sent through it (required interfaces).
+    pub sends: u64,
+    /// Data messages received from it (provided interfaces).
+    pub receives: u64,
+}
+
+/// Application-level observation (paper §4.2): "the component structure
+/// and the total number of communication operations performed".
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AppStats {
+    /// Per-interface counters, declaration order.
+    pub interfaces: Vec<IfaceCounterSnapshot>,
+    /// Total data sends (Table 2's `send` column).
+    pub total_sends: u64,
+    /// Total data receives (Table 2's `receive` column).
+    pub total_receives: u64,
+}
+
+/// One interface in a structure listing.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct InterfaceEntry {
+    /// Interface name.
+    pub name: String,
+    /// `"provided"` or `"required"`.
+    pub role: String,
+}
+
+/// The component-structure listing (paper Figure 5).
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StructureInfo {
+    /// Component name.
+    pub component: String,
+    /// Interfaces: introspection provided, data provided (declaration
+    /// order), introspection required, data required — the order of the
+    /// paper's Figure 5.
+    pub interfaces: Vec<InterfaceEntry>,
+}
+
+impl StructureInfo {
+    /// Build the listing for a component with the given data interfaces.
+    pub fn new(
+        component: impl Into<String>,
+        provided: &[String],
+        required: &[String],
+    ) -> Self {
+        let mut interfaces = Vec::with_capacity(provided.len() + required.len() + 2);
+        interfaces.push(InterfaceEntry {
+            name: crate::component::INTROSPECTION.to_string(),
+            role: "provided".to_string(),
+        });
+        for p in provided {
+            interfaces.push(InterfaceEntry {
+                name: p.clone(),
+                role: "provided".to_string(),
+            });
+        }
+        interfaces.push(InterfaceEntry {
+            name: crate::component::INTROSPECTION.to_string(),
+            role: "required".to_string(),
+        });
+        for r in required {
+            interfaces.push(InterfaceEntry {
+                name: r.clone(),
+                role: "required".to_string(),
+            });
+        }
+        StructureInfo {
+            component: component.into(),
+            interfaces,
+        }
+    }
+
+    /// Render in the exact format of the paper's Figure 5:
+    ///
+    /// ```text
+    /// Interfaces component [IDCT_1]
+    /// ----------------------------
+    /// [Interface] [Type]
+    /// introspection provided
+    /// _fetchIdct1 provided
+    /// introspection required
+    /// idctReorder required
+    /// ```
+    pub fn format_figure5(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("Interfaces component [{}]\n", self.component));
+        out.push_str("----------------------------\n");
+        out.push_str("[Interface] [Type]\n");
+        for e in &self.interfaces {
+            out.push_str(&format!("{} {}\n", e.name, e.role));
+        }
+        out
+    }
+}
+
+/// The complete multi-level observation report of one component.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ObservationReport {
+    /// Component name.
+    pub component: String,
+    /// OS-level information.
+    pub os: OsStats,
+    /// Middleware-level information.
+    pub middleware: MiddlewareStats,
+    /// Application-level counters.
+    pub app: AppStats,
+    /// Component structure.
+    pub structure: StructureInfo,
+    /// Application-registered observation functions, sampled at report
+    /// time (paper §6 extension).
+    #[serde(default)]
+    pub custom: Vec<crate::observe::custom::CustomMetric>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure5_exact_format() {
+        let s = StructureInfo::new(
+            "IDCT_1",
+            &["_fetchIdct1".to_string()],
+            &["idctReorder".to_string()],
+        );
+        let expected = "Interfaces component [IDCT_1]\n\
+                        ----------------------------\n\
+                        [Interface] [Type]\n\
+                        introspection provided\n\
+                        _fetchIdct1 provided\n\
+                        introspection required\n\
+                        idctReorder required\n";
+        assert_eq!(s.format_figure5(), expected);
+    }
+
+    #[test]
+    fn timing_mean_handles_empty() {
+        assert_eq!(TimingSnapshot::default().mean_ns(), 0);
+        let t = TimingSnapshot {
+            count: 4,
+            total_ns: 100,
+            min_ns: 10,
+            max_ns: 40,
+        };
+        assert_eq!(t.mean_ns(), 25);
+    }
+
+    #[test]
+    fn size_bucket_mean() {
+        let b = SizeBucket {
+            lo: 0,
+            hi: 1024,
+            count: 2,
+            total_ns: 10,
+        };
+        assert_eq!(b.mean_ns(), 5);
+        assert_eq!(SizeBucket::default().mean_ns(), 0);
+    }
+
+    #[test]
+    fn structure_orders_introspection_first_per_role() {
+        let s = StructureInfo::new(
+            "Reorder",
+            &["_idct1Reorder".to_string(), "_idct2Reorder".to_string()],
+            &[],
+        );
+        let names: Vec<&str> = s.interfaces.iter().map(|e| e.name.as_str()).collect();
+        assert_eq!(
+            names,
+            vec![
+                "introspection",
+                "_idct1Reorder",
+                "_idct2Reorder",
+                "introspection"
+            ]
+        );
+    }
+}

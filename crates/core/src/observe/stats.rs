@@ -1,0 +1,395 @@
+//! Per-component statistics, updated by the runtime at every
+//! communication point and snapshotted by the observation engine.
+//!
+//! The structure is lock-free (atomics only) so that recording a send or
+//! receive costs a handful of relaxed atomic adds — the observation
+//! machinery must not distort the middleware timings it measures.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::observe::report::{
+    AppStats, IfaceCounterSnapshot, MiddlewareStats, ObservationReport, OsStats, SizeBucket,
+    StructureInfo, TimingSnapshot,
+};
+
+/// Message-size bucket boundaries (bytes) for send-timing histograms.
+pub const SIZE_BUCKET_BOUNDS: [u64; 6] = [
+    1024,
+    4 * 1024,
+    16 * 1024,
+    64 * 1024,
+    256 * 1024,
+    u64::MAX,
+];
+
+#[derive(Default)]
+struct TimingAtomic {
+    count: AtomicU64,
+    total_ns: AtomicU64,
+    min_ns: AtomicU64,
+    max_ns: AtomicU64,
+}
+
+impl TimingAtomic {
+    fn new() -> Self {
+        TimingAtomic {
+            count: AtomicU64::new(0),
+            total_ns: AtomicU64::new(0),
+            min_ns: AtomicU64::new(u64::MAX),
+            max_ns: AtomicU64::new(0),
+        }
+    }
+
+    fn record(&self, dur_ns: u64) {
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.total_ns.fetch_add(dur_ns, Ordering::Relaxed);
+        self.min_ns.fetch_min(dur_ns, Ordering::Relaxed);
+        self.max_ns.fetch_max(dur_ns, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self) -> TimingSnapshot {
+        let count = self.count.load(Ordering::Relaxed);
+        TimingSnapshot {
+            count,
+            total_ns: self.total_ns.load(Ordering::Relaxed),
+            min_ns: if count == 0 {
+                0
+            } else {
+                self.min_ns.load(Ordering::Relaxed)
+            },
+            max_ns: self.max_ns.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[derive(Default)]
+struct IfaceAtomic {
+    sends: AtomicU64,
+    receives: AtomicU64,
+}
+
+#[derive(Default)]
+struct BucketAtomic {
+    count: AtomicU64,
+    total_ns: AtomicU64,
+}
+
+/// Lifecycle state of a component.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LifeState {
+    /// Created but not yet started.
+    Created,
+    /// Behavior running.
+    Running,
+    /// Behavior finished (runtime may still serve observation).
+    Finished,
+}
+
+/// All observable statistics of one component. Shared between the
+/// component runtime (writer) and observation consumers (readers).
+pub struct ComponentStats {
+    name: String,
+    provided: Vec<String>,
+    required: Vec<String>,
+    counters: HashMap<String, IfaceAtomic>,
+    send_timing: TimingAtomic,
+    recv_timing: TimingAtomic,
+    send_buckets: Vec<BucketAtomic>,
+    bytes_sent: AtomicU64,
+    bytes_received: AtomicU64,
+    /// `u64::MAX` = not yet started/finished.
+    started_ns: AtomicU64,
+    finished_ns: AtomicU64,
+    memory_bytes: AtomicU64,
+    cpu_time_ns: AtomicU64,
+    queued_bytes: AtomicU64,
+}
+
+impl ComponentStats {
+    /// Stats for a component with the given data interfaces.
+    pub fn new(name: impl Into<String>, provided: &[String], required: &[String]) -> Self {
+        let mut counters = HashMap::new();
+        for p in provided {
+            counters.insert(p.clone(), IfaceAtomic::default());
+        }
+        for r in required {
+            counters.entry(r.clone()).or_default();
+        }
+        ComponentStats {
+            name: name.into(),
+            provided: provided.to_vec(),
+            required: required.to_vec(),
+            counters,
+            send_timing: TimingAtomic::new(),
+            recv_timing: TimingAtomic::new(),
+            send_buckets: SIZE_BUCKET_BOUNDS
+                .iter()
+                .map(|_| BucketAtomic::default())
+                .collect(),
+            bytes_sent: AtomicU64::new(0),
+            bytes_received: AtomicU64::new(0),
+            started_ns: AtomicU64::new(u64::MAX),
+            finished_ns: AtomicU64::new(u64::MAX),
+            memory_bytes: AtomicU64::new(0),
+            cpu_time_ns: AtomicU64::new(0),
+            queued_bytes: AtomicU64::new(0),
+        }
+    }
+
+    /// Component name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Record behavior start at platform time `now_ns`.
+    pub fn mark_started(&self, now_ns: u64) {
+        self.started_ns.store(now_ns, Ordering::Release);
+    }
+
+    /// Record behavior completion at platform time `now_ns`.
+    pub fn mark_finished(&self, now_ns: u64) {
+        self.finished_ns.store(now_ns, Ordering::Release);
+    }
+
+    /// Current lifecycle state.
+    pub fn state(&self) -> LifeState {
+        if self.finished_ns.load(Ordering::Acquire) != u64::MAX {
+            LifeState::Finished
+        } else if self.started_ns.load(Ordering::Acquire) != u64::MAX {
+            LifeState::Running
+        } else {
+            LifeState::Created
+        }
+    }
+
+    /// Set the component's accounted memory (stack + provided-interface
+    /// structures; the backend computes the paper's formula).
+    pub fn set_memory_bytes(&self, bytes: u64) {
+        self.memory_bytes.store(bytes, Ordering::Release);
+    }
+
+    /// Set accumulated CPU time (RTOS backend only).
+    pub fn set_cpu_time_ns(&self, ns: u64) {
+        self.cpu_time_ns.store(ns, Ordering::Release);
+    }
+
+    /// Update the queued-payload gauge (runtime-maintained).
+    pub fn set_queued_bytes(&self, bytes: u64) {
+        self.queued_bytes.store(bytes, Ordering::Release);
+    }
+
+    /// Record a data send of `bytes` over `iface` taking `dur_ns`.
+    pub fn record_send(&self, iface: &str, bytes: u64, dur_ns: u64) {
+        if let Some(c) = self.counters.get(iface) {
+            c.sends.fetch_add(1, Ordering::Relaxed);
+        }
+        self.send_timing.record(dur_ns);
+        self.bytes_sent.fetch_add(bytes, Ordering::Relaxed);
+        let idx = SIZE_BUCKET_BOUNDS
+            .iter()
+            .position(|&b| bytes < b)
+            .unwrap_or(SIZE_BUCKET_BOUNDS.len() - 1);
+        self.send_buckets[idx].count.fetch_add(1, Ordering::Relaxed);
+        self.send_buckets[idx]
+            .total_ns
+            .fetch_add(dur_ns, Ordering::Relaxed);
+    }
+
+    /// Record a data receive of `bytes` from `iface` taking `dur_ns`
+    /// (primitive execution time, not queue wait).
+    pub fn record_receive(&self, iface: &str, bytes: u64, dur_ns: u64) {
+        if let Some(c) = self.counters.get(iface) {
+            c.receives.fetch_add(1, Ordering::Relaxed);
+        }
+        self.recv_timing.record(dur_ns);
+        self.bytes_received.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// OS-level snapshot; `now_ns` supplies "current time" for a
+    /// still-running component.
+    pub fn os_stats(&self, now_ns: u64) -> OsStats {
+        let started = self.started_ns.load(Ordering::Acquire);
+        let finished = self.finished_ns.load(Ordering::Acquire);
+        let exec_time_ns = if started == u64::MAX {
+            0
+        } else if finished == u64::MAX {
+            now_ns.saturating_sub(started)
+        } else {
+            finished.saturating_sub(started)
+        };
+        OsStats {
+            exec_time_ns,
+            memory_bytes: self.memory_bytes.load(Ordering::Acquire),
+            cpu_time_ns: self.cpu_time_ns.load(Ordering::Acquire),
+            queued_bytes: self.queued_bytes.load(Ordering::Acquire),
+        }
+    }
+
+    /// Middleware-level snapshot.
+    pub fn middleware_stats(&self) -> MiddlewareStats {
+        let mut send_by_size = Vec::with_capacity(SIZE_BUCKET_BOUNDS.len());
+        let mut lo = 0u64;
+        for (i, &hi) in SIZE_BUCKET_BOUNDS.iter().enumerate() {
+            send_by_size.push(SizeBucket {
+                lo,
+                hi,
+                count: self.send_buckets[i].count.load(Ordering::Relaxed),
+                total_ns: self.send_buckets[i].total_ns.load(Ordering::Relaxed),
+            });
+            lo = hi;
+        }
+        MiddlewareStats {
+            send: self.send_timing.snapshot(),
+            recv: self.recv_timing.snapshot(),
+            send_by_size,
+            bytes_sent: self.bytes_sent.load(Ordering::Relaxed),
+            bytes_received: self.bytes_received.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Application-level snapshot (Table 2's counters).
+    pub fn app_stats(&self) -> AppStats {
+        let mut interfaces = Vec::new();
+        let mut total_sends = 0;
+        let mut total_receives = 0;
+        for name in self.required.iter().chain(self.provided.iter()) {
+            if interfaces
+                .iter()
+                .any(|e: &IfaceCounterSnapshot| &e.interface == name)
+            {
+                continue;
+            }
+            let c = &self.counters[name];
+            let sends = c.sends.load(Ordering::Relaxed);
+            let receives = c.receives.load(Ordering::Relaxed);
+            total_sends += sends;
+            total_receives += receives;
+            interfaces.push(IfaceCounterSnapshot {
+                interface: name.clone(),
+                sends,
+                receives,
+            });
+        }
+        AppStats {
+            interfaces,
+            total_sends,
+            total_receives,
+        }
+    }
+
+    /// Structure listing (Figure 5).
+    pub fn structure(&self) -> StructureInfo {
+        StructureInfo::new(&self.name, &self.provided, &self.required)
+    }
+
+    /// Full multi-level report.
+    pub fn full_report(&self, now_ns: u64) -> ObservationReport {
+        ObservationReport {
+            component: self.name.clone(),
+            os: self.os_stats(now_ns),
+            middleware: self.middleware_stats(),
+            app: self.app_stats(),
+            structure: self.structure(),
+            custom: Vec::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats() -> ComponentStats {
+        ComponentStats::new(
+            "IDCT_1",
+            &["_fetchIdct1".to_string()],
+            &["idctReorder".to_string()],
+        )
+    }
+
+    #[test]
+    fn lifecycle_and_exec_time() {
+        let s = stats();
+        assert_eq!(s.state(), LifeState::Created);
+        assert_eq!(s.os_stats(100).exec_time_ns, 0);
+        s.mark_started(1_000);
+        assert_eq!(s.state(), LifeState::Running);
+        assert_eq!(s.os_stats(1_500).exec_time_ns, 500);
+        s.mark_finished(3_000);
+        assert_eq!(s.state(), LifeState::Finished);
+        assert_eq!(s.os_stats(99_999).exec_time_ns, 2_000);
+    }
+
+    #[test]
+    fn counters_track_per_interface_and_totals() {
+        let s = stats();
+        s.record_send("idctReorder", 64, 10);
+        s.record_send("idctReorder", 64, 12);
+        s.record_receive("_fetchIdct1", 128, 9);
+        let app = s.app_stats();
+        assert_eq!(app.total_sends, 2);
+        assert_eq!(app.total_receives, 1);
+        let by_name: std::collections::HashMap<_, _> = app
+            .interfaces
+            .iter()
+            .map(|e| (e.interface.as_str(), (e.sends, e.receives)))
+            .collect();
+        assert_eq!(by_name["idctReorder"], (2, 0));
+        assert_eq!(by_name["_fetchIdct1"], (0, 1));
+    }
+
+    #[test]
+    fn timing_min_max_mean() {
+        let s = stats();
+        s.record_send("idctReorder", 10, 5);
+        s.record_send("idctReorder", 10, 15);
+        let mw = s.middleware_stats();
+        assert_eq!(mw.send.count, 2);
+        assert_eq!(mw.send.min_ns, 5);
+        assert_eq!(mw.send.max_ns, 15);
+        assert_eq!(mw.send.mean_ns(), 10);
+        assert_eq!(mw.recv.count, 0);
+        assert_eq!(mw.recv.min_ns, 0);
+        assert_eq!(mw.bytes_sent, 20);
+    }
+
+    #[test]
+    fn size_buckets_partition_sends() {
+        let s = stats();
+        s.record_send("idctReorder", 100, 1); // < 1 KiB
+        s.record_send("idctReorder", 2048, 1); // 1-4 KiB
+        s.record_send("idctReorder", 1 << 20, 1); // >= 256 KiB
+        let mw = s.middleware_stats();
+        assert_eq!(mw.send_by_size[0].count, 1);
+        assert_eq!(mw.send_by_size[1].count, 1);
+        assert_eq!(mw.send_by_size[5].count, 1);
+        let total: u64 = mw.send_by_size.iter().map(|b| b.count).sum();
+        assert_eq!(total, 3, "every send falls in exactly one bucket");
+    }
+
+    #[test]
+    fn unknown_interface_send_still_counts_globally() {
+        // Defensive: runtimes validate interfaces before recording, but
+        // the stats object must not panic on unknown names.
+        let s = stats();
+        s.record_send("nonexistent", 5, 1);
+        assert_eq!(s.app_stats().total_sends, 0);
+        assert_eq!(s.middleware_stats().send.count, 1);
+    }
+
+    #[test]
+    fn full_report_is_coherent() {
+        let s = stats();
+        s.mark_started(0);
+        s.record_send("idctReorder", 64, 7);
+        s.mark_finished(1_000);
+        s.set_memory_bytes(8 << 20);
+        let r = s.full_report(2_000);
+        assert_eq!(r.component, "IDCT_1");
+        assert_eq!(r.os.exec_time_ns, 1_000);
+        assert_eq!(r.os.memory_bytes, 8 << 20);
+        assert_eq!(r.app.total_sends, 1);
+        assert_eq!(r.structure.interfaces.len(), 4);
+    }
+}

@@ -1,0 +1,269 @@
+//! The observer component: "the information obtained, accessible through
+//! the observation interface, is gathered and analyzed by a new
+//! component connected to the observation interfaces. We have named it
+//! the observer component." (paper §3.3)
+//!
+//! The observer is an ordinary [`Behavior`]: it communicates exclusively
+//! through EMBera interfaces, so the same observer runs unchanged on the
+//! SMP backend and on the simulated MPSoC.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::behavior::{Behavior, Ctx};
+use crate::error::EmberaError;
+use crate::message::Message;
+use crate::observe::protocol::{ObsReply, ObsRequest};
+use crate::observe::report::ObservationReport;
+
+
+/// Reserved name of the auto-wired observer component.
+pub const OBSERVER_NAME: &str = "Observer";
+
+/// One collected observation.
+#[derive(Debug, Clone)]
+pub struct ObservationRecord {
+    /// Platform time at which the reply was received, ns.
+    pub at_ns: u64,
+    /// Polling round that produced it.
+    pub round: u64,
+    /// The observed component's report.
+    pub report: ObservationReport,
+}
+
+/// Shared log of everything the observer collected.
+#[derive(Clone, Default)]
+pub struct ObservationLog {
+    records: Arc<Mutex<Vec<ObservationRecord>>>,
+}
+
+impl ObservationLog {
+    /// An empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append a record.
+    pub fn push(&self, record: ObservationRecord) {
+        self.records.lock().push(record);
+    }
+
+    /// Snapshot of all records.
+    pub fn records(&self) -> Vec<ObservationRecord> {
+        self.records.lock().clone()
+    }
+
+    /// Number of records collected.
+    pub fn len(&self) -> usize {
+        self.records.lock().len()
+    }
+
+    /// Whether the log is empty.
+    pub fn is_empty(&self) -> bool {
+        self.records.lock().is_empty()
+    }
+
+    /// Latest report per component, in first-seen order.
+    pub fn latest_by_component(&self) -> Vec<ObservationReport> {
+        let records = self.records.lock();
+        let mut order: Vec<String> = Vec::new();
+        let mut latest: std::collections::HashMap<String, ObservationReport> =
+            std::collections::HashMap::new();
+        for r in records.iter() {
+            if !latest.contains_key(&r.report.component) {
+                order.push(r.report.component.clone());
+            }
+            latest.insert(r.report.component.clone(), r.report.clone());
+        }
+        order.into_iter().filter_map(|n| latest.remove(&n)).collect()
+    }
+}
+
+/// Configuration of the observer's polling loop.
+#[derive(Clone)]
+pub struct ObserverConfig {
+    /// Pause between polling rounds, ns.
+    pub interval_ns: u64,
+    /// Stop after this many rounds (`None` = run until app shutdown).
+    pub max_rounds: Option<u64>,
+    /// Per-reply receive deadline within a round, ns.
+    pub reply_timeout_ns: u64,
+    /// What to ask each round — the paper's §6 "how to select the events
+    /// to be observed". Default: [`ObsRequest::Full`]. Narrower requests
+    /// (e.g. only [`ObsRequest::AppStats`]) reduce observation traffic.
+    pub request: ObsRequest,
+    pub(crate) log: ObservationLog,
+}
+
+impl Default for ObserverConfig {
+    fn default() -> Self {
+        ObserverConfig {
+            interval_ns: 1_000_000, // 1 ms between rounds
+            max_rounds: None,
+            reply_timeout_ns: 100_000_000, // 100 ms
+            request: ObsRequest::Full,
+            log: ObservationLog::new(),
+        }
+    }
+}
+
+impl ObserverConfig {
+    /// Poll a fixed number of rounds.
+    pub fn rounds(mut self, rounds: u64) -> Self {
+        self.max_rounds = Some(rounds);
+        self
+    }
+
+    /// Set the inter-round interval.
+    pub fn interval_ns(mut self, ns: u64) -> Self {
+        self.interval_ns = ns;
+        self
+    }
+
+    /// Select which observation level to poll.
+    pub fn request(mut self, request: ObsRequest) -> Self {
+        self.request = request;
+        self
+    }
+
+    pub(crate) fn with_log(mut self, log: ObservationLog) -> Self {
+        self.log = log;
+        self
+    }
+}
+
+/// The observer behavior: each round, sends an [`ObsRequest::Full`] to
+/// every target's observation interface and logs the replies.
+pub struct ObserverBehavior {
+    targets: Vec<String>,
+    config: ObserverConfig,
+}
+
+impl ObserverBehavior {
+    /// Observer over the given target components.
+    pub fn new(targets: Vec<String>, config: ObserverConfig) -> Self {
+        ObserverBehavior { targets, config }
+    }
+
+    /// The log this observer fills.
+    pub fn log(&self) -> ObservationLog {
+        self.config.log.clone()
+    }
+}
+
+impl Behavior for ObserverBehavior {
+    fn run(&mut self, ctx: &mut dyn Ctx) -> Result<(), EmberaError> {
+        let mut round: u64 = 0;
+        loop {
+            if ctx.should_stop() {
+                return Ok(());
+            }
+            if let Some(max) = self.config.max_rounds {
+                if round >= max {
+                    return Ok(());
+                }
+            }
+            // Fan the configured request out to every target.
+            for t in &self.targets {
+                let iface = format!("obs_{t}");
+                ctx.send_message(
+                    &iface,
+                    Message::ObsRequest {
+                        from: OBSERVER_NAME.to_string(),
+                        request: self.config.request,
+                    },
+                )?;
+            }
+            // Collect the replies.
+            let mut pending = self.targets.len();
+            while pending > 0 {
+                if ctx.should_stop() {
+                    return Ok(());
+                }
+                match ctx.recv_message_timeout("observations", self.config.reply_timeout_ns)? {
+                    Some(Message::ObsReply { from, reply }) => {
+                        // Lift partial replies into a (sparse) report so
+                        // every request kind lands in the same log.
+                        let report = match *reply {
+                            ObsReply::Full(report) => Some(report),
+                            ObsReply::Os(os) => Some(ObservationReport {
+                                component: from,
+                                os,
+                                ..Default::default()
+                            }),
+                            ObsReply::Middleware(middleware) => Some(ObservationReport {
+                                component: from,
+                                middleware,
+                                ..Default::default()
+                            }),
+                            ObsReply::App(app) => Some(ObservationReport {
+                                component: from,
+                                app,
+                                ..Default::default()
+                            }),
+                            ObsReply::Structure(structure) => Some(ObservationReport {
+                                component: from,
+                                structure,
+                                ..Default::default()
+                            }),
+                            ObsReply::Custom(custom) => Some(ObservationReport {
+                                component: from,
+                                custom,
+                                ..Default::default()
+                            }),
+                        };
+                        if let Some(report) = report {
+                            self.config.log.push(ObservationRecord {
+                                at_ns: ctx.now_ns(),
+                                round,
+                                report,
+                            });
+                        }
+                        pending -= 1;
+                    }
+                    Some(_) => { /* ignore stray traffic */ }
+                    None => break, // target quiesced; move on
+                }
+            }
+            round += 1;
+            // Pace the next round; the timeout doubles as a sleep.
+            let _ = ctx.recv_message_timeout("observations", self.config.interval_ns)?;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::observe::report::ObservationReport;
+
+    #[test]
+    fn log_latest_by_component_keeps_last() {
+        let log = ObservationLog::new();
+        for round in 0..3u64 {
+            for name in ["a", "b"] {
+                let mut report = ObservationReport::default();
+                report.component = name.to_string();
+                report.os.exec_time_ns = round;
+                log.push(ObservationRecord {
+                    at_ns: round,
+                    round,
+                    report,
+                });
+            }
+        }
+        assert_eq!(log.len(), 6);
+        let latest = log.latest_by_component();
+        assert_eq!(latest.len(), 2);
+        assert!(latest.iter().all(|r| r.os.exec_time_ns == 2));
+        assert_eq!(latest[0].component, "a");
+    }
+
+    #[test]
+    fn config_builders() {
+        let c = ObserverConfig::default().rounds(5).interval_ns(42);
+        assert_eq!(c.max_rounds, Some(5));
+        assert_eq!(c.interval_ns, 42);
+    }
+}

@@ -1,0 +1,82 @@
+//! Platform abstraction: how an [`AppSpec`](crate::AppSpec) gets
+//! deployed and what comes back when it finishes.
+
+use crate::app::AppSpec;
+use crate::error::EmberaError;
+use crate::observe::report::ObservationReport;
+
+/// Final report of a completed application run: one multi-level
+/// observation report per component plus run-level totals. This is the
+/// data behind the paper's Tables 1-3.
+#[derive(Debug, Clone, Default)]
+pub struct AppReport {
+    /// Application name.
+    pub app_name: String,
+    /// Platform time from deployment to completion, ns.
+    pub wall_time_ns: u64,
+    /// Per-component reports, in component order.
+    pub components: Vec<ObservationReport>,
+}
+
+impl AppReport {
+    /// The report of a named component.
+    pub fn component(&self, name: &str) -> Option<&ObservationReport> {
+        self.components.iter().find(|r| r.component == name)
+    }
+
+    /// Sum of all data sends across components.
+    pub fn total_sends(&self) -> u64 {
+        self.components.iter().map(|r| r.app.total_sends).sum()
+    }
+
+    /// Sum of all data receives across components.
+    pub fn total_receives(&self) -> u64 {
+        self.components.iter().map(|r| r.app.total_receives).sum()
+    }
+}
+
+/// A deployed, running application.
+pub trait RunningApp {
+    /// Block until every application component's behavior completes,
+    /// shut down the observation service loops, and return the final
+    /// observation reports.
+    fn wait(self) -> Result<AppReport, EmberaError>;
+}
+
+/// A deployment target. The paper implements two: a 16-core SMP Linux
+/// machine (§4) and the STi7200 MPSoC under OS21 (§5); this workspace
+/// mirrors them with `embera-smp` and `embera-os21`.
+pub trait Platform {
+    /// Handle type for a deployed application.
+    type Running: RunningApp;
+
+    /// Instantiate components, wire connections and launch execution
+    /// flows (the model's *deployment*, paper §4.1: "The deployment of
+    /// any EMBera application is carried out by explicitly invoking
+    /// control functions").
+    fn deploy(&mut self, spec: AppSpec) -> Result<Self::Running, EmberaError>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_lookup_and_totals() {
+        let mut a = ObservationReport::default();
+        a.component = "a".into();
+        a.app.total_sends = 3;
+        let mut b = ObservationReport::default();
+        b.component = "b".into();
+        b.app.total_receives = 3;
+        let report = AppReport {
+            app_name: "app".into(),
+            wall_time_ns: 10,
+            components: vec![a, b],
+        };
+        assert!(report.component("a").is_some());
+        assert!(report.component("zzz").is_none());
+        assert_eq!(report.total_sends(), 3);
+        assert_eq!(report.total_receives(), 3);
+    }
+}

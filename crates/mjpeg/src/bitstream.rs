@@ -1,0 +1,206 @@
+//! Bit-level I/O for JPEG entropy-coded segments, including the 0xFF
+//! byte-stuffing rule (ITU-T T.81 §B.1.1.5: a 0x00 byte is inserted
+//! after every 0xFF data byte so markers stay unambiguous).
+
+/// MSB-first bit writer with JPEG byte stuffing.
+#[derive(Debug, Default)]
+pub struct BitWriter {
+    out: Vec<u8>,
+    acc: u32,
+    nbits: u32,
+}
+
+impl BitWriter {
+    /// An empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append the low `n` bits of `value`, MSB first (n ≤ 24).
+    pub fn put(&mut self, value: u32, n: u32) {
+        debug_assert!(n <= 24);
+        debug_assert!(value < (1u32 << n) || n == 0, "value {value} overflows {n} bits");
+        if n == 0 {
+            return;
+        }
+        self.acc = (self.acc << n) | (value & ((1u32 << n) - 1));
+        self.nbits += n;
+        while self.nbits >= 8 {
+            let byte = ((self.acc >> (self.nbits - 8)) & 0xFF) as u8;
+            self.out.push(byte);
+            if byte == 0xFF {
+                self.out.push(0x00); // stuffing
+            }
+            self.nbits -= 8;
+        }
+    }
+
+    /// Pad the final partial byte with 1-bits (T.81 §F.1.2.3) and return
+    /// the encoded bytes.
+    pub fn finish(mut self) -> Vec<u8> {
+        if self.nbits > 0 {
+            let pad = 8 - self.nbits;
+            self.put((1 << pad) - 1, pad);
+        }
+        self.out
+    }
+
+    /// Bits written so far (excluding padding).
+    pub fn bit_len(&self) -> u64 {
+        self.out.len() as u64 * 8 + self.nbits as u64
+    }
+}
+
+/// MSB-first bit reader that undoes byte stuffing.
+#[derive(Debug)]
+pub struct BitReader<'a> {
+    data: &'a [u8],
+    pos: usize,
+    acc: u32,
+    nbits: u32,
+    /// Total bits consumed (for workload accounting).
+    consumed: u64,
+}
+
+/// Error from the bit reader.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OutOfBits;
+
+impl std::fmt::Display for OutOfBits {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "entropy-coded segment exhausted")
+    }
+}
+impl std::error::Error for OutOfBits {}
+
+impl<'a> BitReader<'a> {
+    /// Read over an entropy-coded segment.
+    pub fn new(data: &'a [u8]) -> Self {
+        BitReader {
+            data,
+            pos: 0,
+            acc: 0,
+            nbits: 0,
+            consumed: 0,
+        }
+    }
+
+    fn refill(&mut self) -> Result<(), OutOfBits> {
+        if self.pos >= self.data.len() {
+            return Err(OutOfBits);
+        }
+        let byte = self.data[self.pos];
+        self.pos += 1;
+        if byte == 0xFF {
+            // Skip the stuffed 0x00.
+            if self.pos < self.data.len() && self.data[self.pos] == 0x00 {
+                self.pos += 1;
+            }
+        }
+        self.acc = (self.acc << 8) | byte as u32;
+        self.nbits += 8;
+        Ok(())
+    }
+
+    /// Read one bit.
+    pub fn bit(&mut self) -> Result<u32, OutOfBits> {
+        if self.nbits == 0 {
+            self.refill()?;
+        }
+        self.nbits -= 1;
+        self.consumed += 1;
+        Ok((self.acc >> self.nbits) & 1)
+    }
+
+    /// Read `n` bits MSB-first (n ≤ 16).
+    pub fn bits(&mut self, n: u32) -> Result<u32, OutOfBits> {
+        debug_assert!(n <= 16);
+        let mut v = 0;
+        for _ in 0..n {
+            v = (v << 1) | self.bit()?;
+        }
+        Ok(v)
+    }
+
+    /// Total bits consumed so far.
+    pub fn bits_consumed(&self) -> u64 {
+        self.consumed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_simple_bits() {
+        let mut w = BitWriter::new();
+        w.put(0b101, 3);
+        w.put(0b0110, 4);
+        w.put(0xAB, 8);
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.bits(3).unwrap(), 0b101);
+        assert_eq!(r.bits(4).unwrap(), 0b0110);
+        assert_eq!(r.bits(8).unwrap(), 0xAB);
+    }
+
+    #[test]
+    fn ff_bytes_are_stuffed_and_unstuffed() {
+        let mut w = BitWriter::new();
+        w.put(0xFF, 8);
+        w.put(0xFF, 8);
+        let bytes = w.finish();
+        // Two 0xFF data bytes -> each followed by 0x00.
+        assert_eq!(bytes, vec![0xFF, 0x00, 0xFF, 0x00]);
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.bits(8).unwrap(), 0xFF);
+        assert_eq!(r.bits(8).unwrap(), 0xFF);
+    }
+
+    #[test]
+    fn final_byte_padded_with_ones() {
+        let mut w = BitWriter::new();
+        w.put(0b0, 1);
+        let bytes = w.finish();
+        assert_eq!(bytes, vec![0b0111_1111]);
+    }
+
+    #[test]
+    fn reader_reports_exhaustion() {
+        let mut r = BitReader::new(&[0xA5]);
+        assert!(r.bits(8).is_ok());
+        assert_eq!(r.bit(), Err(OutOfBits));
+    }
+
+    #[test]
+    fn consumed_bits_are_counted() {
+        let mut w = BitWriter::new();
+        w.put(0x3FF, 10);
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        let _ = r.bits(10).unwrap();
+        assert_eq!(r.bits_consumed(), 10);
+    }
+
+    #[test]
+    fn long_random_round_trip() {
+        // Deterministic pseudo-random pattern exercising many lengths.
+        let mut vals = Vec::new();
+        let mut x: u32 = 0x1234_5678;
+        for i in 0..500u32 {
+            x = x.wrapping_mul(1664525).wrapping_add(1013904223);
+            let n = (i % 16) + 1;
+            vals.push((x & ((1 << n) - 1), n));
+        }
+        let mut w = BitWriter::new();
+        for &(v, n) in &vals {
+            w.put(v, n);
+        }
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        for &(v, n) in &vals {
+            assert_eq!(r.bits(n).unwrap(), v);
+        }
+    }
+}

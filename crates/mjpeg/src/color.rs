@@ -1,0 +1,109 @@
+//! RGB ↔ YCbCr conversion (JFIF full-range BT.601) for color JPEG.
+
+/// Convert one RGB pixel to full-range YCbCr (JFIF definition).
+pub fn rgb_to_ycbcr(r: u8, g: u8, b: u8) -> (u8, u8, u8) {
+    let (r, g, b) = (r as f32, g as f32, b as f32);
+    let y = 0.299 * r + 0.587 * g + 0.114 * b;
+    let cb = -0.168736 * r - 0.331264 * g + 0.5 * b + 128.0;
+    let cr = 0.5 * r - 0.418688 * g - 0.081312 * b + 128.0;
+    (
+        y.round().clamp(0.0, 255.0) as u8,
+        cb.round().clamp(0.0, 255.0) as u8,
+        cr.round().clamp(0.0, 255.0) as u8,
+    )
+}
+
+/// Convert one full-range YCbCr pixel back to RGB.
+pub fn ycbcr_to_rgb(y: u8, cb: u8, cr: u8) -> (u8, u8, u8) {
+    let y = y as f32;
+    let cb = cb as f32 - 128.0;
+    let cr = cr as f32 - 128.0;
+    let r = y + 1.402 * cr;
+    let g = y - 0.344136 * cb - 0.714136 * cr;
+    let b = y + 1.772 * cb;
+    (
+        r.round().clamp(0.0, 255.0) as u8,
+        g.round().clamp(0.0, 255.0) as u8,
+        b.round().clamp(0.0, 255.0) as u8,
+    )
+}
+
+/// Split an interleaved RGB image into Y, Cb, Cr planes.
+pub fn planes_from_rgb(rgb: &[u8]) -> (Vec<u8>, Vec<u8>, Vec<u8>) {
+    assert!(rgb.len() % 3 == 0);
+    let n = rgb.len() / 3;
+    let mut y = Vec::with_capacity(n);
+    let mut cb = Vec::with_capacity(n);
+    let mut cr = Vec::with_capacity(n);
+    for px in rgb.chunks_exact(3) {
+        let (py, pcb, pcr) = rgb_to_ycbcr(px[0], px[1], px[2]);
+        y.push(py);
+        cb.push(pcb);
+        cr.push(pcr);
+    }
+    (y, cb, cr)
+}
+
+/// Merge Y, Cb, Cr planes back into interleaved RGB.
+pub fn rgb_from_planes(y: &[u8], cb: &[u8], cr: &[u8]) -> Vec<u8> {
+    assert_eq!(y.len(), cb.len());
+    assert_eq!(y.len(), cr.len());
+    let mut rgb = Vec::with_capacity(y.len() * 3);
+    for i in 0..y.len() {
+        let (r, g, b) = ycbcr_to_rgb(y[i], cb[i], cr[i]);
+        rgb.extend_from_slice(&[r, g, b]);
+    }
+    rgb
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primaries_map_to_expected_luma() {
+        assert_eq!(rgb_to_ycbcr(255, 255, 255).0, 255);
+        assert_eq!(rgb_to_ycbcr(0, 0, 0), (0, 128, 128));
+        // Pure green carries most luma of the primaries.
+        let (yr, _, _) = rgb_to_ycbcr(255, 0, 0);
+        let (yg, _, _) = rgb_to_ycbcr(0, 255, 0);
+        let (yb, _, _) = rgb_to_ycbcr(0, 0, 255);
+        assert!(yg > yr && yr > yb);
+    }
+
+    #[test]
+    fn gray_pixels_have_neutral_chroma() {
+        for v in [0u8, 51, 128, 200, 255] {
+            let (y, cb, cr) = rgb_to_ycbcr(v, v, v);
+            assert_eq!(y, v);
+            assert!((cb as i32 - 128).abs() <= 1);
+            assert!((cr as i32 - 128).abs() <= 1);
+        }
+    }
+
+    #[test]
+    fn round_trip_error_is_tiny() {
+        for r in (0..=255).step_by(17) {
+            for g in (0..=255).step_by(23) {
+                for b in (0..=255).step_by(29) {
+                    let (y, cb, cr) = rgb_to_ycbcr(r as u8, g as u8, b as u8);
+                    let (r2, g2, b2) = ycbcr_to_rgb(y, cb, cr);
+                    assert!((r as i32 - r2 as i32).abs() <= 2, "{r} {g} {b}");
+                    assert!((g as i32 - g2 as i32).abs() <= 2, "{r} {g} {b}");
+                    assert!((b as i32 - b2 as i32).abs() <= 2, "{r} {g} {b}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn plane_split_merge_round_trips() {
+        let rgb: Vec<u8> = (0..3 * 64).map(|i| (i * 7 % 256) as u8).collect();
+        let (y, cb, cr) = planes_from_rgb(&rgb);
+        let back = rgb_from_planes(&y, &cb, &cr);
+        assert_eq!(back.len(), rgb.len());
+        for (a, b) in rgb.iter().zip(back.iter()) {
+            assert!((*a as i32 - *b as i32).abs() <= 2);
+        }
+    }
+}

@@ -1,0 +1,187 @@
+//! 8×8 forward and inverse Discrete Cosine Transform (type-II / type-III),
+//! separable implementation over `f32`.
+//!
+//! This is the kernel the paper's IDCT components execute (§3.2). The
+//! implementation favours clarity and exactness over speed — the
+//! *simulated* execution cost is supplied by work annotations, and on
+//! the SMP backend the decode workload is tiny next to communication.
+
+use std::f32::consts::PI;
+
+/// Number of pixels in a block.
+pub const BLOCK_SIZE: usize = 64;
+/// Block edge length.
+pub const N: usize = 8;
+
+/// Precomputed cos((2x+1) u π / 16) table, `COS[x][u]`.
+fn cos_table() -> &'static [[f32; N]; N] {
+    use std::sync::OnceLock;
+    static TABLE: OnceLock<[[f32; N]; N]> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut t = [[0.0f32; N]; N];
+        for (x, row) in t.iter_mut().enumerate() {
+            for (u, v) in row.iter_mut().enumerate() {
+                *v = (((2 * x + 1) as f32) * (u as f32) * PI / 16.0).cos();
+            }
+        }
+        t
+    })
+}
+
+fn alpha(u: usize) -> f32 {
+    if u == 0 {
+        1.0 / (2.0f32).sqrt()
+    } else {
+        1.0
+    }
+}
+
+/// Forward 2-D DCT of a level-shifted block (row-major, values typically
+/// in [-128, 127]). Output coefficients in natural (row-major) order.
+pub fn fdct(block: &[f32; BLOCK_SIZE]) -> [f32; BLOCK_SIZE] {
+    let cos = cos_table();
+    let mut out = [0.0f32; BLOCK_SIZE];
+    // Rows then columns (separable).
+    let mut tmp = [0.0f32; BLOCK_SIZE];
+    for y in 0..N {
+        for u in 0..N {
+            let mut s = 0.0;
+            for x in 0..N {
+                s += block[y * N + x] * cos[x][u];
+            }
+            tmp[y * N + u] = s;
+        }
+    }
+    for u in 0..N {
+        for v in 0..N {
+            let mut s = 0.0;
+            for y in 0..N {
+                s += tmp[y * N + u] * cos[y][v];
+            }
+            out[v * N + u] = 0.25 * alpha(u) * alpha(v) * s;
+        }
+    }
+    out
+}
+
+/// Inverse 2-D DCT; returns the level-shifted spatial block.
+pub fn idct(coeffs: &[f32; BLOCK_SIZE]) -> [f32; BLOCK_SIZE] {
+    let cos = cos_table();
+    let mut tmp = [0.0f32; BLOCK_SIZE];
+    for v in 0..N {
+        for x in 0..N {
+            let mut s = 0.0;
+            for u in 0..N {
+                s += alpha(u) * coeffs[v * N + u] * cos[x][u];
+            }
+            tmp[v * N + x] = s;
+        }
+    }
+    let mut out = [0.0f32; BLOCK_SIZE];
+    for x in 0..N {
+        for y in 0..N {
+            let mut s = 0.0;
+            for v in 0..N {
+                s += alpha(v) * tmp[v * N + x] * cos[y][v];
+            }
+            out[y * N + x] = 0.25 * s;
+        }
+    }
+    out
+}
+
+/// IDCT over integer (dequantized) coefficients, producing clamped u8
+/// pixels (adds back the +128 level shift).
+pub fn idct_to_pixels(coeffs: &[i32; BLOCK_SIZE]) -> [u8; BLOCK_SIZE] {
+    let mut f = [0.0f32; BLOCK_SIZE];
+    for (dst, &src) in f.iter_mut().zip(coeffs.iter()) {
+        *dst = src as f32;
+    }
+    let spatial = idct(&f);
+    let mut out = [0u8; BLOCK_SIZE];
+    for (dst, &v) in out.iter_mut().zip(spatial.iter()) {
+        *dst = (v + 128.0).round().clamp(0.0, 255.0) as u8;
+    }
+    out
+}
+
+/// Level-shift u8 pixels to centered f32 for the forward transform.
+pub fn pixels_to_centered(pixels: &[u8; BLOCK_SIZE]) -> [f32; BLOCK_SIZE] {
+    let mut out = [0.0f32; BLOCK_SIZE];
+    for (dst, &p) in out.iter_mut().zip(pixels.iter()) {
+        *dst = p as f32 - 128.0;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dc_only_block_transforms_to_flat() {
+        // A coefficient block with only DC set inverse-transforms to a
+        // constant block of DC/8.
+        let mut c = [0.0f32; BLOCK_SIZE];
+        c[0] = 80.0;
+        let s = idct(&c);
+        for &v in &s {
+            assert!((v - 10.0).abs() < 1e-4, "expected 10, got {v}");
+        }
+    }
+
+    #[test]
+    fn fdct_of_flat_block_is_dc_only() {
+        let block = [32.0f32; BLOCK_SIZE];
+        let c = fdct(&block);
+        assert!((c[0] - 256.0).abs() < 1e-3, "DC = 8 * value: {}", c[0]);
+        for &v in &c[1..] {
+            assert!(v.abs() < 1e-3, "AC leakage: {v}");
+        }
+    }
+
+    #[test]
+    fn round_trip_is_near_identity() {
+        let mut block = [0.0f32; BLOCK_SIZE];
+        for (i, v) in block.iter_mut().enumerate() {
+            *v = ((i as f32 * 7.3).sin() * 100.0).round();
+        }
+        let rec = idct(&fdct(&block));
+        for (a, b) in block.iter().zip(rec.iter()) {
+            assert!((a - b).abs() < 0.01, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn pixel_round_trip_within_one_level() {
+        let mut px = [0u8; BLOCK_SIZE];
+        for (i, p) in px.iter_mut().enumerate() {
+            *p = ((i * 37 + 11) % 256) as u8;
+        }
+        let c = fdct(&pixels_to_centered(&px));
+        let mut ci = [0i32; BLOCK_SIZE];
+        for (d, &s) in ci.iter_mut().zip(c.iter()) {
+            *d = s.round() as i32;
+        }
+        let rec = idct_to_pixels(&ci);
+        for (a, b) in px.iter().zip(rec.iter()) {
+            assert!((*a as i32 - *b as i32).abs() <= 1, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn energy_is_preserved() {
+        // Parseval: sum of squares is invariant under orthonormal DCT.
+        let mut block = [0.0f32; BLOCK_SIZE];
+        for (i, v) in block.iter_mut().enumerate() {
+            *v = (i as f32) - 31.5;
+        }
+        let c = fdct(&block);
+        let e_spatial: f32 = block.iter().map(|v| v * v).sum();
+        let e_freq: f32 = c.iter().map(|v| v * v).sum();
+        assert!(
+            (e_spatial - e_freq).abs() / e_spatial < 1e-4,
+            "{e_spatial} vs {e_freq}"
+        );
+    }
+}

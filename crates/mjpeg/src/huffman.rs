@@ -1,0 +1,310 @@
+//! Baseline JPEG Huffman coding: the Annex K.3.3 luminance tables,
+//! canonical code construction (T.81 Annex C) and the sequential
+//! decoding procedure (T.81 F.2.2.3).
+
+use crate::bitstream::{BitReader, BitWriter, OutOfBits};
+
+/// A Huffman table specification: `bits[i]` = number of codes of length
+/// `i+1`, `values` = symbols in code order.
+#[derive(Debug, Clone)]
+pub struct HuffSpec {
+    /// Code-length histogram (16 entries, lengths 1..=16).
+    pub bits: [u8; 16],
+    /// Symbols ordered by increasing code length.
+    pub values: Vec<u8>,
+}
+
+impl HuffSpec {
+    /// Annex K.3.3.1: luminance DC coefficient differences.
+    pub fn luma_dc() -> Self {
+        HuffSpec {
+            bits: [0, 1, 5, 1, 1, 1, 1, 1, 1, 0, 0, 0, 0, 0, 0, 0],
+            values: (0..=11).collect(),
+        }
+    }
+
+    /// Annex K.3.3.2: luminance AC coefficients.
+    pub fn luma_ac() -> Self {
+        HuffSpec {
+            bits: [0, 2, 1, 3, 3, 2, 4, 3, 5, 5, 4, 4, 0, 0, 1, 0x7d],
+            values: vec![
+                0x01, 0x02, 0x03, 0x00, 0x04, 0x11, 0x05, 0x12, 0x21, 0x31, 0x41, 0x06, 0x13,
+                0x51, 0x61, 0x07, 0x22, 0x71, 0x14, 0x32, 0x81, 0x91, 0xa1, 0x08, 0x23, 0x42,
+                0xb1, 0xc1, 0x15, 0x52, 0xd1, 0xf0, 0x24, 0x33, 0x62, 0x72, 0x82, 0x09, 0x0a,
+                0x16, 0x17, 0x18, 0x19, 0x1a, 0x25, 0x26, 0x27, 0x28, 0x29, 0x2a, 0x34, 0x35,
+                0x36, 0x37, 0x38, 0x39, 0x3a, 0x43, 0x44, 0x45, 0x46, 0x47, 0x48, 0x49, 0x4a,
+                0x53, 0x54, 0x55, 0x56, 0x57, 0x58, 0x59, 0x5a, 0x63, 0x64, 0x65, 0x66, 0x67,
+                0x68, 0x69, 0x6a, 0x73, 0x74, 0x75, 0x76, 0x77, 0x78, 0x79, 0x7a, 0x83, 0x84,
+                0x85, 0x86, 0x87, 0x88, 0x89, 0x8a, 0x92, 0x93, 0x94, 0x95, 0x96, 0x97, 0x98,
+                0x99, 0x9a, 0xa2, 0xa3, 0xa4, 0xa5, 0xa6, 0xa7, 0xa8, 0xa9, 0xaa, 0xb2, 0xb3,
+                0xb4, 0xb5, 0xb6, 0xb7, 0xb8, 0xb9, 0xba, 0xc2, 0xc3, 0xc4, 0xc5, 0xc6, 0xc7,
+                0xc8, 0xc9, 0xca, 0xd2, 0xd3, 0xd4, 0xd5, 0xd6, 0xd7, 0xd8, 0xd9, 0xda, 0xe1,
+                0xe2, 0xe3, 0xe4, 0xe5, 0xe6, 0xe7, 0xe8, 0xe9, 0xea, 0xf1, 0xf2, 0xf3, 0xf4,
+                0xf5, 0xf6, 0xf7, 0xf8, 0xf9, 0xfa,
+            ],
+        }
+    }
+
+    /// Annex K.3.3.1: chrominance DC coefficient differences.
+    pub fn chroma_dc() -> Self {
+        HuffSpec {
+            bits: [0, 3, 1, 1, 1, 1, 1, 1, 1, 1, 1, 0, 0, 0, 0, 0],
+            values: (0..=11).collect(),
+        }
+    }
+
+    /// Annex K.3.3.2: chrominance AC coefficients.
+    pub fn chroma_ac() -> Self {
+        HuffSpec {
+            bits: [0, 2, 1, 2, 4, 4, 3, 4, 7, 5, 4, 4, 0, 1, 2, 0x77],
+            values: vec![
+                0x00, 0x01, 0x02, 0x03, 0x11, 0x04, 0x05, 0x21, 0x31, 0x06, 0x12, 0x41, 0x51,
+                0x07, 0x61, 0x71, 0x13, 0x22, 0x32, 0x81, 0x08, 0x14, 0x42, 0x91, 0xa1, 0xb1,
+                0xc1, 0x09, 0x23, 0x33, 0x52, 0xf0, 0x15, 0x62, 0x72, 0xd1, 0x0a, 0x16, 0x24,
+                0x34, 0xe1, 0x25, 0xf1, 0x17, 0x18, 0x19, 0x1a, 0x26, 0x27, 0x28, 0x29, 0x2a,
+                0x35, 0x36, 0x37, 0x38, 0x39, 0x3a, 0x43, 0x44, 0x45, 0x46, 0x47, 0x48, 0x49,
+                0x4a, 0x53, 0x54, 0x55, 0x56, 0x57, 0x58, 0x59, 0x5a, 0x63, 0x64, 0x65, 0x66,
+                0x67, 0x68, 0x69, 0x6a, 0x73, 0x74, 0x75, 0x76, 0x77, 0x78, 0x79, 0x7a, 0x82,
+                0x83, 0x84, 0x85, 0x86, 0x87, 0x88, 0x89, 0x8a, 0x92, 0x93, 0x94, 0x95, 0x96,
+                0x97, 0x98, 0x99, 0x9a, 0xa2, 0xa3, 0xa4, 0xa5, 0xa6, 0xa7, 0xa8, 0xa9, 0xaa,
+                0xb2, 0xb3, 0xb4, 0xb5, 0xb6, 0xb7, 0xb8, 0xb9, 0xba, 0xc2, 0xc3, 0xc4, 0xc5,
+                0xc6, 0xc7, 0xc8, 0xc9, 0xca, 0xd2, 0xd3, 0xd4, 0xd5, 0xd6, 0xd7, 0xd8, 0xd9,
+                0xda, 0xe2, 0xe3, 0xe4, 0xe5, 0xe6, 0xe7, 0xe8, 0xe9, 0xea, 0xf2, 0xf3, 0xf4,
+                0xf5, 0xf6, 0xf7, 0xf8, 0xf9, 0xfa,
+            ],
+        }
+    }
+
+    /// Total number of codes.
+    pub fn num_codes(&self) -> usize {
+        self.bits.iter().map(|&b| b as usize).sum()
+    }
+}
+
+/// Encoder-side table: symbol → (code, length).
+#[derive(Debug, Clone)]
+pub struct HuffEncoder {
+    codes: Vec<(u16, u8)>, // indexed by symbol
+}
+
+/// Decoder-side table (T.81 F.2.2.3 MINCODE/MAXCODE/VALPTR).
+#[derive(Debug, Clone)]
+pub struct HuffDecoder {
+    mincode: [i32; 17],
+    maxcode: [i32; 17],
+    valptr: [usize; 17],
+    values: Vec<u8>,
+}
+
+/// Build canonical codes (Annex C): lengths in table order, codes count
+/// up within a length, shift left at each new length.
+fn canonical_codes(spec: &HuffSpec) -> Vec<(u8 /*len*/, u16 /*code*/, u8 /*symbol*/)> {
+    let mut out = Vec::with_capacity(spec.num_codes());
+    let mut code: u16 = 0;
+    let mut k = 0usize;
+    for (len_idx, &count) in spec.bits.iter().enumerate() {
+        let len = len_idx as u8 + 1;
+        for _ in 0..count {
+            out.push((len, code, spec.values[k]));
+            code += 1;
+            k += 1;
+        }
+        code <<= 1;
+    }
+    out
+}
+
+impl HuffEncoder {
+    /// Build an encoder from a table spec.
+    pub fn new(spec: &HuffSpec) -> Self {
+        let mut codes = vec![(0u16, 0u8); 256];
+        for (len, code, sym) in canonical_codes(spec) {
+            codes[sym as usize] = (code, len);
+        }
+        HuffEncoder { codes }
+    }
+
+    /// Emit the code for `symbol`.
+    ///
+    /// # Panics
+    /// Panics (debug) if the symbol has no code in the table.
+    pub fn encode(&self, w: &mut BitWriter, symbol: u8) {
+        let (code, len) = self.codes[symbol as usize];
+        debug_assert!(len > 0, "symbol {symbol:#x} not in table");
+        w.put(code as u32, len as u32);
+    }
+}
+
+impl HuffDecoder {
+    /// Build a decoder from a table spec.
+    pub fn new(spec: &HuffSpec) -> Self {
+        let mut mincode = [0i32; 17];
+        let mut maxcode = [-1i32; 17];
+        let mut valptr = [0usize; 17];
+        let mut code: i32 = 0;
+        let mut k = 0usize;
+        for len in 1..=16usize {
+            let count = spec.bits[len - 1] as usize;
+            if count > 0 {
+                valptr[len] = k;
+                mincode[len] = code;
+                code += count as i32;
+                maxcode[len] = code - 1;
+                k += count;
+            } else {
+                maxcode[len] = -1;
+            }
+            code <<= 1;
+        }
+        HuffDecoder {
+            mincode,
+            maxcode,
+            valptr,
+            values: spec.values.clone(),
+        }
+    }
+
+    /// Decode one symbol, bit by bit (the sequential F.2.2.3 procedure —
+    /// deliberately the naive algorithm the paper's unoptimized decoder
+    /// would use).
+    pub fn decode(&self, r: &mut BitReader<'_>) -> Result<u8, OutOfBits> {
+        let mut code: i32 = r.bit()? as i32;
+        for len in 1..=16usize {
+            if self.maxcode[len] >= code && code >= self.mincode[len] {
+                let idx = self.valptr[len] + (code - self.mincode[len]) as usize;
+                return Ok(self.values[idx]);
+            }
+            code = (code << 1) | r.bit()? as i32;
+        }
+        Err(OutOfBits)
+    }
+}
+
+/// JPEG magnitude category of a value (number of bits to encode it).
+pub fn category(v: i32) -> u8 {
+    let mut m = v.unsigned_abs();
+    let mut n = 0u8;
+    while m != 0 {
+        m >>= 1;
+        n += 1;
+    }
+    n
+}
+
+/// Append the magnitude bits of `v` (ones' complement for negatives,
+/// T.81 F.1.2.1).
+pub fn put_magnitude(w: &mut BitWriter, v: i32, cat: u8) {
+    if cat == 0 {
+        return;
+    }
+    let bits = if v < 0 {
+        (v - 1) & ((1 << cat) - 1)
+    } else {
+        v & ((1 << cat) - 1)
+    };
+    w.put(bits as u32, cat as u32);
+}
+
+/// Read back a magnitude of `cat` bits (T.81 F.2.1.2 EXTEND).
+pub fn read_magnitude(r: &mut BitReader<'_>, cat: u8) -> Result<i32, OutOfBits> {
+    if cat == 0 {
+        return Ok(0);
+    }
+    let raw = r.bits(cat as u32)? as i32;
+    let half = 1 << (cat - 1);
+    Ok(if raw < half {
+        raw - (1 << cat) + 1
+    } else {
+        raw
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn annex_k_tables_are_well_formed() {
+        for spec in [
+            HuffSpec::luma_dc(),
+            HuffSpec::luma_ac(),
+            HuffSpec::chroma_dc(),
+            HuffSpec::chroma_ac(),
+        ] {
+            assert_eq!(
+                spec.num_codes(),
+                spec.values.len(),
+                "BITS histogram must match value count"
+            );
+            // Kraft inequality (strict for JPEG: must be a prefix code).
+            let kraft: f64 = spec
+                .bits
+                .iter()
+                .enumerate()
+                .map(|(i, &c)| c as f64 / (1u64 << (i + 1)) as f64)
+                .sum();
+            assert!(kraft <= 1.0, "Kraft sum {kraft} > 1");
+        }
+        assert_eq!(HuffSpec::luma_ac().num_codes(), 162);
+        assert_eq!(HuffSpec::luma_dc().num_codes(), 12);
+        assert_eq!(HuffSpec::chroma_ac().num_codes(), 162);
+        assert_eq!(HuffSpec::chroma_dc().num_codes(), 12);
+    }
+
+    #[test]
+    fn every_symbol_round_trips() {
+        for spec in [
+            HuffSpec::luma_dc(),
+            HuffSpec::luma_ac(),
+            HuffSpec::chroma_dc(),
+            HuffSpec::chroma_ac(),
+        ] {
+            let enc = HuffEncoder::new(&spec);
+            let dec = HuffDecoder::new(&spec);
+            let mut w = BitWriter::new();
+            for &sym in &spec.values {
+                enc.encode(&mut w, sym);
+            }
+            let bytes = w.finish();
+            let mut r = BitReader::new(&bytes);
+            for &sym in &spec.values {
+                assert_eq!(dec.decode(&mut r).unwrap(), sym);
+            }
+        }
+    }
+
+    #[test]
+    fn categories_match_definition() {
+        assert_eq!(category(0), 0);
+        assert_eq!(category(1), 1);
+        assert_eq!(category(-1), 1);
+        assert_eq!(category(2), 2);
+        assert_eq!(category(-3), 2);
+        assert_eq!(category(255), 8);
+        assert_eq!(category(-1024), 11);
+    }
+
+    #[test]
+    fn magnitudes_round_trip_over_full_range() {
+        for v in -2047i32..=2047 {
+            let cat = category(v);
+            let mut w = BitWriter::new();
+            w.put(0, 0); // no-op
+            put_magnitude(&mut w, v, cat);
+            // Pad deterministically so the reader has whole bytes.
+            w.put(0x7F, 7);
+            let bytes = w.finish();
+            let mut r = BitReader::new(&bytes);
+            assert_eq!(read_magnitude(&mut r, cat).unwrap(), v, "value {v}");
+        }
+    }
+
+    #[test]
+    fn decode_rejects_garbage_prefix() {
+        // 16 one-bits is longer than any DC code.
+        let dec = HuffDecoder::new(&HuffSpec::luma_dc());
+        let bytes = vec![0xFF, 0x00, 0xFF, 0x00, 0xFF, 0x00];
+        let mut r = BitReader::new(&bytes);
+        assert!(dec.decode(&mut r).is_err());
+    }
+}

@@ -1,0 +1,727 @@
+//! Standard JFIF/JPEG file emission and parsing (ITU-T T.81 baseline
+//! sequential DCT, JFIF 1.01 container).
+//!
+//! The workload container (`frame.rs`) stores bare entropy-coded
+//! segments for speed; this module produces and consumes *real* `.jpg`
+//! files — SOI/APP0/DQT/SOF0/DHT/SOS/EOI markers with Annex-K tables —
+//! so the codec substrate is verifiable against any external JPEG
+//! implementation. Grayscale (1 component) and color (3 components,
+//! 4:4:4, interleaved MCUs) are supported; odd dimensions are handled
+//! by edge-replication padding at encode and cropping at decode.
+
+use crate::bitstream::{BitReader, BitWriter};
+use crate::codec::{decode_block_with, encode_block_with, place_block};
+use crate::color::{planes_from_rgb, rgb_from_planes};
+use crate::dct::{idct_to_pixels, BLOCK_SIZE, N};
+use crate::huffman::{HuffDecoder, HuffEncoder, HuffSpec};
+use crate::quant::{
+    dequantize_reorder, scaled_qtable, scaled_qtable_chroma, ZIGZAG,
+};
+
+const SOI: u16 = 0xFFD8;
+const APP0: u16 = 0xFFE0;
+const DQT: u16 = 0xFFDB;
+const SOF0: u16 = 0xFFC0;
+const DHT: u16 = 0xFFC4;
+const SOS: u16 = 0xFFDA;
+const EOI: u16 = 0xFFD9;
+const DRI: u16 = 0xFFDD;
+const RST0: u8 = 0xD0;
+
+/// Decoded pixel data of a parsed JFIF file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JfifPixels {
+    /// Single-component luminance image.
+    Gray(Vec<u8>),
+    /// Interleaved RGB (3 bytes per pixel).
+    Rgb(Vec<u8>),
+}
+
+/// A decoded JFIF image.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JfifImage {
+    /// Width in pixels.
+    pub width: usize,
+    /// Height in pixels.
+    pub height: usize,
+    /// Pixel data.
+    pub pixels: JfifPixels,
+}
+
+fn put_marker(out: &mut Vec<u8>, marker: u16) {
+    out.extend_from_slice(&marker.to_be_bytes());
+}
+
+fn put_segment(out: &mut Vec<u8>, marker: u16, payload: &[u8]) {
+    put_marker(out, marker);
+    out.extend_from_slice(&((payload.len() + 2) as u16).to_be_bytes());
+    out.extend_from_slice(payload);
+}
+
+fn app0_jfif() -> Vec<u8> {
+    let mut p = Vec::new();
+    p.extend_from_slice(b"JFIF\0");
+    p.extend_from_slice(&[1, 1]); // version 1.01
+    p.push(0); // aspect-ratio units
+    p.extend_from_slice(&1u16.to_be_bytes()); // x density
+    p.extend_from_slice(&1u16.to_be_bytes()); // y density
+    p.extend_from_slice(&[0, 0]); // no thumbnail
+    p
+}
+
+fn dqt_segment(id: u8, table_natural: &[u16; BLOCK_SIZE]) -> Vec<u8> {
+    let mut p = Vec::with_capacity(65);
+    p.push(id); // Pq=0 (8-bit), Tq=id
+    for k in 0..BLOCK_SIZE {
+        p.push(table_natural[ZIGZAG[k]] as u8); // DQT stores zigzag order
+    }
+    p
+}
+
+fn dht_segment(class: u8, id: u8, spec: &HuffSpec) -> Vec<u8> {
+    let mut p = Vec::with_capacity(17 + spec.values.len());
+    p.push((class << 4) | id);
+    p.extend_from_slice(&spec.bits);
+    p.extend_from_slice(&spec.values);
+    p
+}
+
+/// Pad a plane to 8-aligned dimensions by edge replication.
+fn pad_plane(src: &[u8], w: usize, h: usize) -> (Vec<u8>, usize, usize) {
+    let pw = w.div_ceil(N) * N;
+    let ph = h.div_ceil(N) * N;
+    if pw == w && ph == h {
+        return (src.to_vec(), w, h);
+    }
+    let mut out = vec![0u8; pw * ph];
+    for y in 0..ph {
+        let sy = y.min(h - 1);
+        for x in 0..pw {
+            let sx = x.min(w - 1);
+            out[y * pw + x] = src[sy * w + sx];
+        }
+    }
+    (out, pw, ph)
+}
+
+fn block_at(plane: &[u8], stride: usize, bx: usize, by: usize) -> [u8; BLOCK_SIZE] {
+    let mut block = [0u8; BLOCK_SIZE];
+    for row in 0..N {
+        let src = (by + row) * stride + bx;
+        block[row * N..row * N + N].copy_from_slice(&plane[src..src + N]);
+    }
+    block
+}
+
+fn sof0_segment(width: usize, height: usize, ncomp: u8) -> Vec<u8> {
+    let mut p = Vec::new();
+    p.push(8); // precision
+    p.extend_from_slice(&(height as u16).to_be_bytes());
+    p.extend_from_slice(&(width as u16).to_be_bytes());
+    p.push(ncomp);
+    for c in 0..ncomp {
+        p.push(c + 1); // component id
+        p.push(0x11); // 4:4:4 sampling
+        p.push(u8::from(c > 0)); // qtable: 0 luma, 1 chroma
+    }
+    p
+}
+
+fn sos_segment(ncomp: u8) -> Vec<u8> {
+    let mut p = Vec::new();
+    p.push(ncomp);
+    for c in 0..ncomp {
+        p.push(c + 1);
+        let t = u8::from(c > 0); // table id: 0 luma, 1 chroma
+        p.push((t << 4) | t);
+    }
+    p.extend_from_slice(&[0, 63, 0]); // full spectral selection, no approx
+    p
+}
+
+/// Encode a grayscale image as a complete JFIF/JPEG file.
+///
+/// ```
+/// use mjpeg::jfif::{decode_jfif, encode_jfif_gray, JfifPixels};
+///
+/// let image = vec![128u8; 16 * 16];
+/// let file = encode_jfif_gray(&image, 16, 16, 90);
+/// assert_eq!(&file[..2], &[0xFF, 0xD8]); // SOI: a real .jpg
+/// let decoded = decode_jfif(&file).unwrap();
+/// assert_eq!((decoded.width, decoded.height), (16, 16));
+/// assert!(matches!(decoded.pixels, JfifPixels::Gray(_)));
+/// ```
+pub fn encode_jfif_gray(pixels: &[u8], width: usize, height: usize, quality: u8) -> Vec<u8> {
+    encode_jfif_gray_dri(pixels, width, height, quality, 0)
+}
+
+/// Encode a grayscale JFIF file with a restart interval of
+/// `restart_interval` MCUs (0 = no restart markers). Restart markers
+/// (T.81 §B.2.4.4) reset the DC predictor and byte-align the stream so
+/// a decoder can resynchronize after corruption.
+pub fn encode_jfif_gray_dri(
+    pixels: &[u8],
+    width: usize,
+    height: usize,
+    quality: u8,
+    restart_interval: u16,
+) -> Vec<u8> {
+    assert_eq!(pixels.len(), width * height);
+    let qtable = scaled_qtable(quality);
+    let (plane, pw, ph) = pad_plane(pixels, width, height);
+
+    let mut out = Vec::new();
+    put_marker(&mut out, SOI);
+    put_segment(&mut out, APP0, &app0_jfif());
+    put_segment(&mut out, DQT, &dqt_segment(0, &qtable));
+    put_segment(&mut out, SOF0, &sof0_segment(width, height, 1));
+    put_segment(&mut out, DHT, &dht_segment(0, 0, &HuffSpec::luma_dc()));
+    put_segment(&mut out, DHT, &dht_segment(1, 0, &HuffSpec::luma_ac()));
+    if restart_interval > 0 {
+        put_segment(&mut out, DRI, &restart_interval.to_be_bytes());
+    }
+    put_segment(&mut out, SOS, &sos_segment(1));
+
+    let dc_enc = HuffEncoder::new(&HuffSpec::luma_dc());
+    let ac_enc = HuffEncoder::new(&HuffSpec::luma_ac());
+    let mut writer = BitWriter::new();
+    let mut dc_pred = 0;
+    let mut mcu = 0u32;
+    let mut rst = 0u8;
+    for by in (0..ph).step_by(N) {
+        for bx in (0..pw).step_by(N) {
+            if restart_interval > 0 && mcu > 0 && mcu % restart_interval as u32 == 0 {
+                // Flush to a byte boundary, emit RSTn, reset prediction.
+                out.extend_from_slice(&std::mem::take(&mut writer).finish());
+                out.extend_from_slice(&[0xFF, RST0 + rst]);
+                rst = (rst + 1) % 8;
+                dc_pred = 0;
+            }
+            let block = block_at(&plane, pw, bx, by);
+            dc_pred = encode_block_with(&mut writer, &dc_enc, &ac_enc, &qtable, dc_pred, &block);
+            mcu += 1;
+        }
+    }
+    out.extend_from_slice(&writer.finish());
+    put_marker(&mut out, EOI);
+    out
+}
+
+/// Encode an interleaved-RGB image as a complete color JFIF/JPEG file
+/// (YCbCr, 4:4:4).
+pub fn encode_jfif_rgb(rgb: &[u8], width: usize, height: usize, quality: u8) -> Vec<u8> {
+    assert_eq!(rgb.len(), width * height * 3);
+    let luma_q = scaled_qtable(quality);
+    let chroma_q = scaled_qtable_chroma(quality);
+    let (y, cb, cr) = planes_from_rgb(rgb);
+    let (yp, pw, ph) = pad_plane(&y, width, height);
+    let (cbp, _, _) = pad_plane(&cb, width, height);
+    let (crp, _, _) = pad_plane(&cr, width, height);
+
+    let mut out = Vec::new();
+    put_marker(&mut out, SOI);
+    put_segment(&mut out, APP0, &app0_jfif());
+    put_segment(&mut out, DQT, &dqt_segment(0, &luma_q));
+    put_segment(&mut out, DQT, &dqt_segment(1, &chroma_q));
+    put_segment(&mut out, SOF0, &sof0_segment(width, height, 3));
+    put_segment(&mut out, DHT, &dht_segment(0, 0, &HuffSpec::luma_dc()));
+    put_segment(&mut out, DHT, &dht_segment(1, 0, &HuffSpec::luma_ac()));
+    put_segment(&mut out, DHT, &dht_segment(0, 1, &HuffSpec::chroma_dc()));
+    put_segment(&mut out, DHT, &dht_segment(1, 1, &HuffSpec::chroma_ac()));
+    put_segment(&mut out, SOS, &sos_segment(3));
+
+    let luma_dc = HuffEncoder::new(&HuffSpec::luma_dc());
+    let luma_ac = HuffEncoder::new(&HuffSpec::luma_ac());
+    let chroma_dc = HuffEncoder::new(&HuffSpec::chroma_dc());
+    let chroma_ac = HuffEncoder::new(&HuffSpec::chroma_ac());
+    let mut writer = BitWriter::new();
+    let mut preds = [0i32; 3];
+    // 4:4:4 interleave: each MCU carries one block per component.
+    for by in (0..ph).step_by(N) {
+        for bx in (0..pw).step_by(N) {
+            preds[0] = encode_block_with(
+                &mut writer,
+                &luma_dc,
+                &luma_ac,
+                &luma_q,
+                preds[0],
+                &block_at(&yp, pw, bx, by),
+            );
+            preds[1] = encode_block_with(
+                &mut writer,
+                &chroma_dc,
+                &chroma_ac,
+                &chroma_q,
+                preds[1],
+                &block_at(&cbp, pw, bx, by),
+            );
+            preds[2] = encode_block_with(
+                &mut writer,
+                &chroma_dc,
+                &chroma_ac,
+                &chroma_q,
+                preds[2],
+                &block_at(&crp, pw, bx, by),
+            );
+        }
+    }
+    out.extend_from_slice(&writer.finish());
+    put_marker(&mut out, EOI);
+    out
+}
+
+#[derive(Debug, Clone, Copy)]
+struct ComponentInfo {
+    qtable: usize,
+    dc_table: usize,
+    ac_table: usize,
+}
+
+/// Parse and decode a baseline JFIF/JPEG file produced by this module
+/// (or any encoder using baseline sequential, 4:4:4 or single-component,
+/// no restart markers).
+pub fn decode_jfif(bytes: &[u8]) -> Result<JfifImage, String> {
+    let mut pos = 0usize;
+    let read_u16 = |bytes: &[u8], pos: usize| -> Result<u16, String> {
+        bytes
+            .get(pos..pos + 2)
+            .map(|s| u16::from_be_bytes([s[0], s[1]]))
+            .ok_or_else(|| "truncated file".to_string())
+    };
+    if read_u16(bytes, 0)? != SOI {
+        return Err("missing SOI marker".into());
+    }
+    pos += 2;
+
+    let mut qtables: [Option<[u16; BLOCK_SIZE]>; 4] = [None; 4];
+    let mut dc_tables: [Option<HuffDecoder>; 4] = [None, None, None, None];
+    let mut ac_tables: [Option<HuffDecoder>; 4] = [None, None, None, None];
+    let mut width = 0usize;
+    let mut height = 0usize;
+    let mut components: Vec<(u8 /*id*/, usize /*qtable*/)> = Vec::new();
+    let mut restart_interval: u16 = 0;
+    let mut scan: Option<(Vec<ComponentInfo>, usize /*scan data start*/)> = None;
+
+    while scan.is_none() {
+        let marker = read_u16(bytes, pos)?;
+        pos += 2;
+        if marker == EOI {
+            return Err("EOI before SOS".into());
+        }
+        let len = read_u16(bytes, pos)? as usize;
+        if len < 2 || pos + len > bytes.len() {
+            return Err(format!("bad segment length {len} at {pos}"));
+        }
+        let payload = &bytes[pos + 2..pos + len];
+        pos += len;
+        match marker {
+            APP0 => { /* metadata; ignored */ }
+            DRI => {
+                if payload.len() != 2 {
+                    return Err("bad DRI length".into());
+                }
+                restart_interval = u16::from_be_bytes([payload[0], payload[1]]);
+            }
+            DQT => {
+                let mut p = 0;
+                while p < payload.len() {
+                    let pq_tq = payload[p];
+                    if pq_tq >> 4 != 0 {
+                        return Err("16-bit quantization tables unsupported".into());
+                    }
+                    let id = (pq_tq & 0x0F) as usize;
+                    if p + 65 > payload.len() {
+                        return Err("truncated DQT".into());
+                    }
+                    let mut t = [0u16; BLOCK_SIZE];
+                    for k in 0..BLOCK_SIZE {
+                        t[ZIGZAG[k]] = payload[p + 1 + k] as u16;
+                    }
+                    qtables[id] = Some(t);
+                    p += 65;
+                }
+            }
+            DHT => {
+                let mut p = 0;
+                while p < payload.len() {
+                    if p + 17 > payload.len() {
+                        return Err("truncated DHT".into());
+                    }
+                    let class = payload[p] >> 4;
+                    let id = (payload[p] & 0x0F) as usize;
+                    let mut bits = [0u8; 16];
+                    bits.copy_from_slice(&payload[p + 1..p + 17]);
+                    let nvals: usize = bits.iter().map(|&b| b as usize).sum();
+                    if p + 17 + nvals > payload.len() {
+                        return Err("truncated DHT values".into());
+                    }
+                    let spec = HuffSpec {
+                        bits,
+                        values: payload[p + 17..p + 17 + nvals].to_vec(),
+                    };
+                    let dec = HuffDecoder::new(&spec);
+                    if class == 0 {
+                        dc_tables[id] = Some(dec);
+                    } else {
+                        ac_tables[id] = Some(dec);
+                    }
+                    p += 17 + nvals;
+                }
+            }
+            SOF0 => {
+                if payload.len() < 6 {
+                    return Err("truncated SOF0".into());
+                }
+                if payload[0] != 8 {
+                    return Err("only 8-bit precision supported".into());
+                }
+                height = u16::from_be_bytes([payload[1], payload[2]]) as usize;
+                width = u16::from_be_bytes([payload[3], payload[4]]) as usize;
+                let ncomp = payload[5] as usize;
+                if ncomp != 1 && ncomp != 3 {
+                    return Err(format!("{ncomp} components unsupported"));
+                }
+                for c in 0..ncomp {
+                    let o = 6 + c * 3;
+                    if payload[o + 1] != 0x11 {
+                        return Err("only 4:4:4 sampling supported".into());
+                    }
+                    components.push((payload[o], payload[o + 2] as usize));
+                }
+            }
+            SOS => {
+                if components.is_empty() {
+                    return Err("SOS before SOF0".into());
+                }
+                let ncomp = payload[0] as usize;
+                if ncomp != components.len() {
+                    return Err("SOS/SOF0 component mismatch".into());
+                }
+                let mut infos = Vec::new();
+                for c in 0..ncomp {
+                    let id = payload[1 + c * 2];
+                    let tables = payload[2 + c * 2];
+                    let (comp_id, qtable) = components
+                        .iter()
+                        .find(|(cid, _)| *cid == id)
+                        .ok_or_else(|| format!("SOS references unknown component {id}"))?;
+                    let _ = comp_id;
+                    infos.push(ComponentInfo {
+                        qtable: *qtable,
+                        dc_table: (tables >> 4) as usize,
+                        ac_table: (tables & 0x0F) as usize,
+                    });
+                }
+                scan = Some((infos, pos));
+            }
+            0xFFC1..=0xFFCF => return Err("only baseline SOF0 supported".into()),
+            _ => { /* skip unknown segment */ }
+        }
+    }
+
+    let (infos, scan_start) = scan.expect("loop exits with scan set");
+    // Entropy data runs until EOI; stuffed 0xFF00 pairs and RSTn markers
+    // stay inside.
+    let mut end = scan_start;
+    while end + 1 < bytes.len() {
+        if bytes[end] == 0xFF
+            && bytes[end + 1] != 0x00
+            && !(RST0..=RST0 + 7).contains(&bytes[end + 1])
+        {
+            break;
+        }
+        end += 1;
+    }
+    if read_u16(bytes, end)? != EOI {
+        return Err("missing EOI marker".into());
+    }
+    // Split the scan into restart segments (whole scan when no DRI).
+    let mut segments: Vec<&[u8]> = Vec::new();
+    {
+        let mut seg_start = scan_start;
+        let mut i = scan_start;
+        while i + 1 < end {
+            if bytes[i] == 0xFF && (RST0..=RST0 + 7).contains(&bytes[i + 1]) {
+                segments.push(&bytes[seg_start..i]);
+                i += 2;
+                seg_start = i;
+            } else {
+                i += 1;
+            }
+        }
+        segments.push(&bytes[seg_start..end]);
+    }
+    if restart_interval == 0 && segments.len() > 1 {
+        return Err("restart markers present without DRI".into());
+    }
+
+    // Decode MCUs.
+    let pw = width.div_ceil(N) * N;
+    let ph = height.div_ceil(N) * N;
+    let mut planes: Vec<Vec<u8>> = infos.iter().map(|_| vec![0u8; pw * ph]).collect();
+    let mut preds = vec![0i32; infos.len()];
+    let mut seg_iter = segments.into_iter();
+    let mut reader = BitReader::new(seg_iter.next().expect("at least one segment"));
+    let blocks_x = pw / N;
+    let blocks_y = ph / N;
+    for mcu in 0..blocks_x * blocks_y {
+        if restart_interval > 0 && mcu > 0 && mcu % restart_interval as usize == 0 {
+            // Restart boundary: next segment, predictors reset.
+            reader = BitReader::new(
+                seg_iter
+                    .next()
+                    .ok_or_else(|| format!("missing restart segment before MCU {mcu}"))?,
+            );
+            preds.iter_mut().for_each(|p| *p = 0);
+        }
+        for (c, info) in infos.iter().enumerate() {
+            let dc = dc_tables[info.dc_table]
+                .as_ref()
+                .ok_or_else(|| format!("missing DC table {}", info.dc_table))?;
+            let ac = ac_tables[info.ac_table]
+                .as_ref()
+                .ok_or_else(|| format!("missing AC table {}", info.ac_table))?;
+            let q = qtables[info.qtable]
+                .as_ref()
+                .ok_or_else(|| format!("missing quantization table {}", info.qtable))?;
+            let (zz, dc_val) = decode_block_with(&mut reader, dc, ac, preds[c])
+                .map_err(|e| format!("MCU {mcu} component {c}: {e}"))?;
+            preds[c] = dc_val;
+            let coeffs = dequantize_reorder(&zz, q);
+            let px = idct_to_pixels(&coeffs);
+            place_block(&mut planes[c], pw, mcu, &px);
+        }
+    }
+
+    // Crop padding.
+    let crop = |plane: &[u8]| -> Vec<u8> {
+        let mut out = Vec::with_capacity(width * height);
+        for y in 0..height {
+            out.extend_from_slice(&plane[y * pw..y * pw + width]);
+        }
+        out
+    };
+    let pixels = if infos.len() == 1 {
+        JfifPixels::Gray(crop(&planes[0]))
+    } else {
+        JfifPixels::Rgb(rgb_from_planes(
+            &crop(&planes[0]),
+            &crop(&planes[1]),
+            &crop(&planes[2]),
+        ))
+    };
+    Ok(JfifImage {
+        width,
+        height,
+        pixels,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codec::psnr;
+
+    fn gray_image(w: usize, h: usize) -> Vec<u8> {
+        (0..w * h)
+            .map(|i| {
+                let x = i % w;
+                let y = i / w;
+                ((x * 2 + y * 3) % 256) as u8
+            })
+            .collect()
+    }
+
+    fn rgb_image(w: usize, h: usize) -> Vec<u8> {
+        let mut v = Vec::with_capacity(w * h * 3);
+        for y in 0..h {
+            for x in 0..w {
+                v.push((x * 255 / w) as u8);
+                v.push((y * 255 / h) as u8);
+                v.push(((x + y) * 128 / (w + h)) as u8);
+            }
+        }
+        v
+    }
+
+    #[test]
+    fn gray_file_round_trips() {
+        let (w, h) = (48, 24);
+        let img = gray_image(w, h);
+        let file = encode_jfif_gray(&img, w, h, 90);
+        // Valid marker structure.
+        assert_eq!(&file[..2], &[0xFF, 0xD8]);
+        assert_eq!(&file[file.len() - 2..], &[0xFF, 0xD9]);
+        let decoded = decode_jfif(&file).unwrap();
+        assert_eq!(decoded.width, w);
+        assert_eq!(decoded.height, h);
+        let JfifPixels::Gray(px) = decoded.pixels else {
+            panic!("expected grayscale")
+        };
+        assert!(psnr(&img, &px) > 30.0);
+    }
+
+    #[test]
+    fn color_file_round_trips() {
+        let (w, h) = (32, 32);
+        let img = rgb_image(w, h);
+        let file = encode_jfif_rgb(&img, w, h, 90);
+        let decoded = decode_jfif(&file).unwrap();
+        let JfifPixels::Rgb(px) = decoded.pixels else {
+            panic!("expected color")
+        };
+        assert_eq!(px.len(), img.len());
+        assert!(psnr(&img, &px) > 28.0, "PSNR {}", psnr(&img, &px));
+    }
+
+    #[test]
+    fn odd_dimensions_pad_and_crop() {
+        let (w, h) = (13, 9);
+        let img = gray_image(w, h);
+        let file = encode_jfif_gray(&img, w, h, 85);
+        let decoded = decode_jfif(&file).unwrap();
+        assert_eq!(decoded.width, 13);
+        assert_eq!(decoded.height, 9);
+        let JfifPixels::Gray(px) = decoded.pixels else {
+            panic!()
+        };
+        assert_eq!(px.len(), 13 * 9);
+        assert!(psnr(&img, &px) > 25.0);
+    }
+
+    #[test]
+    fn file_contains_expected_marker_sequence() {
+        let file = encode_jfif_rgb(&rgb_image(16, 16), 16, 16, 75);
+        // SOI, APP0, 2x DQT, SOF0, 4x DHT, SOS in order.
+        let find_all = |marker: u8| -> Vec<usize> {
+            file.windows(2)
+                .enumerate()
+                .filter(|(_, w)| w[0] == 0xFF && w[1] == marker)
+                .map(|(i, _)| i)
+                .collect()
+        };
+        assert_eq!(find_all(0xD8).first(), Some(&0));
+        assert_eq!(find_all(0xDB).len(), 2, "two DQT segments");
+        assert!(find_all(0xC4).len() >= 4, "four DHT segments");
+        assert_eq!(find_all(0xC0).len(), 1, "one SOF0");
+        assert!(!find_all(0xDA).is_empty(), "SOS present");
+    }
+
+    #[test]
+    fn truncated_and_corrupt_files_rejected() {
+        let file = encode_jfif_gray(&gray_image(16, 16), 16, 16, 75);
+        assert!(decode_jfif(&file[..file.len() / 2]).is_err());
+        assert!(decode_jfif(&[]).is_err());
+        assert!(decode_jfif(&[0x12, 0x34]).is_err());
+        let mut bad = file.clone();
+        bad[0] = 0x00; // break SOI
+        assert!(decode_jfif(&bad).is_err());
+    }
+
+    #[test]
+    fn restart_markers_round_trip() {
+        let (w, h) = (48, 24); // 18 MCUs
+        let img = gray_image(w, h);
+        for dri in [1u16, 3, 6, 18, 100] {
+            let file = encode_jfif_gray_dri(&img, w, h, 90, dri);
+            let decoded = decode_jfif(&file).unwrap();
+            let JfifPixels::Gray(px) = decoded.pixels else {
+                panic!()
+            };
+            assert!(psnr(&img, &px) > 30.0, "DRI {dri}: PSNR {}", psnr(&img, &px));
+        }
+    }
+
+    #[test]
+    fn restart_file_contains_rst_markers() {
+        let (w, h) = (48, 24);
+        let file = encode_jfif_gray_dri(&gray_image(w, h), w, h, 90, 6);
+        // 18 MCUs / 6 = boundaries after MCU 6 and 12 -> RST0, RST1.
+        let rst_count = file
+            .windows(2)
+            .filter(|p| p[0] == 0xFF && (0xD0..=0xD7).contains(&p[1]))
+            .count();
+        assert_eq!(rst_count, 2);
+        // And a DRI segment advertising the interval.
+        assert!(file
+            .windows(4)
+            .any(|p| p[0] == 0xFF && p[1] == 0xDD && p[2] == 0 && p[3] == 4 + 2 - 2));
+    }
+
+    #[test]
+    fn restart_limits_corruption_spread() {
+        // Corrupt entropy bits inside one restart segment: decoding may
+        // garble that segment, but later segments still decode (the
+        // whole point of restart markers).
+        let (w, h) = (48, 24);
+        let img = gray_image(w, h);
+        let file = encode_jfif_gray_dri(&img, w, h, 90, 3);
+        // Find the first RST marker; corrupt a byte shortly before it
+        // (inside segment 0), keeping 0xFF stuffing intact.
+        let rst_pos = file
+            .windows(2)
+            .position(|p| p[0] == 0xFF && (0xD0..=0xD7).contains(&p[1]))
+            .expect("has restart markers");
+        let mut bad = file.clone();
+        let target = rst_pos - 3;
+        assert_ne!(bad[target], 0xFF);
+        assert_ne!(bad[target - 1], 0xFF, "avoid creating a marker");
+        bad[target] ^= 0x55;
+        if bad[target] == 0xFF {
+            bad[target] = 0x7F;
+        }
+        // Decoding may fail inside the corrupt segment or produce noise
+        // there; when it succeeds, pixels after the first restart
+        // boundary must still be faithful.
+        if let Ok(decoded) = decode_jfif(&bad) {
+            let JfifPixels::Gray(px) = decoded.pixels else {
+                panic!()
+            };
+            // Compare the second half of the image (MCUs >= 9, i.e. the
+            // bottom row of blocks) against a clean decode.
+            let clean = match decode_jfif(&file).unwrap().pixels {
+                JfifPixels::Gray(p) => p,
+                _ => unreachable!(),
+            };
+            let half = w * (h / 2);
+            let tail_psnr = psnr(&clean[half..], &px[half..]);
+            assert!(
+                tail_psnr > 30.0,
+                "tail must survive corruption: PSNR {tail_psnr}"
+            );
+        }
+    }
+
+    #[test]
+    fn gray_decode_matches_internal_codec() {
+        // The JFIF path and the raw-segment path share the block codec;
+        // pixel output must agree exactly for 8-aligned images.
+        let (w, h) = (48, 24);
+        let img = gray_image(w, h);
+        let q = 75;
+        let file = encode_jfif_gray(&img, w, h, q);
+        let jfif = decode_jfif(&file).unwrap();
+        let raw = crate::codec::decode_frame(&crate::codec::encode_frame(&img, w, h, q), w, h, q)
+            .unwrap();
+        let JfifPixels::Gray(px) = jfif.pixels else {
+            panic!()
+        };
+        assert_eq!(px, raw);
+    }
+
+    #[test]
+    fn neutral_gray_rgb_survives_color_path() {
+        let (w, h) = (16, 16);
+        let img: Vec<u8> = (0..w * h).flat_map(|i| [(i % 256) as u8; 3]).collect();
+        let file = encode_jfif_rgb(&img, w, h, 95);
+        let decoded = decode_jfif(&file).unwrap();
+        let JfifPixels::Rgb(px) = decoded.pixels else {
+            panic!()
+        };
+        // Gray input must stay gray (channels equal within quant error).
+        for p in px.chunks_exact(3) {
+            assert!((p[0] as i32 - p[1] as i32).abs() <= 6, "{p:?}");
+            assert!((p[1] as i32 - p[2] as i32).abs() <= 6, "{p:?}");
+        }
+    }
+}

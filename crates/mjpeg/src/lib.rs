@@ -1,0 +1,47 @@
+//! # mjpeg — baseline JPEG codec and Motion-JPEG workload for EMBera
+//!
+//! The paper's evaluation workload is "an existing application for
+//! decoding a stream of independent and individually encoded JPEG
+//! images. The decoding process is done by dividing each individual
+//! image in smaller blocks. Each block is decoded mainly by applying a
+//! Huffman algorithm, a pixel reordering and the Inverse Discrete Cosine
+//! Transformation (IDCT). Then, all the blocks are reordered in order to
+//! reconstitute original images." (§3.2)
+//!
+//! The original input files are unavailable, so this crate provides the
+//! whole path from scratch:
+//!
+//! * a **baseline JPEG codec** (8×8 FDCT/IDCT, Annex-K quantization and
+//!   Huffman tables with IJG quality scaling, zigzag ordering, bit-level
+//!   entropy coding with 0xFF stuffing) — [`codec`], [`dct`], [`quant`],
+//!   [`huffman`], [`bitstream`];
+//! * a **Motion-JPEG stream** container and a deterministic synthetic
+//!   video generator — [`frame`], [`workload`]. The default geometry is
+//!   48×24 grayscale = **18 blocks per image**, matching the paper's
+//!   Table 2 counts (10 386 sends = 18 × 577; the paper's numbers imply
+//!   the first frame is consumed for pipeline configuration and its
+//!   blocks are not forwarded — this pipeline reproduces that);
+//! * the **componentized decoder** as EMBera behaviors — [`pipeline`]:
+//!   `Fetch` (entropy decode + dequantize + reorder), `IDCT` components,
+//!   `Reorder` (frame reassembly), and the merged `Fetch-Reorder` used
+//!   on the MPSoC deployment (paper §5.3, Figure 7).
+
+pub mod bitstream;
+pub mod codec;
+pub mod color;
+pub mod dct;
+pub mod frame;
+pub mod huffman;
+pub mod jfif;
+pub mod pipeline;
+pub mod quant;
+pub mod workload;
+
+pub use codec::{decode_frame, encode_frame};
+pub use jfif::{decode_jfif, encode_jfif_gray, encode_jfif_rgb, JfifImage, JfifPixels};
+pub use frame::{FrameHeader, MjpegStream};
+pub use pipeline::{
+    build_mpsoc_app, build_smp_app, FetchBehavior, FetchReorderBehavior, IdctBehavior,
+    MjpegAppConfig, ReorderBehavior, WorkProfile,
+};
+pub use workload::synthesize_stream;

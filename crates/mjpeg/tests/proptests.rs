@@ -1,0 +1,151 @@
+//! Property-based tests over the JPEG codec primitives and the full
+//! encode/decode path.
+
+use proptest::prelude::*;
+
+use mjpeg::bitstream::{BitReader, BitWriter};
+use mjpeg::codec::{decode_frame, encode_frame, psnr};
+use mjpeg::dct::{fdct, idct, BLOCK_SIZE};
+use mjpeg::huffman::{category, put_magnitude, read_magnitude, HuffDecoder, HuffEncoder, HuffSpec};
+use mjpeg::quant::{dequantize_reorder, quantize_zigzag, scaled_qtable, ZIGZAG};
+
+proptest! {
+    #[test]
+    fn bitstream_round_trips_any_sequence(
+        vals in prop::collection::vec((0u32..=0xFFFF, 1u32..=16), 1..200)
+    ) {
+        let mut w = BitWriter::new();
+        for &(v, n) in &vals {
+            w.put(v & ((1 << n) - 1), n);
+        }
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        for &(v, n) in &vals {
+            prop_assert_eq!(r.bits(n).unwrap(), v & ((1 << n) - 1));
+        }
+    }
+
+    #[test]
+    fn huffman_symbol_stream_round_trips(symbols in prop::collection::vec(0usize..162, 1..300)) {
+        let spec = HuffSpec::luma_ac();
+        let enc = HuffEncoder::new(&spec);
+        let dec = HuffDecoder::new(&spec);
+        let mut w = BitWriter::new();
+        for &s in &symbols {
+            enc.encode(&mut w, spec.values[s]);
+        }
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        for &s in &symbols {
+            prop_assert_eq!(dec.decode(&mut r).unwrap(), spec.values[s]);
+        }
+    }
+
+    #[test]
+    fn magnitude_round_trips(v in -32767i32..=32767) {
+        let cat = category(v);
+        let mut w = BitWriter::new();
+        put_magnitude(&mut w, v, cat);
+        w.put(0xFF & 0x7F, 7); // ensure at least one full byte
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        prop_assert_eq!(read_magnitude(&mut r, cat).unwrap(), v);
+    }
+
+    #[test]
+    fn dct_round_trip_is_near_identity(
+        samples in prop::collection::vec(-128f32..=127f32, BLOCK_SIZE)
+    ) {
+        let mut block = [0f32; BLOCK_SIZE];
+        block.copy_from_slice(&samples);
+        let rec = idct(&fdct(&block));
+        for (a, b) in block.iter().zip(rec.iter()) {
+            prop_assert!((a - b).abs() < 0.05, "{} vs {}", a, b);
+        }
+    }
+
+    #[test]
+    fn quantize_dequantize_error_bounded_by_step(
+        samples in prop::collection::vec(-800f32..=800f32, BLOCK_SIZE),
+        quality in 1u8..=100,
+    ) {
+        let q = scaled_qtable(quality);
+        let mut coeffs = [0f32; BLOCK_SIZE];
+        coeffs.copy_from_slice(&samples);
+        let zz = quantize_zigzag(&coeffs, &q);
+        let back = dequantize_reorder(&zz, &q);
+        for n in 0..BLOCK_SIZE {
+            let err = (coeffs[n] - back[n] as f32).abs();
+            prop_assert!(err <= q[n] as f32 / 2.0 + 0.5);
+        }
+    }
+
+    #[test]
+    fn zigzag_inverse_composition_is_identity(perm_seed in 0u64..1000) {
+        // dequantize_reorder(quantize_zigzag(x)) visits every index once;
+        // verify via an impulse at each position derived from the seed.
+        let idx = (perm_seed as usize) % BLOCK_SIZE;
+        let q = [1u16; BLOCK_SIZE];
+        let mut coeffs = [0f32; BLOCK_SIZE];
+        coeffs[idx] = 7.0;
+        let zz = quantize_zigzag(&coeffs, &q);
+        // The impulse must land at the zigzag position of idx.
+        let k = ZIGZAG.iter().position(|&n| n == idx).unwrap();
+        prop_assert_eq!(zz[k], 7);
+        let back = dequantize_reorder(&zz, &q);
+        prop_assert_eq!(back[idx], 7);
+        prop_assert_eq!(back.iter().filter(|&&v| v != 0).count(), 1);
+    }
+
+    #[test]
+    fn any_image_survives_encode_decode(
+        seed in 0u64..u64::MAX,
+        quality in 30u8..=95,
+    ) {
+        // Structured-random image: random base + gradient, 16x16.
+        let (w, h) = (16usize, 16usize);
+        let mut x = seed | 1;
+        let mut img = vec![0u8; w * h];
+        for (i, p) in img.iter_mut().enumerate() {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let noise = ((x >> 33) & 0x3F) as i32 - 32;
+            let base = ((i % w) * 200 / w) as i32 + 20;
+            *p = (base + noise).clamp(0, 255) as u8;
+        }
+        let data = encode_frame(&img, w, h, quality);
+        let dec = decode_frame(&data, w, h, quality).unwrap();
+        let p = psnr(&img, &dec);
+        prop_assert!(p > 18.0, "PSNR {} dB at quality {}", p, quality);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn jfif_round_trips_arbitrary_geometry_and_dri(
+        w in 8usize..40,
+        h in 8usize..40,
+        quality in 40u8..=95,
+        dri in prop::sample::select(vec![0u16, 1, 2, 5, 1000]),
+        seed in 0u64..u64::MAX,
+    ) {
+        let mut x = seed | 1;
+        let img: Vec<u8> = (0..w * h)
+            .map(|i| {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                let noise = ((x >> 40) & 0x1F) as i32;
+                (((i % w) * 180 / w) as i32 + 40 + noise).clamp(0, 255) as u8
+            })
+            .collect();
+        let file = mjpeg::jfif::encode_jfif_gray_dri(&img, w, h, quality, dri);
+        let decoded = mjpeg::jfif::decode_jfif(&file).unwrap();
+        prop_assert_eq!(decoded.width, w);
+        prop_assert_eq!(decoded.height, h);
+        let mjpeg::jfif::JfifPixels::Gray(px) = decoded.pixels else {
+            return Err(TestCaseError::fail("expected gray"));
+        };
+        let p = psnr(&img, &px);
+        prop_assert!(p > 20.0, "PSNR {} at q{} dri{} {}x{}", p, quality, dri, w, h);
+    }
+}

@@ -1,0 +1,208 @@
+//! Direct-mapped L1 data-cache model with hit/miss accounting.
+//!
+//! The paper lists cache-miss observation as future work (§6: "we focus
+//! our research on defining and extending EMBera observation functions,
+//! for instance, cache misses"). This model makes that observable in the
+//! reproduction: EMBX transfers and annotated compute traffic are run
+//! through the cache, and the per-CPU miss counters are exported through
+//! the EMBera observation interface (experiment X1).
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+/// Geometry of an L1 cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheConfig {
+    /// Total size in bytes.
+    pub size_bytes: u32,
+    /// Line size in bytes (power of two).
+    pub line_bytes: u32,
+}
+
+impl CacheConfig {
+    /// ST40 L1 data cache: 32 KiB, 32-byte lines.
+    pub fn st40_l1d() -> Self {
+        CacheConfig {
+            size_bytes: 32 * 1024,
+            line_bytes: 32,
+        }
+    }
+
+    /// ST231 L1 data cache: 32 KiB, 32-byte lines.
+    pub fn st231_l1d() -> Self {
+        CacheConfig {
+            size_bytes: 32 * 1024,
+            line_bytes: 32,
+        }
+    }
+
+    /// Number of lines.
+    pub fn num_lines(&self) -> u32 {
+        self.size_bytes / self.line_bytes
+    }
+}
+
+/// Hit/miss counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheStats {
+    /// Number of line accesses that hit.
+    pub hits: u64,
+    /// Number of line accesses that missed.
+    pub misses: u64,
+}
+
+impl CacheStats {
+    /// Miss ratio in [0, 1]; 0 when no accesses.
+    pub fn miss_ratio(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.misses as f64 / total as f64
+        }
+    }
+}
+
+struct CacheState {
+    /// Tag per line; `u64::MAX` = invalid.
+    tags: Vec<u64>,
+    stats: CacheStats,
+}
+
+/// A direct-mapped L1 data cache.
+pub struct L1Cache {
+    cfg: CacheConfig,
+    state: Mutex<CacheState>,
+}
+
+impl L1Cache {
+    /// Build an empty (all-invalid) cache.
+    pub fn new(cfg: CacheConfig) -> Self {
+        assert!(cfg.line_bytes.is_power_of_two(), "line size must be 2^n");
+        assert!(
+            cfg.size_bytes % cfg.line_bytes == 0,
+            "cache size must be a multiple of the line size"
+        );
+        L1Cache {
+            cfg,
+            state: Mutex::new(CacheState {
+                tags: vec![u64::MAX; cfg.num_lines() as usize],
+                stats: CacheStats::default(),
+            }),
+        }
+    }
+
+    /// Geometry.
+    pub fn config(&self) -> CacheConfig {
+        self.cfg
+    }
+
+    /// Simulate an access of `len` bytes at `addr`. Returns the number of
+    /// misses incurred (one per line not present). Writes allocate, like
+    /// reads (write-allocate policy).
+    pub fn access(&self, addr: u64, len: u64) -> u64 {
+        if len == 0 {
+            return 0;
+        }
+        let line = self.cfg.line_bytes as u64;
+        let nlines = self.cfg.num_lines() as u64;
+        let first = addr / line;
+        let last = (addr + len - 1) / line;
+        let mut st = self.state.lock();
+        let mut misses = 0;
+        for l in first..=last {
+            let idx = (l % nlines) as usize;
+            let tag = l / nlines;
+            if st.tags[idx] == tag {
+                st.stats.hits += 1;
+            } else {
+                st.tags[idx] = tag;
+                st.stats.misses += 1;
+                misses += 1;
+            }
+        }
+        misses
+    }
+
+    /// Snapshot of counters.
+    pub fn stats(&self) -> CacheStats {
+        self.state.lock().stats
+    }
+
+    /// Invalidate the whole cache (e.g. on context switch modeling).
+    pub fn flush(&self) {
+        let mut st = self.state.lock();
+        st.tags.fill(u64::MAX);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> L1Cache {
+        L1Cache::new(CacheConfig {
+            size_bytes: 1024,
+            line_bytes: 32,
+        })
+    }
+
+    #[test]
+    fn cold_access_misses_then_hits() {
+        let c = small();
+        assert_eq!(c.access(0, 32), 1);
+        assert_eq!(c.access(0, 32), 0);
+        let s = c.stats();
+        assert_eq!(s.misses, 1);
+        assert_eq!(s.hits, 1);
+    }
+
+    #[test]
+    fn access_spanning_lines_counts_each_line() {
+        let c = small();
+        // 100 bytes starting at 0 touches lines 0..=3 (ends at byte 99).
+        assert_eq!(c.access(0, 100), 4);
+    }
+
+    #[test]
+    fn conflicting_addresses_evict() {
+        let c = small(); // 32 lines
+        assert_eq!(c.access(0, 1), 1);
+        assert_eq!(c.access(1024, 1), 1); // maps to same set, different tag
+        assert_eq!(c.access(0, 1), 1); // evicted -> miss again
+    }
+
+    #[test]
+    fn working_set_within_cache_stays_resident() {
+        let c = small();
+        c.access(0, 1024); // fill all 32 lines
+        let before = c.stats().misses;
+        c.access(0, 1024);
+        assert_eq!(c.stats().misses, before, "second sweep must be all hits");
+    }
+
+    #[test]
+    fn flush_invalidates() {
+        let c = small();
+        c.access(0, 32);
+        c.flush();
+        assert_eq!(c.access(0, 32), 1);
+    }
+
+    #[test]
+    fn zero_length_access_is_free() {
+        let c = small();
+        assert_eq!(c.access(123, 0), 0);
+        assert_eq!(c.stats(), CacheStats::default());
+    }
+
+    #[test]
+    fn miss_ratio_computation() {
+        let c = small();
+        c.access(0, 32);
+        c.access(0, 32);
+        c.access(0, 32);
+        c.access(0, 32);
+        assert!((c.stats().miss_ratio() - 0.25).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,40 @@
+//! # os21 — an OS21-like RTOS layer on the simulated MPSoC
+//!
+//! The STi7200's processors run **OS21**, "a lightweight, real-time
+//! multitasking operating system" providing "portable APIs to handle
+//! tasks, memory, interrupts, exceptions, synchronization, and time
+//! management" (paper §5). OS21 is proprietary, so this crate implements
+//! the API surface the paper's observation functions rely on, running on
+//! the [`mpsoc_sim`] machine model:
+//!
+//! * **tasks** ([`Rtos::spawn_task`]): cooperative tasks pinned to a CPU;
+//!   compute on the same CPU serializes (one core, no SMT),
+//! * **`time_now`** ([`TaskCtx::time_now`]): the local time on each CPU
+//!   in CPU ticks — the paper's middleware timestamps use it (§5.2),
+//! * **`task_time`** ([`TaskCtx::task_time`]): accumulated CPU time of
+//!   the task — the paper's RTOS-level execution-time observation (§5.2),
+//! * **synchronization** ([`Semaphore`], [`OsMutex`]) and bounded
+//!   **message queues** ([`MessageQueue`]),
+//! * **memory partitions** ([`Partition`]): fixed-size memory pools with
+//!   used/free accounting — the paper's RTOS memory observation reads
+//!   "the tasks memory size and the amount of memory currently used".
+//!
+//! The scheduler is cooperative (tasks yield at compute/communication
+//! points). Task priorities are accepted for API fidelity but do not
+//! preempt; the EMBera deployment runs one component per CPU (paper
+//! §5.1: "the current implementation supports one component per CPU"),
+//! so preemption never arises in the reproduced experiments.
+
+pub mod partition;
+pub mod queue;
+pub mod rtos;
+pub mod sync;
+pub mod task;
+pub mod timer;
+
+pub use partition::{Partition, PartitionStatus};
+pub use queue::MessageQueue;
+pub use rtos::{Rtos, TaskInfo};
+pub use sync::{OsMutex, Semaphore};
+pub use task::TaskCtx;
+pub use timer::{EventFlags, FlagMode, PeriodicTimer};

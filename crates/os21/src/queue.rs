@@ -1,0 +1,169 @@
+//! Bounded message queues between tasks, in the style of OS21's
+//! `message_*` API (`message_create_queue`, `message_send`,
+//! `message_receive`).
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use parking_lot::Mutex as HostMutex;
+use sim_kernel::EventId;
+
+use crate::task::TaskCtx;
+
+struct QueueState<T> {
+    items: VecDeque<T>,
+    capacity: usize,
+}
+
+/// A bounded FIFO message queue between simulated tasks. Cloneable;
+/// clones share the queue.
+pub struct MessageQueue<T> {
+    state: Arc<HostMutex<QueueState<T>>>,
+    nonempty: EventId,
+    nonfull: EventId,
+}
+
+impl<T> Clone for MessageQueue<T> {
+    fn clone(&self) -> Self {
+        MessageQueue {
+            state: Arc::clone(&self.state),
+            nonempty: self.nonempty,
+            nonfull: self.nonfull,
+        }
+    }
+}
+
+impl<T> MessageQueue<T> {
+    /// Create a queue with room for `capacity` messages.
+    pub fn new(task: &TaskCtx, capacity: usize) -> Self {
+        assert!(capacity >= 1);
+        MessageQueue {
+            state: Arc::new(HostMutex::new(QueueState {
+                items: VecDeque::with_capacity(capacity),
+                capacity,
+            })),
+            nonempty: task.sim().alloc_event(),
+            nonfull: task.sim().alloc_event(),
+        }
+    }
+
+    /// Create from raw events (construction outside any task).
+    pub fn with_events(capacity: usize, nonempty: EventId, nonfull: EventId) -> Self {
+        assert!(capacity >= 1);
+        MessageQueue {
+            state: Arc::new(HostMutex::new(QueueState {
+                items: VecDeque::with_capacity(capacity),
+                capacity,
+            })),
+            nonempty,
+            nonfull,
+        }
+    }
+
+    /// `message_send`: enqueue, blocking in virtual time while full.
+    pub fn send(&self, task: &TaskCtx, item: T) {
+        let mut slot = Some(item);
+        loop {
+            {
+                let mut st = self.state.lock();
+                if st.items.len() < st.capacity {
+                    st.items.push_back(slot.take().expect("item"));
+                    task.sim().notify(self.nonempty);
+                    return;
+                }
+            }
+            task.sim().wait(self.nonfull);
+        }
+    }
+
+    /// `message_receive`: dequeue, blocking in virtual time while empty.
+    pub fn receive(&self, task: &TaskCtx) -> T {
+        loop {
+            {
+                let mut st = self.state.lock();
+                if let Some(item) = st.items.pop_front() {
+                    task.sim().notify(self.nonfull);
+                    return item;
+                }
+            }
+            task.sim().wait(self.nonempty);
+        }
+    }
+
+    /// Non-blocking receive.
+    pub fn try_receive(&self, task: &TaskCtx) -> Option<T> {
+        let mut st = self.state.lock();
+        let item = st.items.pop_front();
+        if item.is_some() {
+            task.sim().notify(self.nonfull);
+        }
+        item
+    }
+
+    /// Messages currently queued.
+    pub fn len(&self) -> usize {
+        self.state.lock().items.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.state.lock().items.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rtos::Rtos;
+    use mpsoc_sim::Machine;
+    use sim_kernel::Kernel;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn queue_preserves_fifo_across_tasks() {
+        let mut kernel = Kernel::new();
+        let rtos = Rtos::new(Machine::sti7200());
+        let q: MessageQueue<u32> =
+            MessageQueue::with_events(4, kernel.alloc_event(), kernel.alloc_event());
+        let tx = q.clone();
+        rtos.spawn_task(&mut kernel, 1, "producer", 0, move |t| {
+            for i in 0..50 {
+                t.delay(3);
+                tx.send(&t, i);
+            }
+        });
+        let received = Arc::new(parking_lot::Mutex::new(Vec::new()));
+        let r = Arc::clone(&received);
+        rtos.spawn_task(&mut kernel, 2, "consumer", 0, move |t| {
+            for _ in 0..50 {
+                r.lock().push(q.receive(&t));
+            }
+        });
+        kernel.run().unwrap();
+        assert_eq!(*received.lock(), (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn full_queue_blocks_sender() {
+        let mut kernel = Kernel::new();
+        let rtos = Rtos::new(Machine::sti7200());
+        let q: MessageQueue<u32> =
+            MessageQueue::with_events(1, kernel.alloc_event(), kernel.alloc_event());
+        let done_at = Arc::new(AtomicU64::new(0));
+        let tx = q.clone();
+        let d = Arc::clone(&done_at);
+        rtos.spawn_task(&mut kernel, 1, "p", 0, move |t| {
+            tx.send(&t, 1);
+            tx.send(&t, 2); // must block until consumer drains
+            d.store(t.now_ns(), Ordering::SeqCst);
+        });
+        rtos.spawn_task(&mut kernel, 2, "c", 0, move |t| {
+            t.delay(500);
+            q.receive(&t);
+            q.receive(&t);
+        });
+        kernel.run().unwrap();
+        assert!(done_at.load(Ordering::SeqCst) >= 500);
+    }
+}

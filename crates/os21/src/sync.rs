@@ -1,0 +1,225 @@
+//! Synchronization primitives: counting semaphores and mutexes, in the
+//! style of OS21's `semaphore_*` / `mutex_*` APIs.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex as HostMutex;
+use sim_kernel::EventId;
+
+use crate::task::TaskCtx;
+
+struct SemState {
+    count: i64,
+    /// Number of signal/wait operations, for observation.
+    signals: u64,
+    waits: u64,
+}
+
+/// A counting semaphore between simulated tasks. Cloneable; clones share
+/// state.
+pub struct Semaphore {
+    state: Arc<HostMutex<SemState>>,
+    event: EventId,
+}
+
+impl Clone for Semaphore {
+    fn clone(&self) -> Self {
+        Semaphore {
+            state: Arc::clone(&self.state),
+            event: self.event,
+        }
+    }
+}
+
+impl Semaphore {
+    /// Create a semaphore with an initial count (`semaphore_create_fifo`).
+    pub fn new(task: &TaskCtx, initial: i64) -> Self {
+        Semaphore {
+            state: Arc::new(HostMutex::new(SemState {
+                count: initial,
+                signals: 0,
+                waits: 0,
+            })),
+            event: task.sim().alloc_event(),
+        }
+    }
+
+    /// Create from a raw event (for construction outside any task).
+    pub fn with_event(event: EventId, initial: i64) -> Self {
+        Semaphore {
+            state: Arc::new(HostMutex::new(SemState {
+                count: initial,
+                signals: 0,
+                waits: 0,
+            })),
+            event,
+        }
+    }
+
+    /// `semaphore_wait`: decrement, blocking in virtual time while the
+    /// count is zero.
+    pub fn wait(&self, task: &TaskCtx) {
+        loop {
+            {
+                let mut st = self.state.lock();
+                if st.count > 0 {
+                    st.count -= 1;
+                    st.waits += 1;
+                    return;
+                }
+            }
+            task.sim().wait(self.event);
+        }
+    }
+
+    /// `semaphore_signal`: increment and wake waiters.
+    pub fn signal(&self, task: &TaskCtx) {
+        {
+            let mut st = self.state.lock();
+            st.count += 1;
+            st.signals += 1;
+        }
+        task.sim().notify(self.event);
+    }
+
+    /// Non-blocking wait; `true` on success.
+    pub fn try_wait(&self) -> bool {
+        let mut st = self.state.lock();
+        if st.count > 0 {
+            st.count -= 1;
+            st.waits += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Current count.
+    pub fn count(&self) -> i64 {
+        self.state.lock().count
+    }
+}
+
+/// A mutex between simulated tasks (`mutex_create_fifo`), built on a
+/// binary semaphore.
+pub struct OsMutex {
+    sem: Semaphore,
+}
+
+impl Clone for OsMutex {
+    fn clone(&self) -> Self {
+        OsMutex {
+            sem: self.sem.clone(),
+        }
+    }
+}
+
+impl OsMutex {
+    /// Create an unlocked mutex.
+    pub fn new(task: &TaskCtx) -> Self {
+        OsMutex {
+            sem: Semaphore::new(task, 1),
+        }
+    }
+
+    /// `mutex_lock`.
+    pub fn lock(&self, task: &TaskCtx) {
+        self.sem.wait(task);
+    }
+
+    /// `mutex_release`.
+    pub fn unlock(&self, task: &TaskCtx) {
+        self.sem.signal(task);
+    }
+
+    /// Run `f` with the mutex held.
+    pub fn with<R>(&self, task: &TaskCtx, f: impl FnOnce() -> R) -> R {
+        self.lock(task);
+        let r = f();
+        self.unlock(task);
+        r
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::rtos::Rtos;
+    use crate::sync::Semaphore;
+    use mpsoc_sim::Machine;
+    use sim_kernel::Kernel;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn semaphore_blocks_until_signaled() {
+        let mut kernel = Kernel::new();
+        let rtos = Rtos::new(Machine::sti7200());
+        let sem = Semaphore::with_event(kernel.alloc_event(), 0);
+        let woke_at = Arc::new(AtomicU64::new(0));
+
+        let s = sem.clone();
+        let w = Arc::clone(&woke_at);
+        rtos.spawn_task(&mut kernel, 1, "waiter", 0, move |t| {
+            s.wait(&t);
+            w.store(t.now_ns(), Ordering::SeqCst);
+        });
+        let s2 = sem.clone();
+        rtos.spawn_task(&mut kernel, 2, "signaler", 0, move |t| {
+            t.delay(900);
+            s2.signal(&t);
+        });
+        kernel.run().unwrap();
+        assert_eq!(woke_at.load(Ordering::SeqCst), 900);
+    }
+
+    #[test]
+    fn semaphore_initial_count_admits_without_block() {
+        let mut kernel = Kernel::new();
+        let rtos = Rtos::new(Machine::sti7200());
+        let sem = Semaphore::with_event(kernel.alloc_event(), 2);
+        let s = sem.clone();
+        rtos.spawn_task(&mut kernel, 1, "t", 0, move |t| {
+            s.wait(&t);
+            s.wait(&t);
+            assert_eq!(t.now_ns(), 0, "no blocking needed");
+        });
+        kernel.run().unwrap();
+        assert_eq!(sem.count(), 0);
+    }
+
+    #[test]
+    fn try_wait_does_not_block() {
+        let kernel = Kernel::new();
+        let sem = Semaphore::with_event(kernel.alloc_event(), 1);
+        assert!(sem.try_wait());
+        assert!(!sem.try_wait());
+    }
+
+    #[test]
+    fn mutex_provides_exclusion() {
+        // Two tasks increment a shared (host-side) counter under the
+        // mutex with a delay inside the critical section; exclusion means
+        // the second task's section starts after the first finishes.
+        let mut kernel = Kernel::new();
+        let rtos = Rtos::new(Machine::sti7200());
+        let sem = Semaphore::with_event(kernel.alloc_event(), 1);
+        let order: Arc<parking_lot::Mutex<Vec<(u64, u64)>>> =
+            Arc::new(parking_lot::Mutex::new(Vec::new()));
+        for name in ["a", "b"] {
+            let s = sem.clone();
+            let o = Arc::clone(&order);
+            rtos.spawn_task(&mut kernel, 1, name, 0, move |t| {
+                s.wait(&t);
+                let start = t.now_ns();
+                t.delay(100);
+                o.lock().push((start, t.now_ns()));
+                s.signal(&t);
+            });
+        }
+        kernel.run().unwrap();
+        let spans = order.lock().clone();
+        assert_eq!(spans.len(), 2);
+        // Sections must not overlap.
+        assert!(spans[1].0 >= spans[0].1 || spans[0].0 >= spans[1].1);
+    }
+}

@@ -1,0 +1,240 @@
+//! Timers and event flags: the rest of OS21's time-management and
+//! synchronization surface ("portable APIs to handle … interrupts,
+//! exceptions, synchronization, and time management", paper §5).
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use sim_kernel::{EventId, Time};
+
+use crate::task::TaskCtx;
+
+/// A periodic timer: fires every `period` ns of virtual time, with no
+/// drift (ticks are anchored to the creation time, like OS21's
+/// `timer_*`/`task_delay_until` idiom).
+pub struct PeriodicTimer {
+    start: Time,
+    period: Time,
+    ticks_elapsed: u64,
+}
+
+impl PeriodicTimer {
+    /// Create a timer anchored at the current virtual time.
+    pub fn new(task: &TaskCtx, period: Time) -> Self {
+        assert!(period > 0, "period must be positive");
+        PeriodicTimer {
+            start: task.now_ns(),
+            period,
+            ticks_elapsed: 0,
+        }
+    }
+
+    /// Sleep until the next tick boundary; returns the tick index.
+    /// Missed ticks (when the task ran long) are skipped, not replayed —
+    /// the timer stays aligned to the absolute grid.
+    pub fn wait_next(&mut self, task: &TaskCtx) -> u64 {
+        let now = task.now_ns();
+        let elapsed = now.saturating_sub(self.start);
+        let next_tick = elapsed / self.period + 1;
+        let deadline = self.start + next_tick * self.period;
+        task.delay(deadline - now);
+        self.ticks_elapsed = next_tick;
+        next_tick
+    }
+
+    /// Ticks completed so far.
+    pub fn ticks(&self) -> u64 {
+        self.ticks_elapsed
+    }
+}
+
+/// OS21-style event flags: a 32-bit mask tasks can set bits in and wait
+/// on (ANY or ALL semantics).
+pub struct EventFlags {
+    state: Arc<Mutex<u32>>,
+    event: EventId,
+}
+
+impl Clone for EventFlags {
+    fn clone(&self) -> Self {
+        EventFlags {
+            state: Arc::clone(&self.state),
+            event: self.event,
+        }
+    }
+}
+
+/// Waiting mode for [`EventFlags::wait`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlagMode {
+    /// Return when any of the requested bits is set.
+    Any,
+    /// Return only when all requested bits are set.
+    All,
+}
+
+impl EventFlags {
+    /// Create a flag group with all bits clear.
+    pub fn new(task: &TaskCtx) -> Self {
+        EventFlags {
+            state: Arc::new(Mutex::new(0)),
+            event: task.sim().alloc_event(),
+        }
+    }
+
+    /// Create from a raw event (construction outside any task).
+    pub fn with_event(event: EventId) -> Self {
+        EventFlags {
+            state: Arc::new(Mutex::new(0)),
+            event,
+        }
+    }
+
+    /// Set bits (OR into the mask) and wake waiters.
+    pub fn set(&self, task: &TaskCtx, bits: u32) {
+        {
+            let mut st = self.state.lock();
+            *st |= bits;
+        }
+        task.sim().notify(self.event);
+    }
+
+    /// Current mask.
+    pub fn peek(&self) -> u32 {
+        *self.state.lock()
+    }
+
+    /// Block until the requested bits are present per `mode`, then clear
+    /// and return the satisfied bits.
+    pub fn wait(&self, task: &TaskCtx, bits: u32, mode: FlagMode) -> u32 {
+        assert!(bits != 0, "waiting on an empty mask");
+        loop {
+            {
+                let mut st = self.state.lock();
+                let hit = *st & bits;
+                let satisfied = match mode {
+                    FlagMode::Any => hit != 0,
+                    FlagMode::All => hit == bits,
+                };
+                if satisfied {
+                    *st &= !bits; // consume
+                    return hit;
+                }
+            }
+            task.sim().wait(self.event);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rtos::Rtos;
+    use mpsoc_sim::{ComputeClass, Machine};
+    use sim_kernel::Kernel;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn periodic_timer_ticks_on_the_grid() {
+        let mut kernel = Kernel::new();
+        let rtos = Rtos::new(Machine::sti7200());
+        rtos.spawn_task(&mut kernel, 1, "t", 0, |task| {
+            let mut timer = PeriodicTimer::new(&task, 1_000);
+            for i in 1..=5u64 {
+                assert_eq!(timer.wait_next(&task), i);
+                assert_eq!(task.now_ns(), i * 1_000);
+            }
+        });
+        kernel.run().unwrap();
+    }
+
+    #[test]
+    fn periodic_timer_skips_missed_ticks_without_drift() {
+        let mut kernel = Kernel::new();
+        let rtos = Rtos::new(Machine::sti7200());
+        rtos.spawn_task(&mut kernel, 1, "t", 0, |task| {
+            let mut timer = PeriodicTimer::new(&task, 1_000);
+            // Burn ~3.5 periods of CPU, then wait: must land on tick 4.
+            task.delay(3_500);
+            let tick = timer.wait_next(&task);
+            assert_eq!(tick, 4);
+            assert_eq!(task.now_ns(), 4_000);
+        });
+        kernel.run().unwrap();
+    }
+
+    #[test]
+    fn event_flags_any_and_all_semantics() {
+        let mut kernel = Kernel::new();
+        let rtos = Rtos::new(Machine::sti7200());
+        let flags = EventFlags::with_event(kernel.alloc_event());
+        let woke_any = Arc::new(AtomicU64::new(0));
+        let woke_all = Arc::new(AtomicU64::new(0));
+
+        let f = flags.clone();
+        let w = Arc::clone(&woke_any);
+        rtos.spawn_task(&mut kernel, 1, "any_waiter", 0, move |t| {
+            let hit = f.wait(&t, 0b011, FlagMode::Any);
+            assert_eq!(hit, 0b001);
+            w.store(t.now_ns(), Ordering::SeqCst);
+        });
+        let f = flags.clone();
+        let w = Arc::clone(&woke_all);
+        rtos.spawn_task(&mut kernel, 2, "all_waiter", 0, move |t| {
+            let hit = f.wait(&t, 0b1100, FlagMode::All);
+            assert_eq!(hit, 0b1100);
+            w.store(t.now_ns(), Ordering::SeqCst);
+        });
+        let f = flags.clone();
+        rtos.spawn_task(&mut kernel, 0, "setter", 0, move |t| {
+            t.delay(100);
+            f.set(&t, 0b0001); // wakes ANY waiter
+            t.delay(100);
+            f.set(&t, 0b0100); // ALL waiter still incomplete
+            t.delay(100);
+            f.set(&t, 0b1000); // completes ALL waiter
+        });
+        kernel.run().unwrap();
+        assert_eq!(woke_any.load(Ordering::SeqCst), 100);
+        assert_eq!(woke_all.load(Ordering::SeqCst), 300);
+    }
+
+    #[test]
+    fn flags_are_consumed_on_wait() {
+        let mut kernel = Kernel::new();
+        let rtos = Rtos::new(Machine::sti7200());
+        let flags = EventFlags::with_event(kernel.alloc_event());
+        let f = flags.clone();
+        rtos.spawn_task(&mut kernel, 1, "t", 0, move |t| {
+            f.set(&t, 0b11);
+            assert_eq!(f.wait(&t, 0b01, FlagMode::Any), 0b01);
+            // Bit 0 consumed; bit 1 remains.
+            assert_eq!(f.peek(), 0b10);
+        });
+        kernel.run().unwrap();
+    }
+
+    #[test]
+    fn timer_coexists_with_compute() {
+        // A periodic observer-style task alongside a compute task on the
+        // same CPU must still tick on the grid (compute is cooperative).
+        let mut kernel = Kernel::new();
+        let rtos = Rtos::new(Machine::sti7200());
+        rtos.spawn_task(&mut kernel, 1, "worker", 0, |t| {
+            for _ in 0..10 {
+                t.compute(ComputeClass::Dsp, 10_000);
+            }
+        });
+        let ticks = Arc::new(AtomicU64::new(0));
+        let tk = Arc::clone(&ticks);
+        rtos.spawn_task(&mut kernel, 1, "ticker", 0, move |t| {
+            let mut timer = PeriodicTimer::new(&t, 5_000);
+            for _ in 0..4 {
+                timer.wait_next(&t);
+                tk.fetch_add(1, Ordering::SeqCst);
+            }
+        });
+        kernel.run().unwrap();
+        assert_eq!(ticks.load(Ordering::SeqCst), 4);
+    }
+}

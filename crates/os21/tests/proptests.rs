@@ -1,0 +1,62 @@
+//! Property-based tests of the RTOS primitives under arbitrary
+//! schedules.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use proptest::prelude::*;
+
+use mpsoc_sim::Machine;
+use os21::{MessageQueue, Rtos};
+use sim_kernel::Kernel;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn message_queue_fifo_for_any_delays_and_capacity(
+        delays in prop::collection::vec(0u64..200, 1..40),
+        capacity in 1usize..8,
+    ) {
+        let mut kernel = Kernel::new();
+        let rtos = Rtos::new(Machine::sti7200());
+        let q: MessageQueue<usize> =
+            MessageQueue::with_events(capacity, kernel.alloc_event(), kernel.alloc_event());
+        let n = delays.len();
+        let tx = q.clone();
+        rtos.spawn_task(&mut kernel, 1, "producer", 0, move |t| {
+            for (i, d) in delays.iter().enumerate() {
+                t.delay(*d);
+                tx.send(&t, i);
+            }
+        });
+        let got = Arc::new(Mutex::new(Vec::new()));
+        let g = Arc::clone(&got);
+        rtos.spawn_task(&mut kernel, 2, "consumer", 0, move |t| {
+            for _ in 0..n {
+                g.lock().push(q.receive(&t));
+            }
+        });
+        kernel.run().unwrap();
+        prop_assert_eq!(got.lock().clone(), (0..n).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn task_time_never_exceeds_wall_time(
+        ops in prop::collection::vec(1u64..100_000, 1..10),
+        sleeps in prop::collection::vec(0u64..10_000, 1..10),
+    ) {
+        let mut kernel = Kernel::new();
+        let rtos = Rtos::new(Machine::sti7200());
+        rtos.spawn_task(&mut kernel, 1, "t", 0, move |t| {
+            for (o, s) in ops.iter().zip(sleeps.iter()) {
+                t.compute(mpsoc_sim::ComputeClass::Dsp, *o);
+                t.delay(*s);
+            }
+        });
+        kernel.run().unwrap();
+        let task = rtos.task_time_ns("t").unwrap();
+        prop_assert!(task <= kernel.now(), "task {} wall {}", task, kernel.now());
+        prop_assert!(task > 0);
+    }
+}

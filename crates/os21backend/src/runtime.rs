@@ -1,0 +1,323 @@
+//! Per-component runtime on the simulated MPSoC: implements [`Ctx`] over
+//! OS21 tasks and EMBX distributed objects.
+
+use std::collections::HashMap;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use sim_kernel::EventId;
+
+use embera::observe::engine::ObsEngine;
+use embera::{Behavior, ComponentStats, Ctx, EmberaError, Message, Work, WorkClass, INTROSPECTION};
+use embx::DistributedObject;
+use mpsoc_sim::{ComputeClass, RegionId};
+use os21::TaskCtx;
+
+/// A provided-interface endpoint: the EMBX distributed object carrying
+/// the bytes plus a typed sidecar queue carrying the [`Message`]
+/// envelope. Both are pushed under the simulator's one-process-at-a-time
+/// guarantee, so they stay aligned.
+#[derive(Clone)]
+pub(crate) struct Endpoint {
+    pub(crate) object: DistributedObject,
+    pub(crate) side: Arc<Mutex<VecDeque<Message>>>,
+}
+
+impl Endpoint {
+    pub(crate) fn new(object: DistributedObject) -> Self {
+        Endpoint {
+            object,
+            side: Arc::new(Mutex::new(VecDeque::new())),
+        }
+    }
+}
+
+/// Shared application-level state on the MPSoC backend.
+pub(crate) struct AppShared {
+    pub(crate) shutdown: Arc<AtomicBool>,
+    /// Application (non-observer) components whose behavior has not
+    /// finished yet.
+    pub(crate) remaining: Arc<AtomicUsize>,
+    /// Activity events of every component, notified at shutdown so
+    /// blocked service loops wake and exit.
+    pub(crate) activity_events: Arc<Mutex<Vec<EventId>>>,
+    pub(crate) errors: Arc<Mutex<Vec<(String, EmberaError)>>>,
+}
+
+pub(crate) struct Os21Runtime {
+    pub(crate) name: String,
+    pub(crate) provided: HashMap<String, Endpoint>,
+    pub(crate) routes: HashMap<String, Endpoint>,
+    pub(crate) stats: Arc<ComponentStats>,
+    pub(crate) engine: ObsEngine,
+    /// Region the component's payloads live in on its CPU (LMI for
+    /// ST231, SDRAM for the ST40).
+    pub(crate) local_region: RegionId,
+    /// Event notified whenever any of this component's objects receives
+    /// a message (and at shutdown).
+    pub(crate) activity: EventId,
+    pub(crate) app: Arc<AppShared>,
+    pub(crate) observe: bool,
+    pub(crate) is_observer: bool,
+    /// Rolling cursor through the component's working set; compute
+    /// memory traffic streams through it so the L1 model sees realistic
+    /// (partially reused, partially fresh) addresses.
+    pub(crate) mem_cursor: std::sync::atomic::AtomicU64,
+}
+
+impl Os21Runtime {
+    /// Task body: run the behavior, account completion, then serve
+    /// observation until shutdown.
+    pub(crate) fn run_task(self, task: TaskCtx, mut behavior: Box<dyn Behavior>) {
+        self.stats.mark_started(task.now_ns());
+        let result = {
+            let mut ctx = Os21Ctx {
+                rt: &self,
+                task: &task,
+            };
+            behavior.run(&mut ctx)
+        };
+        self.stats.mark_finished(task.now_ns());
+        self.stats.set_cpu_time_ns(task.task_time());
+        let failed = if let Err(e) = result {
+            self.app.errors.lock().push((self.name.clone(), e));
+            true
+        } else {
+            false
+        };
+        if !self.is_observer {
+            let left = self.app.remaining.fetch_sub(1, Ordering::AcqRel) - 1;
+            // Shutdown when the application completes — or immediately on
+            // failure (fail fast: peers blocked in recv drain out with
+            // `Terminated` instead of deadlocking the simulation).
+            if left == 0 || failed {
+                self.app.shutdown.store(true, Ordering::Release);
+                for e in self.app.activity_events.lock().iter() {
+                    task.sim().notify(*e);
+                }
+            }
+        }
+        // Quiescent observation service loop. Blocking is purely
+        // event-driven (no periodic timeouts): a polling loop would
+        // generate virtual-time events forever and mask real deadlocks
+        // from the kernel's detector.
+        while !self.app.shutdown.load(Ordering::Acquire) {
+            self.service_introspection(&task);
+            if self.app.shutdown.load(Ordering::Acquire) {
+                break;
+            }
+            task.sim().wait(self.activity);
+        }
+        self.stats.set_cpu_time_ns(task.task_time());
+    }
+
+    /// Drain and answer pending observation requests.
+    pub(crate) fn service_introspection(&self, task: &TaskCtx) {
+        if !self.observe {
+            return;
+        }
+        let Some(ep) = self.provided.get(INTROSPECTION) else {
+            return;
+        };
+        loop {
+            let msg = {
+                if ep.object.try_receive_uncosted().is_none() {
+                    break;
+                }
+                match ep.side.lock().pop_front() {
+                    Some(m) => m,
+                    None => break,
+                }
+            };
+            if let Message::ObsRequest { from: _, request } = msg {
+                let queued: u64 = self
+                    .provided
+                    .values()
+                    .map(|ep| ep.side.lock().iter().map(|m| m.data_len() as u64).sum::<u64>())
+                    .sum();
+                self.stats.set_queued_bytes(queued);
+                let mut report_reply = self.engine.answer(request, task.now_ns());
+                // Keep RTOS CPU-time fresh in OS-level replies.
+                self.stats.set_cpu_time_ns(task.task_time());
+                if let embera::ObsReply::Full(ref mut r) = report_reply {
+                    r.os.cpu_time_ns = task.task_time();
+                }
+                if let Some(route) = self.routes.get(INTROSPECTION) {
+                    push_message(
+                        route,
+                        task,
+                        self.local_region,
+                        Message::ObsReply {
+                            from: self.name.clone(),
+                            reply: Box::new(report_reply),
+                        },
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Push a message through an endpoint: bytes through the distributed
+/// object (charging EMBX costs), the typed envelope through the sidecar.
+/// Returns the ns the EMBX send took.
+pub(crate) fn push_message(
+    ep: &Endpoint,
+    task: &TaskCtx,
+    src_region: RegionId,
+    msg: Message,
+) -> u64 {
+    let wire: Vec<u8> = match &msg {
+        Message::Data(b) => b.to_vec(),
+        other => vec![0u8; other.wire_size()],
+    };
+    ep.side.lock().push_back(msg);
+    ep.object.send(task, src_region, &wire)
+}
+
+/// The [`Ctx`] implementation for behaviors on the simulated MPSoC.
+pub(crate) struct Os21Ctx<'a> {
+    pub(crate) rt: &'a Os21Runtime,
+    pub(crate) task: &'a TaskCtx,
+}
+
+impl Os21Ctx<'_> {
+    fn endpoint_recv(
+        &self,
+        ep: &Endpoint,
+        provided: &str,
+        deadline_ns: Option<u64>,
+    ) -> Result<Option<Message>, EmberaError> {
+        loop {
+            self.rt.service_introspection(self.task);
+            if let Some(wire) = ep.object.try_receive_uncosted() {
+                let msg = ep
+                    .side
+                    .lock()
+                    .pop_front()
+                    .expect("sidecar out of sync with distributed object");
+                // Charge the EMBX receive cost for the wire bytes.
+                let ns =
+                    ep.object
+                        .charge_receive_cost(self.task, self.rt.local_region, wire.len() as u64);
+                if msg.is_data() && self.rt.observe {
+                    self.rt
+                        .stats
+                        .record_receive(provided, msg.data_len() as u64, ns);
+                }
+                return Ok(Some(msg));
+            }
+            let now = self.task.now_ns();
+            match deadline_ns {
+                Some(d) if now >= d => return Ok(None),
+                Some(d) => {
+                    self.task.sim().wait_timeout(self.rt.activity, d - now);
+                }
+                None => {
+                    if self.rt.app.shutdown.load(Ordering::Acquire) {
+                        return Err(EmberaError::Terminated);
+                    }
+                    // Event-driven block: woken by any message to this
+                    // component or by application shutdown. A genuinely
+                    // stuck receive leaves the kernel with no events,
+                    // surfacing as a named deadlock.
+                    self.task.sim().wait(self.rt.activity);
+                }
+            }
+        }
+    }
+}
+
+impl Ctx for Os21Ctx<'_> {
+    fn component(&self) -> &str {
+        &self.rt.name
+    }
+
+    fn send_message(&mut self, required: &str, msg: Message) -> Result<(), EmberaError> {
+        let Some(route) = self.rt.routes.get(required) else {
+            if required == INTROSPECTION {
+                return Ok(());
+            }
+            return Err(EmberaError::Disconnected {
+                component: self.rt.name.clone(),
+                interface: required.to_string(),
+            });
+        };
+        let is_data = msg.is_data();
+        let bytes = msg.data_len() as u64;
+        let ns = push_message(route, self.task, self.rt.local_region, msg);
+        if is_data && self.rt.observe {
+            self.rt.stats.record_send(required, bytes, ns);
+        }
+        self.rt.service_introspection(self.task);
+        Ok(())
+    }
+
+    fn recv_message(&mut self, provided: &str) -> Result<Message, EmberaError> {
+        let ep = self
+            .rt
+            .provided
+            .get(provided)
+            .ok_or_else(|| EmberaError::UnknownInterface {
+                component: self.rt.name.clone(),
+                interface: provided.to_string(),
+            })?
+            .clone();
+        match self.endpoint_recv(&ep, provided, None)? {
+            Some(m) => Ok(m),
+            None => Err(EmberaError::Terminated),
+        }
+    }
+
+    fn recv_message_timeout(
+        &mut self,
+        provided: &str,
+        timeout_ns: u64,
+    ) -> Result<Option<Message>, EmberaError> {
+        let ep = self
+            .rt
+            .provided
+            .get(provided)
+            .ok_or_else(|| EmberaError::UnknownInterface {
+                component: self.rt.name.clone(),
+                interface: provided.to_string(),
+            })?
+            .clone();
+        let deadline = self.task.now_ns().saturating_add(timeout_ns);
+        self.endpoint_recv(&ep, provided, Some(deadline))
+    }
+
+    fn compute(&mut self, work: Work) {
+        let class = match work.class {
+            WorkClass::Control => ComputeClass::Control,
+            WorkClass::Dsp => ComputeClass::Dsp,
+            WorkClass::MemCopy => ComputeClass::MemCopy,
+        };
+        if work.ops > 0 {
+            self.task.compute(class, work.ops);
+        }
+        if work.mem_bytes > 0 {
+            // Walk the component's working set so the cache model sees a
+            // mix of reuse and fresh lines instead of one hot address.
+            let machine = self.task.rtos().machine().clone();
+            let region = machine.memory_map().region(self.rt.local_region);
+            let window = region.size.saturating_sub(work.mem_bytes).max(1);
+            let cursor = self
+                .rt
+                .mem_cursor
+                .fetch_add(work.mem_bytes * 7 + 64, Ordering::Relaxed);
+            let addr = region.base + (cursor % window);
+            self.task.mem_access(addr, work.mem_bytes);
+        }
+    }
+
+    fn now_ns(&self) -> u64 {
+        self.task.now_ns()
+    }
+
+    fn should_stop(&self) -> bool {
+        self.rt.app.shutdown.load(Ordering::Acquire)
+    }
+}

@@ -1,0 +1,350 @@
+//! Simulated processes and the [`SimCtx`] handle they run against.
+//!
+//! A simulated process is host thread that cooperates with the kernel in
+//! strict lock-step: the kernel resumes it, the process runs until it
+//! needs virtual time to pass (or an event to fire), then it yields back.
+//! Only one process thread executes at any instant, which is what makes
+//! the simulation deterministic.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::{Condvar, Mutex};
+
+use crate::Time;
+
+/// Identifier of a simulated process.
+pub type Pid = usize;
+
+/// An event token processes can wait on and notify.
+///
+/// Events are cheap: allocating one just bumps a counter. The kernel keeps
+/// the waiter bookkeeping.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EventId(pub(crate) u64);
+
+/// Why the kernel resumed a process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ResumeKind {
+    /// `advance` completed, or initial start, or a plain yield.
+    Scheduled,
+    /// The event the process was waiting on was notified.
+    Notified,
+    /// A `wait_timeout` deadline fired before the event was notified.
+    TimedOut,
+    /// The kernel is shutting down; the process must unwind.
+    Killed,
+}
+
+/// What a process reports back to the kernel when it yields.
+#[derive(Debug)]
+pub(crate) enum YieldReason {
+    /// Resume me after `dt` virtual nanoseconds.
+    Advance(Time),
+    /// Block me until `event` is notified.
+    Wait(EventId),
+    /// Block me until `event` is notified or `dt` elapses.
+    WaitTimeout(EventId, Time),
+    /// Reschedule me at the current time, after already-queued events.
+    YieldNow,
+    /// The process body returned.
+    Done,
+    /// The process body panicked with this message.
+    Panicked(String),
+}
+
+/// Lock-step rendezvous between the kernel and one process thread.
+#[derive(Default)]
+pub(crate) struct Rendezvous {
+    state: Mutex<RendezvousState>,
+    cond: Condvar,
+}
+
+#[derive(Default)]
+struct RendezvousState {
+    /// Set by the kernel to hand control to the process.
+    go: Option<ResumeKind>,
+    /// Set by the process to hand control back.
+    yielded: Option<YieldReason>,
+}
+
+impl Rendezvous {
+    /// Kernel side: resume the process and block until it yields.
+    pub(crate) fn resume_and_wait(&self, kind: ResumeKind) -> YieldReason {
+        let mut st = self.state.lock();
+        debug_assert!(st.go.is_none(), "double resume");
+        st.go = Some(kind);
+        self.cond.notify_all();
+        loop {
+            if let Some(reason) = st.yielded.take() {
+                return reason;
+            }
+            self.cond.wait(&mut st);
+        }
+    }
+
+    /// Process side: publish a yield reason and block until resumed.
+    fn yield_and_wait(&self, reason: YieldReason) -> ResumeKind {
+        let mut st = self.state.lock();
+        debug_assert!(st.yielded.is_none(), "double yield");
+        st.yielded = Some(reason);
+        self.cond.notify_all();
+        loop {
+            if let Some(kind) = st.go.take() {
+                return kind;
+            }
+            self.cond.wait(&mut st);
+        }
+    }
+
+    /// Kernel-shutdown path: hand the process a `Killed` resume without
+    /// waiting for a yield (the process thread exits instead of yielding).
+    pub(crate) fn kill(&self) {
+        let mut st = self.state.lock();
+        st.go = Some(ResumeKind::Killed);
+        self.cond.notify_all();
+    }
+
+    /// Process side: wait for the very first resume without yielding.
+    fn wait_first(&self) -> ResumeKind {
+        let mut st = self.state.lock();
+        loop {
+            if let Some(kind) = st.go.take() {
+                return kind;
+            }
+            self.cond.wait(&mut st);
+        }
+    }
+}
+
+/// Side-effect queues a running process fills and the kernel drains after
+/// each yield. Shared by all processes; only one process runs at a time,
+/// so contention is nil.
+#[derive(Default)]
+pub(crate) struct SideEffects {
+    pub(crate) notifications: Mutex<VecDeque<EventId>>,
+    #[allow(clippy::type_complexity)]
+    pub(crate) spawns:
+        Mutex<VecDeque<(String, Box<dyn FnOnce(SimCtx) + Send + 'static>, Pid)>>,
+}
+
+/// Shared process directory: pid allocation, completion events and
+/// finished flags — the state behind [`SimCtx::join`].
+#[derive(Default)]
+pub(crate) struct Directory {
+    entries: Mutex<Vec<DirEntry>>,
+}
+
+pub(crate) struct DirEntry {
+    pub(crate) finished: bool,
+    pub(crate) completion: EventId,
+}
+
+impl Directory {
+    /// Reserve the next pid, recording its completion event.
+    pub(crate) fn reserve(&self, completion: EventId) -> Pid {
+        let mut entries = self.entries.lock();
+        entries.push(DirEntry {
+            finished: false,
+            completion,
+        });
+        entries.len() - 1
+    }
+
+    pub(crate) fn mark_finished(&self, pid: Pid) -> EventId {
+        let mut entries = self.entries.lock();
+        entries[pid].finished = true;
+        entries[pid].completion
+    }
+
+    pub(crate) fn is_finished(&self, pid: Pid) -> bool {
+        self.entries.lock()[pid].finished
+    }
+
+    pub(crate) fn completion(&self, pid: Pid) -> EventId {
+        self.entries.lock()[pid].completion
+    }
+}
+
+/// Shared, lock-free view of kernel state readable from process threads.
+pub(crate) struct SharedClock {
+    pub(crate) now: AtomicU64,
+    pub(crate) next_event_id: AtomicU64,
+    pub(crate) shutting_down: AtomicBool,
+}
+
+impl SharedClock {
+    pub(crate) fn new() -> Self {
+        SharedClock {
+            now: AtomicU64::new(0),
+            next_event_id: AtomicU64::new(0),
+            shutting_down: AtomicBool::new(false),
+        }
+    }
+}
+
+/// Panic payload used to unwind a process thread when the kernel kills it.
+pub(crate) struct KilledToken;
+
+/// Handle through which a simulated process interacts with the kernel.
+///
+/// All blocking operations (`advance`, `wait`, …) transfer control to the
+/// kernel and only return once the kernel schedules this process again.
+/// If the kernel is dropped mid-simulation the next blocking call unwinds
+/// the process thread; user code never observes this (the unwind is caught
+/// at the process boundary).
+pub struct SimCtx {
+    pub(crate) pid: Pid,
+    pub(crate) name: String,
+    pub(crate) rendezvous: Arc<Rendezvous>,
+    pub(crate) clock: Arc<SharedClock>,
+    pub(crate) effects: Arc<SideEffects>,
+    pub(crate) directory: Arc<Directory>,
+}
+
+impl SimCtx {
+    /// This process's identifier.
+    pub fn pid(&self) -> Pid {
+        self.pid
+    }
+
+    /// This process's name (for diagnostics).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Current virtual time in nanoseconds.
+    pub fn now(&self) -> Time {
+        self.clock.now.load(Ordering::Acquire)
+    }
+
+    /// Allocate a fresh event token. Never blocks.
+    pub fn alloc_event(&self) -> EventId {
+        EventId(self.clock.next_event_id.fetch_add(1, Ordering::Relaxed))
+    }
+
+    /// Queue a notification for `event`. All processes currently waiting
+    /// on it are woken (at the current virtual time) once this process
+    /// next yields. Never blocks and never wakes the caller itself.
+    pub fn notify(&self, event: EventId) {
+        self.effects.notifications.lock().push_back(event);
+    }
+
+    /// Let `dt` nanoseconds of virtual time pass.
+    pub fn advance(&self, dt: Time) {
+        self.do_yield(YieldReason::Advance(dt));
+    }
+
+    /// Yield the processor, re-queueing this process at the current time
+    /// *after* all already-scheduled same-time events. Lets same-time
+    /// peers run.
+    pub fn yield_now(&self) {
+        self.do_yield(YieldReason::YieldNow);
+    }
+
+    /// Block until `event` is notified.
+    pub fn wait(&self, event: EventId) {
+        let kind = self.do_yield(YieldReason::Wait(event));
+        debug_assert_eq!(kind, ResumeKind::Notified);
+    }
+
+    /// Block until `event` is notified or `dt` nanoseconds pass.
+    /// Returns `true` if the event fired, `false` on timeout.
+    pub fn wait_timeout(&self, event: EventId, dt: Time) -> bool {
+        match self.do_yield(YieldReason::WaitTimeout(event, dt)) {
+            ResumeKind::Notified => true,
+            ResumeKind::TimedOut => false,
+            other => unreachable!("unexpected resume {other:?}"),
+        }
+    }
+
+    /// Spawn a new simulated process. It becomes runnable at the current
+    /// virtual time, after already-queued same-time events. Returns its
+    /// [`Pid`], usable with [`SimCtx::join`].
+    pub fn spawn<F>(&self, name: impl Into<String>, body: F) -> Pid
+    where
+        F: FnOnce(SimCtx) + Send + 'static,
+    {
+        let pid = self.directory.reserve(self.alloc_event());
+        self.effects
+            .spawns
+            .lock()
+            .push_back((name.into(), Box::new(body), pid));
+        pid
+    }
+
+    /// Block until process `pid` finishes (immediately returns if it
+    /// already has).
+    ///
+    /// ```
+    /// use sim_kernel::Kernel;
+    ///
+    /// let mut kernel = Kernel::new();
+    /// kernel.spawn("parent", |ctx| {
+    ///     let child = ctx.spawn("child", |c| c.advance(250));
+    ///     ctx.join(child);
+    ///     assert_eq!(ctx.now(), 250);
+    /// });
+    /// kernel.run().unwrap();
+    /// ```
+    pub fn join(&self, pid: Pid) {
+        loop {
+            if self.directory.is_finished(pid) {
+                return;
+            }
+            let completion = self.directory.completion(pid);
+            self.wait(completion);
+        }
+    }
+
+    fn do_yield(&self, reason: YieldReason) -> ResumeKind {
+        if self.clock.shutting_down.load(Ordering::Acquire) {
+            std::panic::panic_any(KilledToken);
+        }
+        let kind = self.rendezvous.yield_and_wait(reason);
+        if kind == ResumeKind::Killed {
+            std::panic::panic_any(KilledToken);
+        }
+        kind
+    }
+}
+
+/// Body of a process thread: wait for the initial resume, run the user
+/// closure under `catch_unwind`, and report the outcome.
+pub(crate) fn process_main(ctx: SimCtx, body: Box<dyn FnOnce(SimCtx) + Send + 'static>) {
+    let rendezvous = Arc::clone(&ctx.rendezvous);
+    let first = rendezvous.wait_first();
+    if first == ResumeKind::Killed {
+        return;
+    }
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || body(ctx)));
+    match result {
+        Ok(()) => {
+            // Final yield: the kernel sees Done and never resumes us.
+            let mut st = rendezvous.state.lock();
+            st.yielded = Some(YieldReason::Done);
+            rendezvous.cond.notify_all();
+        }
+        Err(payload) => {
+            if payload.downcast_ref::<KilledToken>().is_some() {
+                // Kernel shutdown: exit silently without reporting.
+                return;
+            }
+            let message = payload_to_string(&*payload);
+            let mut st = rendezvous.state.lock();
+            st.yielded = Some(YieldReason::Panicked(message));
+            rendezvous.cond.notify_all();
+        }
+    }
+}
+
+fn payload_to_string(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}

@@ -1,0 +1,33 @@
+//! # embera-smp — the SMP/Linux platform backend for EMBera
+//!
+//! Reproduces the paper's first implementation (§4): "An EMBera
+//! application is a Linux user process. A component is a data structure
+//! and a POSIX thread. … The communication between components is carried
+//! out by a simple one way asynchronous message-oriented mechanism,
+//! through an established connection. … A provided interface receives
+//! messages … implemented as a FIFO data structure, we have named
+//! mailbox. A required interface corresponds to a pointer towards a
+//! provided interface (mailbox)."
+//!
+//! Mapping here:
+//!
+//! * component → [`std::thread`] with the spec's stack size
+//!   (`pthread_attr_getstacksize` ↦ `thread::Builder::stack_size`),
+//! * provided interface → [`Mailbox`] (mutex + condvar FIFO; alternative
+//!   lock-free implementations are available for the ablation study),
+//! * required interface → a cloneable handle to the target mailbox,
+//! * `gettimeofday` timestamps → a monotonic epoch ([`std::time::Instant`]),
+//! * memory observation → the paper's formula: configured stack size
+//!   plus a per-provided-interface footprint (see
+//!   [`SmpConfig::iface_footprint_bytes`]).
+//!
+//! Observation requests are served by the component runtime at every
+//! communication point and, after the behavior finishes, by a quiescent
+//! service loop — the application code is never modified (paper §4.2).
+
+pub mod mailbox;
+pub mod platform;
+pub mod runtime;
+
+pub use mailbox::{Mailbox, MailboxKind};
+pub use platform::{SmpConfig, SmpPlatform, SmpRunning};

@@ -1,0 +1,370 @@
+//! Mailboxes: the FIFO data structure behind every provided interface
+//! (paper §4.1).
+//!
+//! The default implementation is a `parking_lot` mutex + condvar around a
+//! `VecDeque` — the closest analogue of the paper's pthread mailbox. A
+//! lock-free [`crossbeam::queue::SegQueue`] variant exists for the
+//! mailbox ablation benchmark; it busy-polls with exponential backoff on
+//! the blocking paths.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crossbeam::queue::SegQueue;
+use parking_lot::{Condvar, Mutex};
+
+use embera::Message;
+
+/// Which mailbox implementation to use (ablation A2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MailboxKind {
+    /// Mutex + condvar FIFO (the paper-faithful default; unbounded, as
+    /// in the paper's asynchronous one-way mailboxes).
+    #[default]
+    MutexCondvar,
+    /// Lock-free segmented queue with backoff polling.
+    SegQueue,
+    /// Bounded mutex + condvar FIFO: `push` blocks while the mailbox
+    /// holds `capacity` messages (backpressure — an extension over the
+    /// paper's unbounded design for memory-constrained deployments).
+    Bounded(usize),
+}
+
+enum Impl {
+    Mutex {
+        queue: Mutex<VecDeque<Message>>,
+        nonempty: Condvar,
+    },
+    Seg {
+        queue: SegQueue<Message>,
+    },
+    Bounded {
+        queue: Mutex<VecDeque<Message>>,
+        nonempty: Condvar,
+        nonfull: Condvar,
+        capacity: usize,
+    },
+}
+
+struct Inner {
+    name: String,
+    imp: Impl,
+    /// Bytes of data payload currently queued (dynamic-memory gauge for
+    /// the observation layer).
+    queued_bytes: std::sync::atomic::AtomicU64,
+}
+
+/// A mailbox: multiple senders (required interfaces pointing at it), one
+/// logical receiver (the owning component). Clones share the queue.
+///
+/// ```
+/// use embera::Message;
+/// use embera_smp::{Mailbox, MailboxKind};
+/// use bytes::Bytes;
+///
+/// let mb = Mailbox::new("in", MailboxKind::MutexCondvar);
+/// mb.push(Message::Data(Bytes::from_static(b"hello")));
+/// assert_eq!(mb.len(), 1);
+/// assert_eq!(mb.queued_bytes(), 5);
+/// let Some(Message::Data(payload)) = mb.try_pop() else { unreachable!() };
+/// assert_eq!(&payload[..], b"hello");
+/// ```
+#[derive(Clone)]
+pub struct Mailbox {
+    inner: Arc<Inner>,
+}
+
+impl Mailbox {
+    /// Create a mailbox of the given kind.
+    pub fn new(name: impl Into<String>, kind: MailboxKind) -> Self {
+        let imp = match kind {
+            MailboxKind::MutexCondvar => Impl::Mutex {
+                queue: Mutex::new(VecDeque::new()),
+                nonempty: Condvar::new(),
+            },
+            MailboxKind::SegQueue => Impl::Seg {
+                queue: SegQueue::new(),
+            },
+            MailboxKind::Bounded(capacity) => {
+                assert!(capacity >= 1, "bounded mailbox capacity must be >= 1");
+                Impl::Bounded {
+                    queue: Mutex::new(VecDeque::with_capacity(capacity)),
+                    nonempty: Condvar::new(),
+                    nonfull: Condvar::new(),
+                    capacity,
+                }
+            }
+        };
+        Mailbox {
+            inner: Arc::new(Inner {
+                name: name.into(),
+                imp,
+                queued_bytes: std::sync::atomic::AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Mailbox (interface) name.
+    pub fn name(&self) -> &str {
+        &self.inner.name
+    }
+
+    /// Send: enqueue and wake a waiting receiver. Asynchronous for the
+    /// unbounded kinds; blocks while full for [`MailboxKind::Bounded`].
+    pub fn push(&self, msg: Message) {
+        self.inner
+            .queued_bytes
+            .fetch_add(msg.data_len() as u64, std::sync::atomic::Ordering::Relaxed);
+        match &self.inner.imp {
+            Impl::Mutex { queue, nonempty } => {
+                queue.lock().push_back(msg);
+                nonempty.notify_one();
+            }
+            Impl::Seg { queue } => {
+                queue.push(msg);
+            }
+            Impl::Bounded {
+                queue,
+                nonempty,
+                nonfull,
+                capacity,
+            } => {
+                let mut q = queue.lock();
+                while q.len() >= *capacity {
+                    nonfull.wait(&mut q);
+                }
+                q.push_back(msg);
+                nonempty.notify_one();
+            }
+        }
+    }
+
+    /// Non-blocking receive.
+    pub fn try_pop(&self) -> Option<Message> {
+        let msg = match &self.inner.imp {
+            Impl::Mutex { queue, .. } => queue.lock().pop_front(),
+            Impl::Seg { queue } => queue.pop(),
+            Impl::Bounded { queue, nonfull, .. } => {
+                let m = queue.lock().pop_front();
+                if m.is_some() {
+                    nonfull.notify_one();
+                }
+                m
+            }
+        };
+        if let Some(m) = &msg {
+            self.inner
+                .queued_bytes
+                .fetch_sub(m.data_len() as u64, std::sync::atomic::Ordering::Relaxed);
+        }
+        msg
+    }
+
+    /// Blocking receive with a deadline. `None` on timeout.
+    pub fn pop_timeout(&self, timeout: Duration) -> Option<Message> {
+        let msg = self.pop_timeout_inner(timeout);
+        if let Some(m) = &msg {
+            self.inner
+                .queued_bytes
+                .fetch_sub(m.data_len() as u64, std::sync::atomic::Ordering::Relaxed);
+        }
+        msg
+    }
+
+    fn pop_timeout_inner(&self, timeout: Duration) -> Option<Message> {
+        match &self.inner.imp {
+            Impl::Mutex { queue, nonempty } => {
+                let deadline = Instant::now() + timeout;
+                let mut q = queue.lock();
+                loop {
+                    if let Some(m) = q.pop_front() {
+                        return Some(m);
+                    }
+                    if nonempty.wait_until(&mut q, deadline).timed_out() {
+                        return q.pop_front();
+                    }
+                }
+            }
+            Impl::Bounded {
+                queue,
+                nonempty,
+                nonfull,
+                ..
+            } => {
+                let deadline = Instant::now() + timeout;
+                let mut q = queue.lock();
+                loop {
+                    if let Some(m) = q.pop_front() {
+                        nonfull.notify_one();
+                        return Some(m);
+                    }
+                    if nonempty.wait_until(&mut q, deadline).timed_out() {
+                        let m = q.pop_front();
+                        if m.is_some() {
+                            nonfull.notify_one();
+                        }
+                        return m;
+                    }
+                }
+            }
+            Impl::Seg { queue } => {
+                let deadline = Instant::now() + timeout;
+                let mut spins = 0u32;
+                loop {
+                    if let Some(m) = queue.pop() {
+                        return Some(m);
+                    }
+                    if Instant::now() >= deadline {
+                        return queue.pop();
+                    }
+                    // Exponential backoff: spin, then yield, then nap.
+                    spins = spins.saturating_add(1);
+                    if spins < 64 {
+                        std::hint::spin_loop();
+                    } else if spins < 256 {
+                        std::thread::yield_now();
+                    } else {
+                        std::thread::sleep(Duration::from_micros(50));
+                    }
+                }
+            }
+        }
+    }
+
+    /// Bytes of data payload currently queued.
+    pub fn queued_bytes(&self) -> u64 {
+        self.inner
+            .queued_bytes
+            .load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Messages currently queued.
+    pub fn len(&self) -> usize {
+        match &self.inner.imp {
+            Impl::Mutex { queue, .. } => queue.lock().len(),
+            Impl::Seg { queue } => queue.len(),
+            Impl::Bounded { queue, .. } => queue.lock().len(),
+        }
+    }
+
+    /// Whether the mailbox is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+
+    fn data(v: &'static [u8]) -> Message {
+        Message::Data(Bytes::from_static(v))
+    }
+
+    fn payload(m: Message) -> Bytes {
+        match m {
+            Message::Data(b) => b,
+            other => panic!("expected data, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fifo_order_both_kinds() {
+        for kind in [
+            MailboxKind::MutexCondvar,
+            MailboxKind::SegQueue,
+            MailboxKind::Bounded(2048),
+        ] {
+            let mb = Mailbox::new("m", kind);
+            mb.push(data(b"1"));
+            mb.push(data(b"2"));
+            mb.push(data(b"3"));
+            assert_eq!(&payload(mb.try_pop().unwrap())[..], b"1");
+            assert_eq!(&payload(mb.try_pop().unwrap())[..], b"2");
+            assert_eq!(&payload(mb.try_pop().unwrap())[..], b"3");
+            assert!(mb.try_pop().is_none());
+        }
+    }
+
+    #[test]
+    fn pop_timeout_times_out_when_empty() {
+        for kind in [
+            MailboxKind::MutexCondvar,
+            MailboxKind::SegQueue,
+            MailboxKind::Bounded(2048),
+        ] {
+            let mb = Mailbox::new("m", kind);
+            let t0 = Instant::now();
+            assert!(mb.pop_timeout(Duration::from_millis(20)).is_none());
+            assert!(t0.elapsed() >= Duration::from_millis(15));
+        }
+    }
+
+    #[test]
+    fn pop_timeout_wakes_on_push_from_other_thread() {
+        for kind in [
+            MailboxKind::MutexCondvar,
+            MailboxKind::SegQueue,
+            MailboxKind::Bounded(2048),
+        ] {
+            let mb = Mailbox::new("m", kind);
+            let tx = mb.clone();
+            let h = std::thread::spawn(move || {
+                std::thread::sleep(Duration::from_millis(10));
+                tx.push(data(b"late"));
+            });
+            let got = mb.pop_timeout(Duration::from_secs(5));
+            h.join().unwrap();
+            assert_eq!(&payload(got.unwrap())[..], b"late");
+        }
+    }
+
+    #[test]
+    fn bounded_mailbox_applies_backpressure() {
+        let mb = Mailbox::new("m", MailboxKind::Bounded(2));
+        mb.push(data(b"1"));
+        mb.push(data(b"2"));
+        let tx = mb.clone();
+        let t0 = Instant::now();
+        let h = std::thread::spawn(move || {
+            tx.push(data(b"3")); // blocks until a pop makes room
+            Instant::now()
+        });
+        std::thread::sleep(Duration::from_millis(30));
+        assert_eq!(mb.len(), 2, "third push must be blocked");
+        let _ = mb.try_pop();
+        let unblocked_at = h.join().unwrap();
+        assert!(unblocked_at.duration_since(t0) >= Duration::from_millis(25));
+        assert_eq!(mb.len(), 2);
+    }
+
+    #[test]
+    fn concurrent_producers_lose_no_messages() {
+        for kind in [
+            MailboxKind::MutexCondvar,
+            MailboxKind::SegQueue,
+            MailboxKind::Bounded(2048),
+        ] {
+            let mb = Mailbox::new("m", kind);
+            let mut handles = Vec::new();
+            for p in 0..4u8 {
+                let tx = mb.clone();
+                handles.push(std::thread::spawn(move || {
+                    for i in 0..250u32 {
+                        tx.push(Message::Data(Bytes::copy_from_slice(&[p, i as u8])));
+                    }
+                }));
+            }
+            for h in handles {
+                h.join().unwrap();
+            }
+            let mut n = 0;
+            while mb.try_pop().is_some() {
+                n += 1;
+            }
+            assert_eq!(n, 1000);
+        }
+    }
+}

@@ -1,0 +1,167 @@
+//! The trace collector: per-component rings feeding one global trace.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::event::{EventKind, TraceEvent};
+use crate::ring::{Consumer, Producer, SpscRing};
+
+/// Default per-component ring capacity.
+pub const DEFAULT_RING_CAPACITY: usize = 64 * 1024;
+
+/// Producer handle given to one component (one producer per ring keeps
+/// the SPSC contract).
+pub struct TraceHandle {
+    component_id: u32,
+    producer: Producer<TraceEvent>,
+}
+
+impl TraceHandle {
+    /// Emit an event.
+    pub fn emit(&self, ts_ns: u64, kind: EventKind, a: u64, b: u64) {
+        self.producer
+            .push(TraceEvent::new(ts_ns, self.component_id, kind, a, b));
+    }
+
+    /// Component id this handle writes as.
+    pub fn component_id(&self) -> u32 {
+        self.component_id
+    }
+
+    /// Events dropped on this component's ring.
+    pub fn dropped(&self) -> u64 {
+        self.producer.dropped()
+    }
+}
+
+struct Registered {
+    name: String,
+    consumer: Consumer<TraceEvent>,
+}
+
+/// Collects traces from many components. Cloneable; clones share state.
+#[derive(Clone)]
+pub struct TraceCollector {
+    inner: Arc<Mutex<Vec<Registered>>>,
+    ring_capacity: usize,
+}
+
+impl Default for TraceCollector {
+    fn default() -> Self {
+        Self::new(DEFAULT_RING_CAPACITY)
+    }
+}
+
+impl TraceCollector {
+    /// Collector whose component rings hold `ring_capacity` events.
+    pub fn new(ring_capacity: usize) -> Self {
+        TraceCollector {
+            inner: Arc::new(Mutex::new(Vec::new())),
+            ring_capacity,
+        }
+    }
+
+    /// Register a component; returns its producer handle.
+    pub fn register(&self, name: impl Into<String>) -> TraceHandle {
+        let (producer, consumer) = SpscRing::new(self.ring_capacity).split();
+        let mut inner = self.inner.lock();
+        let component_id = inner.len() as u32;
+        inner.push(Registered {
+            name: name.into(),
+            consumer,
+        });
+        TraceHandle {
+            component_id,
+            producer,
+        }
+    }
+
+    /// Component name for an id.
+    pub fn name_of(&self, id: u32) -> Option<String> {
+        self.inner.lock().get(id as usize).map(|r| r.name.clone())
+    }
+
+    /// All registered component names, id order.
+    pub fn names(&self) -> Vec<String> {
+        self.inner.lock().iter().map(|r| r.name.clone()).collect()
+    }
+
+    /// Drain every ring and return the merged trace sorted by timestamp
+    /// (ties broken by component id for determinism).
+    pub fn drain_sorted(&self) -> Vec<TraceEvent> {
+        let inner = self.inner.lock();
+        let mut all = Vec::new();
+        for r in inner.iter() {
+            all.extend(r.consumer.drain());
+        }
+        all.sort_by_key(|e| (e.ts_ns, e.component, kind_rank(e.kind)));
+        all
+    }
+}
+
+fn kind_rank(k: EventKind) -> u8 {
+    match k {
+        EventKind::BehaviorStart => 0,
+        EventKind::SendStart => 1,
+        EventKind::SendEnd => 2,
+        EventKind::Recv => 3,
+        EventKind::Compute => 4,
+        EventKind::ObsServed => 5,
+        EventKind::User(_) => 6,
+        EventKind::BehaviorEnd => 7,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_assigns_sequential_ids() {
+        let c = TraceCollector::new(16);
+        let a = c.register("Fetch");
+        let b = c.register("IDCT_1");
+        assert_eq!(a.component_id(), 0);
+        assert_eq!(b.component_id(), 1);
+        assert_eq!(c.names(), vec!["Fetch", "IDCT_1"]);
+        assert_eq!(c.name_of(1).unwrap(), "IDCT_1");
+        assert!(c.name_of(9).is_none());
+    }
+
+    #[test]
+    fn drain_merges_and_sorts_across_components() {
+        let c = TraceCollector::new(16);
+        let a = c.register("a");
+        let b = c.register("b");
+        b.emit(20, EventKind::Recv, 0, 0);
+        a.emit(10, EventKind::SendStart, 5, 0);
+        a.emit(30, EventKind::SendEnd, 5, 20);
+        let trace = c.drain_sorted();
+        let ts: Vec<u64> = trace.iter().map(|e| e.ts_ns).collect();
+        assert_eq!(ts, vec![10, 20, 30]);
+        // Second drain is empty.
+        assert!(c.drain_sorted().is_empty());
+    }
+
+    #[test]
+    fn concurrent_emission_from_threads() {
+        let c = TraceCollector::new(8192);
+        let handles: Vec<_> = (0..4)
+            .map(|i| c.register(format!("c{i}")))
+            .map(|h| {
+                std::thread::spawn(move || {
+                    for t in 0..1000u64 {
+                        h.emit(t, EventKind::Compute, t, 0);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let trace = c.drain_sorted();
+        assert_eq!(trace.len(), 4000);
+        assert!(trace.windows(2).all(|w| w[0].ts_ns <= w[1].ts_ns));
+    }
+}

@@ -1,0 +1,68 @@
+//! Trace event records.
+
+use serde::{Deserialize, Serialize};
+
+/// What happened.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum EventKind {
+    /// Behavior entered `run`.
+    BehaviorStart,
+    /// Behavior returned from `run`.
+    BehaviorEnd,
+    /// A `send` primitive began; `a` = payload bytes.
+    SendStart,
+    /// The `send` completed; `a` = payload bytes, `b` = duration ns.
+    SendEnd,
+    /// A `receive` returned a message; `a` = payload bytes, `b` =
+    /// duration ns of the primitive.
+    Recv,
+    /// A compute annotation; `a` = abstract ops, `b` = duration ns
+    /// (virtual platforms) or 0 (SMP).
+    Compute,
+    /// An observation request was served.
+    ObsServed,
+    /// Application-defined event; `a`/`b` free.
+    User(u16),
+}
+
+/// One trace record. 32 bytes, `Copy`, cheap to move through rings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceEvent {
+    /// Platform timestamp, ns.
+    pub ts_ns: u64,
+    /// Component id assigned by the collector.
+    pub component: u32,
+    /// Event kind.
+    pub kind: EventKind,
+    /// Kind-specific payload.
+    pub a: u64,
+    /// Kind-specific payload.
+    pub b: u64,
+}
+
+impl TraceEvent {
+    /// Construct an event.
+    pub fn new(ts_ns: u64, component: u32, kind: EventKind, a: u64, b: u64) -> Self {
+        TraceEvent {
+            ts_ns,
+            component,
+            kind,
+            a,
+            b,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn event_is_small_and_copy() {
+        // Keep the record compact: rings move these by value.
+        assert!(std::mem::size_of::<TraceEvent>() <= 40);
+        let e = TraceEvent::new(1, 2, EventKind::SendEnd, 3, 4);
+        let f = e; // Copy
+        assert_eq!(e, f);
+    }
+}

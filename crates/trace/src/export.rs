@@ -1,0 +1,190 @@
+//! Line-oriented trace export and re-import.
+//!
+//! Format: `ts component kind a b`, one event per line, `kind` as a
+//! stable token (`user:<n>` for application events).
+
+use crate::event::{EventKind, TraceEvent};
+
+fn kind_token(k: EventKind) -> String {
+    match k {
+        EventKind::BehaviorStart => "behavior_start".into(),
+        EventKind::BehaviorEnd => "behavior_end".into(),
+        EventKind::SendStart => "send_start".into(),
+        EventKind::SendEnd => "send_end".into(),
+        EventKind::Recv => "recv".into(),
+        EventKind::Compute => "compute".into(),
+        EventKind::ObsServed => "obs_served".into(),
+        EventKind::User(n) => format!("user:{n}"),
+    }
+}
+
+fn parse_kind(tok: &str) -> Result<EventKind, String> {
+    Ok(match tok {
+        "behavior_start" => EventKind::BehaviorStart,
+        "behavior_end" => EventKind::BehaviorEnd,
+        "send_start" => EventKind::SendStart,
+        "send_end" => EventKind::SendEnd,
+        "recv" => EventKind::Recv,
+        "compute" => EventKind::Compute,
+        "obs_served" => EventKind::ObsServed,
+        other => {
+            let Some(n) = other.strip_prefix("user:") else {
+                return Err(format!("unknown event kind '{other}'"));
+            };
+            EventKind::User(n.parse().map_err(|e| format!("bad user id: {e}"))?)
+        }
+    })
+}
+
+/// Serialize events to the text format.
+pub fn to_text(events: &[TraceEvent]) -> String {
+    let mut out = String::new();
+    for e in events {
+        out.push_str(&format!(
+            "{} {} {} {} {}\n",
+            e.ts_ns,
+            e.component,
+            kind_token(e.kind),
+            e.a,
+            e.b
+        ));
+    }
+    out
+}
+
+/// Parse the text format back into events.
+pub fn from_text(text: &str) -> Result<Vec<TraceEvent>, String> {
+    let mut out = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let parts: Vec<&str> = line.split_whitespace().collect();
+        if parts.len() != 5 {
+            return Err(format!("line {}: expected 5 fields", lineno + 1));
+        }
+        let num = |s: &str| -> Result<u64, String> {
+            s.parse().map_err(|e| format!("line {}: {e}", lineno + 1))
+        };
+        out.push(TraceEvent {
+            ts_ns: num(parts[0])?,
+            component: num(parts[1])? as u32,
+            kind: parse_kind(parts[2]).map_err(|e| format!("line {}: {e}", lineno + 1))?,
+            a: num(parts[3])?,
+            b: num(parts[4])?,
+        });
+    }
+    Ok(out)
+}
+
+/// Serialize events into the Chrome trace-event JSON format
+/// (`chrome://tracing` / Perfetto "JSON Array Format"): send/recv/
+/// compute become complete events (`ph: "X"`) on one row per component,
+/// lifecycle markers become instants. Timestamps are microseconds.
+pub fn to_chrome_json(events: &[TraceEvent], names: &[String]) -> String {
+    let name_of = |id: u32| -> String {
+        names
+            .get(id as usize)
+            .cloned()
+            .unwrap_or_else(|| format!("component-{id}"))
+    };
+    let mut out = String::from("[\n");
+    let mut first = true;
+    for e in events {
+        let (label, dur_ns, instant) = match e.kind {
+            EventKind::SendEnd => (format!("send {}B", e.a), e.b, false),
+            EventKind::Recv => (format!("recv {}B", e.a), e.b, false),
+            EventKind::Compute => (format!("compute {} ops", e.a), e.b, false),
+            EventKind::BehaviorStart => ("behavior_start".to_string(), 0, true),
+            EventKind::BehaviorEnd => ("behavior_end".to_string(), 0, true),
+            EventKind::ObsServed => ("obs_served".to_string(), 0, true),
+            EventKind::User(n) => (format!("user:{n}"), e.b, e.b == 0),
+            EventKind::SendStart => continue, // folded into SendEnd
+        };
+        if !first {
+            out.push_str(",\n");
+        }
+        first = false;
+        let ts_us = e.ts_ns as f64 / 1e3;
+        if instant {
+            out.push_str(&format!(
+                "  {{\"name\": \"{label}\", \"ph\": \"i\", \"ts\": {ts_us:.3},                  \"pid\": 1, \"tid\": {}, \"s\": \"t\", \"cat\": \"{}\"}}",
+                e.component,
+                name_of(e.component)
+            ));
+        } else {
+            // Complete events carry their start timestamp.
+            let start_us = (e.ts_ns.saturating_sub(dur_ns)) as f64 / 1e3;
+            out.push_str(&format!(
+                "  {{\"name\": \"{label}\", \"ph\": \"X\", \"ts\": {start_us:.3},                  \"dur\": {:.3}, \"pid\": 1, \"tid\": {}, \"cat\": \"{}\"}}",
+                dur_ns as f64 / 1e3,
+                e.component,
+                name_of(e.component)
+            ));
+        }
+    }
+    out.push_str("\n]\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_every_kind() {
+        let events = vec![
+            TraceEvent::new(1, 0, EventKind::BehaviorStart, 0, 0),
+            TraceEvent::new(2, 0, EventKind::SendStart, 10, 0),
+            TraceEvent::new(3, 0, EventKind::SendEnd, 10, 1),
+            TraceEvent::new(4, 1, EventKind::Recv, 10, 2),
+            TraceEvent::new(5, 1, EventKind::Compute, 99, 3),
+            TraceEvent::new(6, 1, EventKind::ObsServed, 0, 0),
+            TraceEvent::new(7, 1, EventKind::User(42), 1, 2),
+            TraceEvent::new(8, 0, EventKind::BehaviorEnd, 0, 0),
+        ];
+        let text = to_text(&events);
+        assert_eq!(from_text(&text).unwrap(), events);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_skipped() {
+        let text = "# a comment\n\n1 0 recv 2 3\n";
+        let events = from_text(text).unwrap();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].kind, EventKind::Recv);
+    }
+
+    #[test]
+    fn chrome_export_emits_valid_shapes() {
+        let events = vec![
+            TraceEvent::new(1_000, 0, EventKind::BehaviorStart, 0, 0),
+            TraceEvent::new(5_000, 0, EventKind::SendEnd, 256, 3_000),
+            TraceEvent::new(6_000, 1, EventKind::Recv, 256, 500),
+            TraceEvent::new(7_000, 0, EventKind::BehaviorEnd, 0, 0),
+        ];
+        let json = to_chrome_json(&events, &["src".into(), "dst".into()]);
+        assert!(json.starts_with("[\n"));
+        assert!(json.trim_end().ends_with(']'));
+        assert!(json.contains("\"ph\": \"X\""), "complete events present");
+        assert!(json.contains("\"ph\": \"i\""), "instants present");
+        assert!(json.contains("send 256B"));
+        assert!(json.contains("\"cat\": \"src\""));
+        // SendStart events are folded away.
+        assert!(!json.contains("send_start"));
+        // Balanced braces (crude JSON sanity).
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count()
+        );
+    }
+
+    #[test]
+    fn malformed_lines_reported_with_number() {
+        let err = from_text("1 0 recv 2\n").unwrap_err();
+        assert!(err.contains("line 1"), "{err}");
+        let err = from_text("1 0 nope 2 3\n").unwrap_err();
+        assert!(err.contains("unknown event kind"), "{err}");
+    }
+}

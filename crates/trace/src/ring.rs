@@ -1,0 +1,248 @@
+//! A bounded lock-free single-producer single-consumer ring buffer.
+//!
+//! Built from first principles (in the style of *Rust Atomics and Locks*
+//! ch. 5): a fixed slot array, a head index owned by the consumer and a
+//! tail index owned by the producer, synchronized with acquire/release
+//! pairs. Pushing never blocks; when the ring is full the event is
+//! dropped and counted, because tracing must never stall the traced
+//! component.
+
+use std::cell::UnsafeCell;
+use std::mem::MaybeUninit;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+struct RingInner<T> {
+    slots: Box<[UnsafeCell<MaybeUninit<T>>]>,
+    /// Next slot to read; owned by the consumer, read by the producer.
+    head: AtomicUsize,
+    /// Next slot to write; owned by the producer, read by the consumer.
+    tail: AtomicUsize,
+    dropped: AtomicU64,
+}
+
+// SAFETY: the ring is safe to share across threads because every slot is
+// accessed by at most one side at a time: the producer only writes slots
+// in [tail, head+capacity) and publishes them with a release store of
+// `tail`; the consumer only reads slots in [head, tail) after an acquire
+// load of `tail`.
+unsafe impl<T: Send> Send for RingInner<T> {}
+unsafe impl<T: Send> Sync for RingInner<T> {}
+
+/// Producer half of the ring.
+pub struct Producer<T> {
+    inner: Arc<RingInner<T>>,
+}
+
+/// Consumer half of the ring.
+pub struct Consumer<T> {
+    inner: Arc<RingInner<T>>,
+}
+
+/// A bounded SPSC ring; [`SpscRing::split`] yields the two halves.
+///
+/// ```
+/// use embera_trace::SpscRing;
+///
+/// let (producer, consumer) = SpscRing::new(4).split();
+/// assert!(producer.push(1));
+/// assert!(producer.push(2));
+/// assert_eq!(consumer.pop(), Some(1));
+/// assert_eq!(consumer.drain(), vec![2]);
+/// assert_eq!(consumer.pop(), None);
+/// ```
+pub struct SpscRing<T> {
+    inner: Arc<RingInner<T>>,
+}
+
+impl<T> SpscRing<T> {
+    /// Ring with room for `capacity` items (must be ≥ 1).
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity >= 1);
+        let slots = (0..capacity)
+            .map(|_| UnsafeCell::new(MaybeUninit::uninit()))
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
+        SpscRing {
+            inner: Arc::new(RingInner {
+                slots,
+                head: AtomicUsize::new(0),
+                tail: AtomicUsize::new(0),
+                dropped: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Split into producer and consumer halves.
+    pub fn split(self) -> (Producer<T>, Consumer<T>) {
+        (
+            Producer {
+                inner: Arc::clone(&self.inner),
+            },
+            Consumer { inner: self.inner },
+        )
+    }
+}
+
+impl<T> Producer<T> {
+    /// Push an item; returns `false` (and counts a drop) when full.
+    pub fn push(&self, item: T) -> bool {
+        let inner = &*self.inner;
+        let tail = inner.tail.load(Ordering::Relaxed);
+        let head = inner.head.load(Ordering::Acquire);
+        if tail.wrapping_sub(head) >= inner.slots.len() {
+            inner.dropped.fetch_add(1, Ordering::Relaxed);
+            return false;
+        }
+        let idx = tail % inner.slots.len();
+        // SAFETY: slot `idx` is outside [head, tail), so the consumer is
+        // not reading it; we are the only producer.
+        unsafe {
+            (*inner.slots[idx].get()).write(item);
+        }
+        inner.tail.store(tail.wrapping_add(1), Ordering::Release);
+        true
+    }
+
+    /// Events dropped because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.inner.dropped.load(Ordering::Relaxed)
+    }
+}
+
+impl<T> Consumer<T> {
+    /// Pop the oldest item, if any.
+    pub fn pop(&self) -> Option<T> {
+        let inner = &*self.inner;
+        let head = inner.head.load(Ordering::Relaxed);
+        let tail = inner.tail.load(Ordering::Acquire);
+        if head == tail {
+            return None;
+        }
+        let idx = head % inner.slots.len();
+        // SAFETY: slot `idx` is inside [head, tail): the producer wrote
+        // and published it and will not touch it until we advance head.
+        let item = unsafe { (*inner.slots[idx].get()).assume_init_read() };
+        inner.head.store(head.wrapping_add(1), Ordering::Release);
+        Some(item)
+    }
+
+    /// Drain everything currently visible.
+    pub fn drain(&self) -> Vec<T> {
+        let mut out = Vec::new();
+        while let Some(item) = self.pop() {
+            out.push(item);
+        }
+        out
+    }
+
+    /// Items currently buffered.
+    pub fn len(&self) -> usize {
+        let inner = &*self.inner;
+        inner
+            .tail
+            .load(Ordering::Acquire)
+            .wrapping_sub(inner.head.load(Ordering::Relaxed))
+    }
+
+    /// Whether the ring is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<T> Drop for RingInner<T> {
+    fn drop(&mut self) {
+        // Drop any unconsumed items.
+        let head = *self.head.get_mut();
+        let tail = *self.tail.get_mut();
+        for i in head..tail {
+            let idx = i % self.slots.len();
+            // SAFETY: exclusive access in Drop; [head, tail) holds
+            // initialized items.
+            unsafe {
+                (*self.slots[idx].get()).assume_init_drop();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_pop_fifo() {
+        let (p, c) = SpscRing::new(8).split();
+        for i in 0..5 {
+            assert!(p.push(i));
+        }
+        for i in 0..5 {
+            assert_eq!(c.pop(), Some(i));
+        }
+        assert_eq!(c.pop(), None);
+    }
+
+    #[test]
+    fn full_ring_drops_and_counts() {
+        let (p, c) = SpscRing::new(2).split();
+        assert!(p.push(1));
+        assert!(p.push(2));
+        assert!(!p.push(3));
+        assert_eq!(p.dropped(), 1);
+        assert_eq!(c.drain(), vec![1, 2]);
+        // Space again after drain.
+        assert!(p.push(4));
+    }
+
+    #[test]
+    fn wraps_around_many_times() {
+        let (p, c) = SpscRing::new(3).split();
+        for i in 0..1000 {
+            assert!(p.push(i));
+            assert_eq!(c.pop(), Some(i));
+        }
+    }
+
+    #[test]
+    fn concurrent_producer_consumer_preserves_sequence() {
+        let (p, c) = SpscRing::new(64).split();
+        let total = 100_000u64;
+        let producer = std::thread::spawn(move || {
+            let mut sent = 0u64;
+            let mut i = 0u64;
+            while i < total {
+                if p.push(i) {
+                    sent += 1;
+                    i += 1;
+                } else {
+                    std::hint::spin_loop();
+                }
+            }
+            sent
+        });
+        let mut expected = 0u64;
+        while expected < total {
+            if let Some(v) = c.pop() {
+                assert_eq!(v, expected, "sequence must be gapless and ordered");
+                expected += 1;
+            } else {
+                std::hint::spin_loop();
+            }
+        }
+        assert_eq!(producer.join().unwrap(), total);
+    }
+
+    #[test]
+    fn drop_releases_unconsumed_items() {
+        // Use Arc to detect leaks: refcount must return to 1.
+        let tracked = Arc::new(());
+        {
+            let (p, _c) = SpscRing::new(8).split();
+            for _ in 0..5 {
+                p.push(Arc::clone(&tracked));
+            }
+        }
+        assert_eq!(Arc::strong_count(&tracked), 1);
+    }
+}

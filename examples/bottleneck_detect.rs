@@ -1,0 +1,93 @@
+//! Bottleneck detection through observation — the paper's closing
+//! motivation for §4.4: "the execution times indicate that the
+//! application is well load-balanced for the JPEG input size but if
+//! that size changes, the execution times could cause a bottleneck on
+//! the IDCT components."
+//!
+//! This example provokes exactly that: the same MJPEG pipeline run once
+//! with the paper's three IDCTs and once with a single IDCT on larger
+//! frames. The observer's live data (queued payload bytes per provided
+//! interface, send/receive counters) pinpoints the bottleneck without
+//! touching application code.
+//!
+//! ```text
+//! cargo run --release --example bottleneck_detect
+//! ```
+
+use embera::{ObserverConfig, Platform, RunningApp};
+use embera_smp::SmpPlatform;
+use mjpeg::{build_smp_app, synthesize_stream, MjpegAppConfig};
+
+struct RunSummary {
+    label: &'static str,
+    wall_ms: f64,
+    peak_queued: Vec<(String, u64)>,
+}
+
+fn run(label: &'static str, idct_count: usize, width: usize, height: usize) -> RunSummary {
+    let stream = synthesize_stream(150, width, height, 75, 0xB0B0);
+    let cfg = MjpegAppConfig {
+        idct_count,
+        ..Default::default()
+    };
+    let (mut app, _probe) = build_smp_app(stream, &cfg);
+    let log = app.with_observer(ObserverConfig::default().interval_ns(2_000_000));
+    let report = SmpPlatform::new()
+        .deploy(app.build().expect("valid app"))
+        .expect("deploy")
+        .wait()
+        .expect("run");
+
+    // Peak queued bytes per component over all observation rounds.
+    let mut peak: std::collections::BTreeMap<String, u64> = Default::default();
+    for r in log.records() {
+        let e = peak.entry(r.report.component.clone()).or_default();
+        *e = (*e).max(r.report.os.queued_bytes);
+    }
+    RunSummary {
+        label,
+        wall_ms: report.wall_time_ns as f64 / 1e6,
+        peak_queued: peak.into_iter().collect(),
+    }
+}
+
+fn print_summary(s: &RunSummary) {
+    println!("--- {} ({:.1} ms) ---", s.label, s.wall_ms);
+    println!("peak queued payload per component:");
+    let max = s.peak_queued.iter().map(|(_, v)| *v).max().unwrap_or(0);
+    for (name, bytes) in &s.peak_queued {
+        let bar = "#".repeat((bytes * 40 / max.max(1)) as usize);
+        println!("  {name:<16} {bytes:>9} B  {bar}");
+    }
+    if let Some((worst, bytes)) = s.peak_queued.iter().max_by_key(|(_, v)| *v) {
+        if *bytes > 0 {
+            println!("  => deepest backlog at '{worst}' — the pipeline bottleneck");
+        }
+    }
+    println!();
+}
+
+fn main() {
+    println!("Detecting pipeline bottlenecks through EMBera observation\n");
+    // Balanced configuration: the paper's 3 IDCTs on 48x24 frames.
+    let balanced = run("balanced: 3 IDCTs, 48x24 frames", 3, 48, 24);
+    // Provoked bottleneck: one IDCT on 4x larger frames.
+    let skewed = run("bottleneck: 1 IDCT, 96x48 frames", 1, 96, 48);
+
+    print_summary(&balanced);
+    print_summary(&skewed);
+
+    let peak = |s: &RunSummary, name: &str| {
+        s.peak_queued
+            .iter()
+            .find(|(n, _)| n.starts_with(name))
+            .map(|(_, v)| *v)
+            .unwrap_or(0)
+    };
+    let balanced_idct = peak(&balanced, "IDCT");
+    let skewed_idct = peak(&skewed, "IDCT");
+    println!(
+        "IDCT inbox backlog grew from {balanced_idct} B (balanced) to {skewed_idct} B (skewed): \
+         the observation interface exposes the §4.4 bottleneck without modifying the application."
+    );
+}

@@ -1,0 +1,72 @@
+//! Live observation: an observer component sampling a running pipeline,
+//! showing counter progression and the memory-evolution series the paper
+//! lists as future work (§6, experiment X2).
+//!
+//! ```text
+//! cargo run --release --example observer_live
+//! ```
+
+use std::sync::atomic::Ordering;
+
+use embera::{ObserverConfig, Platform, RunningApp};
+use embera_smp::SmpPlatform;
+use mjpeg::{build_smp_app, synthesize_stream, MjpegAppConfig};
+
+fn main() {
+    let stream = synthesize_stream(400, 48, 24, 75, 0xCAFE);
+    let (mut app, probe) = build_smp_app(stream, &MjpegAppConfig::default());
+    let log = app.with_observer(ObserverConfig::default().interval_ns(5_000_000));
+
+    let report = SmpPlatform::new()
+        .deploy(app.build().expect("valid app"))
+        .expect("deploy")
+        .wait()
+        .expect("run");
+
+    println!(
+        "pipeline decoded {} frames in {:.1} ms; observer captured {} snapshots\n",
+        probe.frames_completed.load(Ordering::SeqCst),
+        report.wall_time_ns as f64 / 1e6,
+        log.len()
+    );
+
+    println!("live counter progression (Fetch sends per observation round):");
+    println!("round   t (ms)   fetch_sends   reorder_recvs   fetch_mem (kB)");
+    let records = log.records();
+    let mut by_round: std::collections::BTreeMap<u64, (u64, u64, u64, u64)> =
+        std::collections::BTreeMap::new();
+    for r in &records {
+        let e = by_round.entry(r.round).or_insert((0, 0, 0, 0));
+        e.0 = e.0.max(r.at_ns);
+        match r.report.component.as_str() {
+            "Fetch" => {
+                e.1 = r.report.app.total_sends;
+                e.3 = r.report.os.memory_bytes / 1000;
+            }
+            "Reorder" => e.2 = r.report.app.total_receives,
+            _ => {}
+        }
+    }
+    for (round, (t, sends, recvs, mem)) in &by_round {
+        println!(
+            "{:>5} {:>8.1} {:>13} {:>15} {:>16}",
+            round,
+            *t as f64 / 1e6,
+            sends,
+            recvs,
+            mem
+        );
+    }
+
+    println!("\nfinal multi-level report, per component:");
+    for r in &report.components {
+        println!(
+            "  {:<14} exec {:>9} us | {:>6} sends {:>6} recvs | send mean {:>6} ns",
+            r.component,
+            r.os.exec_time_ns / 1_000,
+            r.app.total_sends,
+            r.app.total_receives,
+            r.middleware.send.mean_ns()
+        );
+    }
+}

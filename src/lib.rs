@@ -1,0 +1,20 @@
+//! # embera-repro — workspace root of the EMBera reproduction
+//!
+//! Reproduction of *"Towards a Component-based Observation of MPSoC"*
+//! (Prada-Rojas et al., INRIA RR-6905, 2009). See `DESIGN.md` for the
+//! system inventory and `EXPERIMENTS.md` for paper-vs-measured results.
+//!
+//! This crate hosts the shared experiment harnesses used by the
+//! examples, the integration tests and the `repro` benchmark binary:
+//!
+//! * [`sweep`] — message-size sweeps behind Figure 4 (SMP send time)
+//!   and Figure 8 (MPSoC send time per CPU),
+//! * [`tables`] — rendering of Tables 1-3 from [`embera::AppReport`]s
+//!   and a least-squares linearity check,
+//! * [`stats`] — small numeric helpers.
+
+pub mod stats;
+pub mod sweep;
+pub mod tables;
+
+pub use stats::{linear_fit, LinearFit};

@@ -1,0 +1,160 @@
+//! Failure injection: misbehaving components, corrupt messages, and
+//! stuck pipelines must surface as diagnosable errors, not hangs.
+
+use bytes::Bytes;
+use embera::behavior::behavior_fn;
+use embera::{AppBuilder, ComponentSpec, EmberaError, Platform, RunningApp};
+use embera_os21::Os21Platform;
+use embera_smp::SmpPlatform;
+
+fn two_stage(
+    src: impl embera::Behavior + 'static,
+    dst: impl embera::Behavior + 'static,
+) -> AppBuilder {
+    let mut app = AppBuilder::new("fault");
+    app.add(
+        ComponentSpec::new("src", src)
+            .with_required("out")
+            .with_stack_bytes(1 << 20)
+            .on_cpu(0),
+    );
+    app.add(
+        ComponentSpec::new("dst", dst)
+            .with_provided("in")
+            .with_stack_bytes(1 << 20)
+            .on_cpu(1),
+    );
+    app.connect(("src", "out"), ("dst", "in"));
+    app
+}
+
+#[test]
+fn behavior_error_is_attributed_on_smp() {
+    let app = two_stage(
+        behavior_fn(|_ctx| Err(EmberaError::Platform("injected fault".into()))),
+        behavior_fn(|ctx| {
+            // Must not hang: bounded wait, then give up.
+            let _ = ctx.recv_timeout("in", 50_000_000)?;
+            Ok(())
+        }),
+    );
+    let err = SmpPlatform::new()
+        .deploy(app.build().unwrap())
+        .unwrap()
+        .wait()
+        .unwrap_err();
+    let EmberaError::Platform(msg) = err else {
+        panic!("wrong error kind");
+    };
+    assert!(msg.contains("src"), "{msg}");
+    assert!(msg.contains("injected fault"), "{msg}");
+}
+
+#[test]
+fn behavior_error_is_attributed_on_mpsoc() {
+    let app = two_stage(
+        behavior_fn(|_ctx| Err(EmberaError::Platform("injected fault".into()))),
+        behavior_fn(|ctx| {
+            let _ = ctx.recv_timeout("in", 50_000_000)?;
+            Ok(())
+        }),
+    );
+    let err = Os21Platform::three_cpu()
+        .deploy(app.build().unwrap())
+        .unwrap()
+        .wait()
+        .unwrap_err();
+    let EmberaError::Platform(msg) = err else {
+        panic!("wrong error kind");
+    };
+    assert!(msg.contains("src") && msg.contains("injected fault"), "{msg}");
+}
+
+#[test]
+fn stuck_receiver_on_mpsoc_is_diagnosed_as_deadlock() {
+    // dst waits forever for a message src never sends: the simulator's
+    // deadlock detector must fire (instead of hanging the host).
+    let app = two_stage(
+        behavior_fn(|_ctx| Ok(())), // sends nothing
+        behavior_fn(|ctx| {
+            let _ = ctx.recv("in")?; // blocks forever
+            Ok(())
+        }),
+    );
+    let err = Os21Platform::three_cpu()
+        .deploy(app.build().unwrap())
+        .unwrap()
+        .wait()
+        .unwrap_err();
+    let EmberaError::Platform(msg) = err else {
+        panic!("wrong error kind");
+    };
+    assert!(msg.contains("deadlock"), "{msg}");
+    assert!(msg.contains("dst"), "blocked component must be named: {msg}");
+}
+
+#[test]
+fn corrupt_wire_message_is_rejected_not_misparsed() {
+    // A pipeline stage that receives a malformed coefficient message
+    // must fail cleanly with a length diagnosis.
+    let app = two_stage(
+        behavior_fn(|ctx| ctx.send("out", Bytes::from_static(b"not a block"))),
+        behavior_fn(|ctx| {
+            let msg = ctx.recv("in")?;
+            mjpeg::pipeline::decode_coeff_msg(&msg).map(|_| ())
+        }),
+    );
+    let err = SmpPlatform::new()
+        .deploy(app.build().unwrap())
+        .unwrap()
+        .wait()
+        .unwrap_err();
+    let EmberaError::Platform(msg) = err else {
+        panic!("wrong error kind")
+    };
+    assert!(msg.contains("bad coefficient message length"), "{msg}");
+}
+
+#[test]
+fn truncated_stream_fails_with_frame_and_block_context() {
+    // Truncate a frame's entropy data: the Fetch behavior must name the
+    // frame and block where decoding died.
+    let mut stream = mjpeg::synthesize_stream(4, 48, 24, 75, 9);
+    let data = &mut stream.frames[2].data;
+    data.truncate(data.len() / 4);
+    let (app, _probe) = mjpeg::build_smp_app(stream, &mjpeg::MjpegAppConfig::default());
+    let err = SmpPlatform::new()
+        .deploy(app.build().unwrap())
+        .unwrap()
+        .wait()
+        .unwrap_err();
+    let EmberaError::Platform(msg) = err else {
+        panic!("wrong error kind")
+    };
+    assert!(msg.contains("frame 2"), "{msg}");
+    assert!(msg.contains("exhausted"), "{msg}");
+}
+
+#[test]
+fn unknown_interface_access_is_reported() {
+    let app = two_stage(
+        behavior_fn(|ctx| {
+            match ctx.recv_timeout("no_such_iface", 1_000) {
+                Err(EmberaError::UnknownInterface { interface, .. }) => {
+                    assert_eq!(interface, "no_such_iface");
+                    Ok(())
+                }
+                other => panic!("expected UnknownInterface, got {other:?}"),
+            }
+        }),
+        behavior_fn(|ctx| {
+            let _ = ctx.recv_timeout("in", 1_000)?;
+            Ok(())
+        }),
+    );
+    SmpPlatform::new()
+        .deploy(app.build().unwrap())
+        .unwrap()
+        .wait()
+        .unwrap();
+}
