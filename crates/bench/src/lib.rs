@@ -36,6 +36,23 @@ pub fn run_smp_mjpeg(frames: usize, seed: u64) -> AppReport {
         .expect("run")
 }
 
+/// Run the SMP MJPEG pipeline under an arbitrary configuration with the
+/// observer attached. Returns the report plus the number of frames the
+/// probe saw completed (a self-check for the benchmark harness).
+pub fn run_smp_mjpeg_with(frames: usize, seed: u64, cfg: &MjpegAppConfig) -> (AppReport, u64) {
+    let (mut app, probe) = build_smp_app(stream(frames, seed), cfg);
+    let _log = app.with_observer(ObserverConfig::default().interval_ns(20_000_000));
+    let report = SmpPlatform::new()
+        .deploy(app.build().expect("valid app"))
+        .expect("deploy")
+        .wait()
+        .expect("run");
+    let done = probe
+        .frames_completed
+        .load(std::sync::atomic::Ordering::SeqCst);
+    (report, done)
+}
+
 /// Run the MPSoC MJPEG pipeline on the simulated three-CPU STi7200.
 pub fn run_mpsoc_mjpeg(frames: usize, seed: u64) -> AppReport {
     let cfg = MjpegAppConfig {

@@ -40,11 +40,7 @@ pub struct TimingSnapshot {
 impl TimingSnapshot {
     /// Mean duration in ns (0 when no samples).
     pub fn mean_ns(&self) -> u64 {
-        if self.count == 0 {
-            0
-        } else {
-            self.total_ns / self.count
-        }
+        self.total_ns.checked_div(self.count).unwrap_or(0)
     }
 }
 
@@ -64,11 +60,7 @@ pub struct SizeBucket {
 impl SizeBucket {
     /// Mean duration per operation in this bucket.
     pub fn mean_ns(&self) -> u64 {
-        if self.count == 0 {
-            0
-        } else {
-            self.total_ns / self.count
-        }
+        self.total_ns.checked_div(self.count).unwrap_or(0)
     }
 }
 

@@ -243,8 +243,10 @@ mod tests {
         let log = ObservationLog::new();
         for round in 0..3u64 {
             for name in ["a", "b"] {
-                let mut report = ObservationReport::default();
-                report.component = name.to_string();
+                let mut report = ObservationReport {
+                    component: name.to_string(),
+                    ..Default::default()
+                };
                 report.os.exec_time_ns = round;
                 log.push(ObservationRecord {
                     at_ns: round,

@@ -63,11 +63,15 @@ mod tests {
 
     #[test]
     fn report_lookup_and_totals() {
-        let mut a = ObservationReport::default();
-        a.component = "a".into();
+        let mut a = ObservationReport {
+            component: "a".into(),
+            ..Default::default()
+        };
         a.app.total_sends = 3;
-        let mut b = ObservationReport::default();
-        b.component = "b".into();
+        let mut b = ObservationReport {
+            component: "b".into(),
+            ..Default::default()
+        };
         b.app.total_receives = 3;
         let report = AppReport {
             app_name: "app".into(),

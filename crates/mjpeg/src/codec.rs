@@ -11,11 +11,14 @@
 //! 3. **reassembly** (Reorder): [`place_block`].
 
 use crate::bitstream::{BitReader, BitWriter, OutOfBits};
-use crate::dct::{fdct, pixels_to_centered, BLOCK_SIZE, N};
+use crate::dct::{fdct, pixels_to_centered, DctKind, BLOCK_SIZE, N};
 use crate::huffman::{
     category, put_magnitude, read_magnitude, HuffDecoder, HuffEncoder, HuffSpec,
 };
-use crate::quant::{dequantize_reorder, quantize_zigzag, scaled_qtable};
+use crate::quant::{
+    dequantize_reorder, dequantize_reorder_scaled, fast_dequant_table, fast_quant_divisors,
+    quantize_zigzag, quantize_zigzag_fast, scaled_qtable,
+};
 
 /// End-of-block marker symbol.
 const EOB: u8 = 0x00;
@@ -35,6 +38,18 @@ pub fn encode_block_with(
 ) -> i32 {
     let coeffs = fdct(&pixels_to_centered(pixels));
     let zz = quantize_zigzag(&coeffs, qtable);
+    encode_quantized_block(writer, dc_enc, ac_enc, dc_pred, &zz)
+}
+
+/// Entropy-code an already-quantized zigzag block (the emission half of
+/// [`encode_block_with`], shared by the float and fast-AAN front ends).
+pub fn encode_quantized_block(
+    writer: &mut BitWriter,
+    dc_enc: &HuffEncoder,
+    ac_enc: &HuffEncoder,
+    dc_pred: i32,
+    zz: &[i16; BLOCK_SIZE],
+) -> i32 {
     let dc = zz[0] as i32;
     let diff = dc - dc_pred;
     let cat = category(diff);
@@ -63,21 +78,54 @@ pub fn encode_block_with(
 }
 
 /// Decode one block (zigzag order) with explicit tables and DC
-/// predictor; returns the coefficients and the new predictor.
+/// predictor; returns the coefficients and the new predictor. Uses the
+/// two-level LUT Huffman decoder; [`decode_block_bitwise`] is the
+/// bit-serial original.
 pub fn decode_block_with(
     reader: &mut BitReader<'_>,
     dc_dec: &HuffDecoder,
     ac_dec: &HuffDecoder,
     dc_pred: i32,
 ) -> Result<([i16; BLOCK_SIZE], i32), OutOfBits> {
+    decode_block_mode(reader, dc_dec, ac_dec, dc_pred, true)
+}
+
+/// [`decode_block_with`] on the bit-at-a-time Huffman path — the
+/// unoptimized decoder the paper's workload models, kept both as the
+/// property-test oracle and as the honest "before" of the benchmark
+/// baseline.
+pub fn decode_block_bitwise(
+    reader: &mut BitReader<'_>,
+    dc_dec: &HuffDecoder,
+    ac_dec: &HuffDecoder,
+    dc_pred: i32,
+) -> Result<([i16; BLOCK_SIZE], i32), OutOfBits> {
+    decode_block_mode(reader, dc_dec, ac_dec, dc_pred, false)
+}
+
+fn decode_block_mode(
+    reader: &mut BitReader<'_>,
+    dc_dec: &HuffDecoder,
+    ac_dec: &HuffDecoder,
+    dc_pred: i32,
+    fast: bool,
+) -> Result<([i16; BLOCK_SIZE], i32), OutOfBits> {
     let mut zz = [0i16; BLOCK_SIZE];
-    let cat = dc_dec.decode(reader)?;
+    let cat = if fast {
+        dc_dec.decode_fast(reader)?
+    } else {
+        dc_dec.decode(reader)?
+    };
     let diff = read_magnitude(reader, cat)?;
     let dc = dc_pred + diff;
     zz[0] = dc as i16;
     let mut k = 1usize;
     while k < BLOCK_SIZE {
-        let rs = ac_dec.decode(reader)?;
+        let rs = if fast {
+            ac_dec.decode_fast(reader)?
+        } else {
+            ac_dec.decode(reader)?
+        };
         if rs == EOB {
             break;
         }
@@ -102,17 +150,29 @@ pub struct BlockEncoder {
     dc_enc: HuffEncoder,
     ac_enc: HuffEncoder,
     qtable: [u16; BLOCK_SIZE],
+    /// Folded AAN divisors, present when `kind` is [`DctKind::FastAan`].
+    fast_divisors: Option<[i64; BLOCK_SIZE]>,
     dc_pred: i32,
     writer: BitWriter,
 }
 
 impl BlockEncoder {
-    /// Encoder at the given quality.
+    /// Encoder at the given quality (reference float kernel).
     pub fn new(quality: u8) -> Self {
+        Self::with_kind(quality, DctKind::ReferenceFloat)
+    }
+
+    /// Encoder at the given quality using the selected DCT kernel.
+    pub fn with_kind(quality: u8, kind: DctKind) -> Self {
+        let qtable = scaled_qtable(quality);
         BlockEncoder {
             dc_enc: HuffEncoder::new(&HuffSpec::luma_dc()),
             ac_enc: HuffEncoder::new(&HuffSpec::luma_ac()),
-            qtable: scaled_qtable(quality),
+            fast_divisors: match kind {
+                DctKind::ReferenceFloat => None,
+                DctKind::FastAan => Some(fast_quant_divisors(&qtable)),
+            },
+            qtable,
             dc_pred: 0,
             writer: BitWriter::new(),
         }
@@ -120,13 +180,22 @@ impl BlockEncoder {
 
     /// Encode one 8×8 pixel block (row-major).
     pub fn push_block(&mut self, pixels: &[u8; BLOCK_SIZE]) {
-        self.dc_pred = encode_block_with(
+        let zz = match &self.fast_divisors {
+            None => quantize_zigzag(&fdct(&pixels_to_centered(pixels)), &self.qtable),
+            Some(div) => {
+                let mut centered = [0i32; BLOCK_SIZE];
+                for (d, &p) in centered.iter_mut().zip(pixels.iter()) {
+                    *d = p as i32 - 128;
+                }
+                quantize_zigzag_fast(&crate::dct::fdct_fast_scaled(&centered), div)
+            }
+        };
+        self.dc_pred = encode_quantized_block(
             &mut self.writer,
             &self.dc_enc,
             &self.ac_enc,
-            &self.qtable,
             self.dc_pred,
-            pixels,
+            &zz,
         );
     }
 
@@ -144,23 +213,40 @@ pub struct EntropyDecoder<'a> {
     ac_dec: HuffDecoder,
     reader: BitReader<'a>,
     dc_pred: i32,
+    fast: bool,
 }
 
 impl<'a> EntropyDecoder<'a> {
-    /// Decode over `data`.
+    /// Decode over `data` with the table-driven fast Huffman path.
     pub fn new(data: &'a [u8]) -> Self {
+        Self::with_mode(data, true)
+    }
+
+    /// Decode over `data` with the original bit-at-a-time Huffman path
+    /// (the paper's unoptimized decoder).
+    pub fn reference(data: &'a [u8]) -> Self {
+        Self::with_mode(data, false)
+    }
+
+    fn with_mode(data: &'a [u8], fast: bool) -> Self {
         EntropyDecoder {
             dc_dec: HuffDecoder::new(&HuffSpec::luma_dc()),
             ac_dec: HuffDecoder::new(&HuffSpec::luma_ac()),
             reader: BitReader::new(data),
             dc_pred: 0,
+            fast,
         }
     }
 
     /// Decode the next block, in zigzag order.
     pub fn next_block(&mut self) -> Result<[i16; BLOCK_SIZE], OutOfBits> {
-        let (zz, dc) =
-            decode_block_with(&mut self.reader, &self.dc_dec, &self.ac_dec, self.dc_pred)?;
+        let (zz, dc) = decode_block_mode(
+            &mut self.reader,
+            &self.dc_dec,
+            &self.ac_dec,
+            self.dc_pred,
+            self.fast,
+        )?;
         self.dc_pred = dc;
         Ok(zz)
     }
@@ -195,9 +281,22 @@ pub fn place_block(frame: &mut [u8], width: usize, bi: usize, block: &[u8; BLOCK
 /// assert!(psnr(&image, &decoded) > 25.0);
 /// ```
 pub fn encode_frame(pixels: &[u8], width: usize, height: usize, quality: u8) -> Vec<u8> {
-    assert!(width % N == 0 && height % N == 0, "dimensions must be 8-aligned");
+    encode_frame_with(pixels, width, height, quality, DctKind::ReferenceFloat)
+}
+
+/// [`encode_frame`] with an explicit DCT kernel. The fast kernel
+/// produces a slightly different (but equally valid) stream: quantized
+/// coefficients may differ by a rounding step.
+pub fn encode_frame_with(
+    pixels: &[u8],
+    width: usize,
+    height: usize,
+    quality: u8,
+    kind: DctKind,
+) -> Vec<u8> {
+    assert!(width.is_multiple_of(N) && height.is_multiple_of(N), "dimensions must be 8-aligned");
     assert_eq!(pixels.len(), width * height);
-    let mut enc = BlockEncoder::new(quality);
+    let mut enc = BlockEncoder::with_kind(quality, kind);
     for by in (0..height).step_by(N) {
         for bx in (0..width).step_by(N) {
             let mut block = [0u8; BLOCK_SIZE];
@@ -219,15 +318,42 @@ pub fn decode_frame(
     height: usize,
     quality: u8,
 ) -> Result<Vec<u8>, OutOfBits> {
+    decode_frame_with(data, width, height, quality, DctKind::ReferenceFloat)
+}
+
+/// [`decode_frame`] with an explicit DCT kernel. With
+/// [`DctKind::FastAan`] the dequantization multiplies by the folded
+/// AAN-scaled table and the integer butterflies run — output pixels are
+/// within ±1 level of the reference float path.
+pub fn decode_frame_with(
+    data: &[u8],
+    width: usize,
+    height: usize,
+    quality: u8,
+    kind: DctKind,
+) -> Result<Vec<u8>, OutOfBits> {
     let qtable = scaled_qtable(quality);
     let nblocks = (width / N) * (height / N);
     let mut dec = EntropyDecoder::new(data);
     let mut frame = vec![0u8; width * height];
-    for bi in 0..nblocks {
-        let zz = dec.next_block()?;
-        let coeffs = dequantize_reorder(&zz, &qtable);
-        let px = crate::dct::idct_to_pixels(&coeffs);
-        place_block(&mut frame, width, bi, &px);
+    match kind {
+        DctKind::ReferenceFloat => {
+            for bi in 0..nblocks {
+                let zz = dec.next_block()?;
+                let coeffs = dequantize_reorder(&zz, &qtable);
+                let px = crate::dct::idct_to_pixels(&coeffs);
+                place_block(&mut frame, width, bi, &px);
+            }
+        }
+        DctKind::FastAan => {
+            let ftable = fast_dequant_table(&qtable);
+            for bi in 0..nblocks {
+                let zz = dec.next_block()?;
+                let coeffs = dequantize_reorder_scaled(&zz, &ftable);
+                let px = crate::dct::idct_scaled_to_pixels(&coeffs);
+                place_block(&mut frame, width, bi, &px);
+            }
+        }
     }
     Ok(frame)
 }
@@ -320,6 +446,33 @@ mod tests {
             place_block(&mut staged, w, bi, &px);
         }
         assert_eq!(staged, reference);
+    }
+
+    #[test]
+    fn fast_kernel_decode_tracks_reference_within_one_level() {
+        let (w, h) = (48, 24);
+        let img = test_image(w, h);
+        for quality in [30u8, 60, 85] {
+            let data = encode_frame(&img, w, h, quality);
+            let reference = decode_frame(&data, w, h, quality).unwrap();
+            let fast = decode_frame_with(&data, w, h, quality, DctKind::FastAan).unwrap();
+            for (i, (&a, &b)) in reference.iter().zip(fast.iter()).enumerate() {
+                assert!(
+                    (a as i32 - b as i32).abs() <= 1,
+                    "q{quality} pixel {i}: {a} vs {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fast_kernel_encode_round_trips_faithfully() {
+        let (w, h) = (48, 24);
+        let img = test_image(w, h);
+        let data = encode_frame_with(&img, w, h, 85, DctKind::FastAan);
+        let dec = decode_frame_with(&data, w, h, 85, DctKind::FastAan).unwrap();
+        let p = psnr(&img, &dec);
+        assert!(p > 35.0, "fast-kernel PSNR {p:.1} dB too low");
     }
 
     #[test]

@@ -30,7 +30,7 @@ pub fn ycbcr_to_rgb(y: u8, cb: u8, cr: u8) -> (u8, u8, u8) {
 
 /// Split an interleaved RGB image into Y, Cb, Cr planes.
 pub fn planes_from_rgb(rgb: &[u8]) -> (Vec<u8>, Vec<u8>, Vec<u8>) {
-    assert!(rgb.len() % 3 == 0);
+    assert!(rgb.len().is_multiple_of(3));
     let n = rgb.len() / 3;
     let mut y = Vec::with_capacity(n);
     let mut cb = Vec::with_capacity(n);
@@ -88,9 +88,9 @@ mod tests {
                 for b in (0..=255).step_by(29) {
                     let (y, cb, cr) = rgb_to_ycbcr(r as u8, g as u8, b as u8);
                     let (r2, g2, b2) = ycbcr_to_rgb(y, cb, cr);
-                    assert!((r as i32 - r2 as i32).abs() <= 2, "{r} {g} {b}");
-                    assert!((g as i32 - g2 as i32).abs() <= 2, "{r} {g} {b}");
-                    assert!((b as i32 - b2 as i32).abs() <= 2, "{r} {g} {b}");
+                    assert!((r - r2 as i32).abs() <= 2, "{r} {g} {b}");
+                    assert!((g - g2 as i32).abs() <= 2, "{r} {g} {b}");
+                    assert!((b - b2 as i32).abs() <= 2, "{r} {g} {b}");
                 }
             }
         }

@@ -114,6 +114,226 @@ pub fn pixels_to_centered(pixels: &[u8; BLOCK_SIZE]) -> [f32; BLOCK_SIZE] {
     out
 }
 
+// ---------------------------------------------------------------------
+// Fast integer kernels (AAN: Arai, Agui, Nakajima 1988).
+//
+// The 1-D 8-point transform is factored so only 5 multiplications
+// remain inside the butterfly network; the per-frequency output scales
+// aan[u]·aan[v] are constant and get folded into the (de)quantization
+// tables, so the hot loop is adds, subs and a handful of fixed-point
+// multiplies. Arithmetic is i64 with AAN_FRAC_BITS fractional bits —
+// wide enough that the only precision loss is the final rounding, which
+// keeps the pixel output within ±1 of the exact float transform.
+// ---------------------------------------------------------------------
+
+/// Fractional bits used by the fixed-point AAN kernels and the folded
+/// (de)quantization tables.
+pub const AAN_FRAC_BITS: u32 = 12;
+
+/// Which DCT kernel a decode/encode path runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DctKind {
+    /// The exact separable float transform (the seed implementation,
+    /// kept as the correctness oracle).
+    #[default]
+    ReferenceFloat,
+    /// Fixed-point AAN butterflies with scales folded into quantization.
+    FastAan,
+}
+
+/// AAN per-frequency scale factors: `aan[0] = 1`, `aan[k] =
+/// cos(kπ/16)·√2`. The 2-D transform's residual scale is
+/// `aan[u]·aan[v]`, folded into quant tables by
+/// [`crate::quant::fast_dequant_table`].
+pub fn aan_scales() -> &'static [f64; N] {
+    use std::sync::OnceLock;
+    static TABLE: OnceLock<[f64; N]> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut t = [0.0f64; N];
+        t[0] = 1.0;
+        for (k, v) in t.iter_mut().enumerate().skip(1) {
+            *v = (k as f64 * std::f64::consts::PI / 16.0).cos() * std::f64::consts::SQRT_2;
+        }
+        t
+    })
+}
+
+// Butterfly constants at AAN_FRAC_BITS fractional bits.
+const FIX_1_414213562: i64 = 5793; // √2
+const FIX_1_847759065: i64 = 7568; // 2·cos(π/8)
+const FIX_1_082392200: i64 = 4433; // √2·cos(3π/8)/cos... (c2−c6 path)
+const FIX_2_613125930: i64 = 10703; // (c2+c6 path)
+const FIX_0_707106781: i64 = 2896; // 1/√2
+const FIX_0_382683433: i64 = 1568; // sin(π/8)
+const FIX_0_541196100: i64 = 2217;
+const FIX_1_306562965: i64 = 5352;
+
+#[inline(always)]
+fn fmul(a: i64, c: i64) -> i64 {
+    (a * c + (1 << (AAN_FRAC_BITS - 1))) >> AAN_FRAC_BITS
+}
+
+/// One 1-D AAN inverse pass over 8 values at stride `stride`.
+#[inline(always)]
+fn idct_1d(data: &mut [i64; BLOCK_SIZE], base: usize, stride: usize) {
+    let at = |i: usize| base + i * stride;
+
+    // Even part.
+    let tmp0 = data[at(0)];
+    let tmp1 = data[at(2)];
+    let tmp2 = data[at(4)];
+    let tmp3 = data[at(6)];
+    let tmp10 = tmp0 + tmp2;
+    let tmp11 = tmp0 - tmp2;
+    let tmp13 = tmp1 + tmp3;
+    let tmp12 = fmul(tmp1 - tmp3, FIX_1_414213562) - tmp13;
+    let e0 = tmp10 + tmp13;
+    let e3 = tmp10 - tmp13;
+    let e1 = tmp11 + tmp12;
+    let e2 = tmp11 - tmp12;
+
+    // Odd part.
+    let tmp4 = data[at(1)];
+    let tmp5 = data[at(3)];
+    let tmp6 = data[at(5)];
+    let tmp7 = data[at(7)];
+    let z13 = tmp6 + tmp5;
+    let z10 = tmp6 - tmp5;
+    let z11 = tmp4 + tmp7;
+    let z12 = tmp4 - tmp7;
+    let o7 = z11 + z13;
+    let t11 = fmul(z11 - z13, FIX_1_414213562);
+    let z5 = fmul(z10 + z12, FIX_1_847759065);
+    let t10 = fmul(z12, FIX_1_082392200) - z5;
+    let t12 = z5 - fmul(z10, FIX_2_613125930);
+    let o6 = t12 - o7;
+    let o5 = t11 - o6;
+    let o4 = t10 + o5;
+
+    data[at(0)] = e0 + o7;
+    data[at(7)] = e0 - o7;
+    data[at(1)] = e1 + o6;
+    data[at(6)] = e1 - o6;
+    data[at(2)] = e2 + o5;
+    data[at(5)] = e2 - o5;
+    data[at(4)] = e3 + o4;
+    data[at(3)] = e3 - o4;
+}
+
+/// Fast integer IDCT over coefficients that were dequantized with
+/// [`crate::quant::fast_dequant_table`] (i.e. carry the AAN scales at
+/// `2^AAN_FRAC_BITS`); returns clamped u8 pixels with the +128 level
+/// shift restored. This is the production kernel of the pipeline's IDCT
+/// components when [`DctKind::FastAan`] is selected.
+pub fn idct_scaled_to_pixels(coeffs: &[i32; BLOCK_SIZE]) -> [u8; BLOCK_SIZE] {
+    let mut w = [0i64; BLOCK_SIZE];
+    for (dst, &src) in w.iter_mut().zip(coeffs.iter()) {
+        *dst = src as i64;
+    }
+    for col in 0..N {
+        idct_1d(&mut w, col, N);
+    }
+    for row in 0..N {
+        idct_1d(&mut w, row * N, 1);
+    }
+    // The two passes contribute the DCT's 8× gain on top of the 2^12
+    // fixed-point scale: descale by 2^(AAN_FRAC_BITS + 3), rounding.
+    const DESCALE: u32 = AAN_FRAC_BITS + 3;
+    let mut out = [0u8; BLOCK_SIZE];
+    for (dst, &v) in out.iter_mut().zip(w.iter()) {
+        let p = ((v + (1 << (DESCALE - 1))) >> DESCALE) + 128;
+        *dst = p.clamp(0, 255) as u8;
+    }
+    out
+}
+
+/// Fast integer IDCT over plain dequantized coefficients (the same
+/// input domain as [`idct_to_pixels`]): applies the AAN prescale
+/// internally, then runs the integer butterflies. Used where the folded
+/// dequant table isn't in play — most importantly the ±1-of-reference
+/// property tests.
+pub fn idct_fast_to_pixels(coeffs: &[i32; BLOCK_SIZE]) -> [u8; BLOCK_SIZE] {
+    use std::sync::OnceLock;
+    static PRESCALE: OnceLock<[i32; BLOCK_SIZE]> = OnceLock::new();
+    let pre = PRESCALE.get_or_init(|| {
+        let aan = aan_scales();
+        let mut t = [0i32; BLOCK_SIZE];
+        for v in 0..N {
+            for u in 0..N {
+                t[v * N + u] =
+                    (aan[u] * aan[v] * (1u32 << AAN_FRAC_BITS) as f64).round() as i32;
+            }
+        }
+        t
+    });
+    let mut scaled = [0i32; BLOCK_SIZE];
+    for (dst, (&c, &p)) in scaled.iter_mut().zip(coeffs.iter().zip(pre.iter())) {
+        let s = c as i64 * p as i64;
+        *dst = s.clamp(i32::MIN as i64, i32::MAX as i64) as i32;
+    }
+    idct_scaled_to_pixels(&scaled)
+}
+
+/// One 1-D AAN forward pass over 8 values at stride `stride`.
+#[inline(always)]
+fn fdct_1d(data: &mut [i64; BLOCK_SIZE], base: usize, stride: usize) {
+    let at = |i: usize| base + i * stride;
+
+    let tmp0 = data[at(0)] + data[at(7)];
+    let tmp7 = data[at(0)] - data[at(7)];
+    let tmp1 = data[at(1)] + data[at(6)];
+    let tmp6 = data[at(1)] - data[at(6)];
+    let tmp2 = data[at(2)] + data[at(5)];
+    let tmp5 = data[at(2)] - data[at(5)];
+    let tmp3 = data[at(3)] + data[at(4)];
+    let tmp4 = data[at(3)] - data[at(4)];
+
+    // Even part.
+    let tmp10 = tmp0 + tmp3;
+    let tmp13 = tmp0 - tmp3;
+    let tmp11 = tmp1 + tmp2;
+    let tmp12 = tmp1 - tmp2;
+    data[at(0)] = tmp10 + tmp11;
+    data[at(4)] = tmp10 - tmp11;
+    let z1 = fmul(tmp12 + tmp13, FIX_0_707106781);
+    data[at(2)] = tmp13 + z1;
+    data[at(6)] = tmp13 - z1;
+
+    // Odd part.
+    let t10 = tmp4 + tmp5;
+    let t11 = tmp5 + tmp6;
+    let t12 = tmp6 + tmp7;
+    let z5 = fmul(t10 - t12, FIX_0_382683433);
+    let z2 = fmul(t10, FIX_0_541196100) + z5;
+    let z4 = fmul(t12, FIX_1_306562965) + z5;
+    let z3 = fmul(t11, FIX_0_707106781);
+    let z11 = tmp7 + z3;
+    let z13 = tmp7 - z3;
+    data[at(5)] = z13 + z2;
+    data[at(3)] = z13 - z2;
+    data[at(1)] = z11 + z4;
+    data[at(7)] = z11 - z4;
+}
+
+/// Fast integer forward DCT of a level-shifted block. Output
+/// coefficients are scaled by `8·aan[u]·aan[v]·2^AAN_FRAC_BITS` relative
+/// to the true DCT — [`crate::quant::fast_quant_divisors`] folds that
+/// scale into the quantization divisors so no separate descale pass
+/// runs.
+pub fn fdct_fast_scaled(block: &[i32; BLOCK_SIZE]) -> [i64; BLOCK_SIZE] {
+    let mut w = [0i64; BLOCK_SIZE];
+    for (dst, &src) in w.iter_mut().zip(block.iter()) {
+        *dst = (src as i64) << AAN_FRAC_BITS;
+    }
+    for row in 0..N {
+        fdct_1d(&mut w, row * N, 1);
+    }
+    for col in 0..N {
+        fdct_1d(&mut w, col, N);
+    }
+    w
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -166,6 +386,66 @@ mod tests {
         let rec = idct_to_pixels(&ci);
         for (a, b) in px.iter().zip(rec.iter()) {
             assert!((*a as i32 - *b as i32).abs() <= 1, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn fast_idct_matches_reference_within_one_level() {
+        // Deterministic pseudo-random dequantized coefficient blocks in
+        // the baseline-JPEG-representable range.
+        let mut x: u64 = 0x9E37_79B9_7F4A_7C15;
+        for trial in 0..200 {
+            let mut c = [0i32; BLOCK_SIZE];
+            for v in c.iter_mut() {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                *v = ((x >> 33) as i32 % 2048) - 1024;
+            }
+            let reference = idct_to_pixels(&c);
+            let fast = idct_fast_to_pixels(&c);
+            for (i, (&a, &b)) in reference.iter().zip(fast.iter()).enumerate() {
+                assert!(
+                    (a as i32 - b as i32).abs() <= 1,
+                    "trial {trial} pixel {i}: reference {a} vs fast {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fast_idct_dc_only_is_flat() {
+        let mut c = [0i32; BLOCK_SIZE];
+        c[0] = 80;
+        let px = idct_fast_to_pixels(&c);
+        for &p in &px {
+            assert!((p as i32 - 138).abs() <= 1, "expected ~138, got {p}");
+        }
+    }
+
+    #[test]
+    fn fast_fdct_agrees_with_float_fdct() {
+        let mut x: u64 = 0xD1B5_4A32_D192_ED03;
+        for _ in 0..100 {
+            let mut px = [0u8; BLOCK_SIZE];
+            for p in px.iter_mut() {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                *p = (x >> 56) as u8;
+            }
+            let float_coeffs = fdct(&pixels_to_centered(&px));
+            let mut centered = [0i32; BLOCK_SIZE];
+            for (d, &p) in centered.iter_mut().zip(px.iter()) {
+                *d = p as i32 - 128;
+            }
+            let scaled = fdct_fast_scaled(&centered);
+            let aan = aan_scales();
+            for v in 0..N {
+                for u in 0..N {
+                    let n = v * N + u;
+                    let denom = 8.0 * aan[u] * aan[v] * (1u32 << AAN_FRAC_BITS) as f64;
+                    let fast = scaled[n] as f64 / denom;
+                    let err = (float_coeffs[n] as f64 - fast).abs();
+                    assert!(err <= 0.75, "coeff ({u},{v}): {} vs {fast}", float_coeffs[n]);
+                }
+            }
         }
     }
 

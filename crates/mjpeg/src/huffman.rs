@@ -87,13 +87,23 @@ pub struct HuffEncoder {
     codes: Vec<(u16, u8)>, // indexed by symbol
 }
 
-/// Decoder-side table (T.81 F.2.2.3 MINCODE/MAXCODE/VALPTR).
+/// Width of the primary decode LUT, bits. Annex-K tables put every code
+/// the hot path meets within 9 bits; longer codes (10–16 bits) take the
+/// two-level fallback.
+pub const LUT_BITS: u32 = 9;
+
+/// Decoder-side table (T.81 F.2.2.3 MINCODE/MAXCODE/VALPTR), plus a
+/// table-driven fast path: a single `LUT_BITS`-wide lookup resolving
+/// symbol and code length in one probe for all short codes.
 #[derive(Debug, Clone)]
 pub struct HuffDecoder {
     mincode: [i32; 17],
     maxcode: [i32; 17],
     valptr: [usize; 17],
     values: Vec<u8>,
+    /// Indexed by the next `LUT_BITS` bits of the stream; packs
+    /// `(code_length << 8) | symbol`, 0 = no code ≤ LUT_BITS long here.
+    lut: Vec<u16>,
 }
 
 /// Build canonical codes (Annex C): lengths in table order, codes count
@@ -156,11 +166,24 @@ impl HuffDecoder {
             }
             code <<= 1;
         }
+        // Primary LUT: every code of length ≤ LUT_BITS owns the
+        // 2^(LUT_BITS - len) slots sharing its prefix.
+        let mut lut = vec![0u16; 1 << LUT_BITS];
+        for (len, code, sym) in canonical_codes(spec) {
+            if len as u32 <= LUT_BITS {
+                let shift = LUT_BITS - len as u32;
+                let base = (code as usize) << shift;
+                for slot in &mut lut[base..base + (1 << shift)] {
+                    *slot = ((len as u16) << 8) | sym as u16;
+                }
+            }
+        }
         HuffDecoder {
             mincode,
             maxcode,
             valptr,
             values: spec.values.clone(),
+            lut,
         }
     }
 
@@ -175,6 +198,32 @@ impl HuffDecoder {
                 return Ok(self.values[idx]);
             }
             code = (code << 1) | r.bit()? as i32;
+        }
+        Err(OutOfBits)
+    }
+
+    /// Decode one symbol via the primary LUT (one probe for codes up to
+    /// [`LUT_BITS`] long) with a MAXCODE-walk fallback for longer codes.
+    /// Produces the exact symbol stream and bit consumption of
+    /// [`HuffDecoder::decode`] on valid streams — the bit-at-a-time
+    /// procedure is kept as its property-test oracle.
+    pub fn decode_fast(&self, r: &mut BitReader<'_>) -> Result<u8, OutOfBits> {
+        let probe = r.peek(LUT_BITS);
+        let entry = self.lut[probe as usize];
+        if entry != 0 {
+            r.consume((entry >> 8) as u32)?;
+            return Ok(entry as u8);
+        }
+        // Long code (or garbage): compare the next 16 bits against each
+        // length's code window, longest-first peek done once.
+        let window = r.peek(16) as i32;
+        for len in (LUT_BITS as usize + 1)..=16 {
+            let code = window >> (16 - len);
+            if self.maxcode[len] >= code && code >= self.mincode[len] {
+                r.consume(len as u32)?;
+                let idx = self.valptr[len] + (code - self.mincode[len]) as usize;
+                return Ok(self.values[idx]);
+            }
         }
         Err(OutOfBits)
     }
@@ -267,8 +316,15 @@ mod tests {
             }
             let bytes = w.finish();
             let mut r = BitReader::new(&bytes);
+            let mut rf = BitReader::new(&bytes);
             for &sym in &spec.values {
                 assert_eq!(dec.decode(&mut r).unwrap(), sym);
+                assert_eq!(dec.decode_fast(&mut rf).unwrap(), sym);
+                assert_eq!(
+                    r.bits_consumed(),
+                    rf.bits_consumed(),
+                    "LUT decode must consume identical bits (symbol {sym:#x})"
+                );
             }
         }
     }
@@ -306,5 +362,7 @@ mod tests {
         let bytes = vec![0xFF, 0x00, 0xFF, 0x00, 0xFF, 0x00];
         let mut r = BitReader::new(&bytes);
         assert!(dec.decode(&mut r).is_err());
+        let mut r = BitReader::new(&bytes);
+        assert!(dec.decode_fast(&mut r).is_err());
     }
 }

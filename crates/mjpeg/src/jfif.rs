@@ -190,7 +190,7 @@ pub fn encode_jfif_gray_dri(
     let mut rst = 0u8;
     for by in (0..ph).step_by(N) {
         for bx in (0..pw).step_by(N) {
-            if restart_interval > 0 && mcu > 0 && mcu % restart_interval as u32 == 0 {
+            if restart_interval > 0 && mcu > 0 && mcu.is_multiple_of(restart_interval as u32) {
                 // Flush to a byte boundary, emit RSTn, reset prediction.
                 out.extend_from_slice(&std::mem::take(&mut writer).finish());
                 out.extend_from_slice(&[0xFF, RST0 + rst]);

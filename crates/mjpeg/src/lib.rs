@@ -37,11 +37,12 @@ pub mod pipeline;
 pub mod quant;
 pub mod workload;
 
-pub use codec::{decode_frame, encode_frame};
+pub use codec::{decode_frame, decode_frame_with, encode_frame, encode_frame_with};
+pub use dct::DctKind;
 pub use jfif::{decode_jfif, encode_jfif_gray, encode_jfif_rgb, JfifImage, JfifPixels};
 pub use frame::{FrameHeader, MjpegStream};
 pub use pipeline::{
-    build_mpsoc_app, build_smp_app, FetchBehavior, FetchReorderBehavior, IdctBehavior,
+    build_mpsoc_app, build_smp_app, BatchView, FetchBehavior, FetchReorderBehavior, IdctBehavior,
     MjpegAppConfig, ReorderBehavior, WorkProfile,
 };
 pub use workload::synthesize_stream;

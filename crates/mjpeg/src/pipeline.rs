@@ -24,9 +24,11 @@ use bytes::Bytes;
 use embera::{AppBuilder, Behavior, ComponentSpec, Ctx, EmberaError, Work, WorkClass};
 
 use crate::codec::{place_block, EntropyDecoder};
-use crate::dct::{idct_to_pixels, BLOCK_SIZE};
+use crate::dct::{idct_scaled_to_pixels, idct_to_pixels, DctKind, BLOCK_SIZE};
 use crate::frame::MjpegStream;
-use crate::quant::{dequantize_reorder, scaled_qtable};
+use crate::quant::{
+    dequantize_reorder, dequantize_reorder_scaled, fast_dequant_table, scaled_qtable,
+};
 
 /// Work-annotation profile: abstract operation counts per unit of codec
 /// work. Defaults are calibrated to the paper's self-described
@@ -113,6 +115,145 @@ pub fn decode_pixel_msg(b: &[u8]) -> Result<(u32, u32, [u8; BLOCK_SIZE]), Embera
     Ok((frame, block, px))
 }
 
+/// Bytes per block record in a coefficient batch:
+/// frame u32 | block u32 | 64 × i32.
+const COEFF_REC: usize = 8 + BLOCK_SIZE * 4;
+/// Bytes per block record in a pixel batch: frame u32 | block u32 | 64 × u8.
+const PIXEL_REC: usize = 8 + BLOCK_SIZE;
+
+/// Wire format of a coefficient **batch**: `count u32 | count ×
+/// (frame u32 | block u32 | 64 × i32)`. Used when `blocks_per_msg > 1`;
+/// the single-block formats above stay the wire format at batch size 1
+/// so the paper's Table 2 byte counts are untouched by default. Each
+/// record carries its own frame tag so a batch may span frame
+/// boundaries — the SMP Fetch flushes a lane only when it is full,
+/// which is what lets one thread wake-up amortize over many frames.
+pub fn encode_coeff_batch(blocks: &[(u32, u32, [i32; BLOCK_SIZE])]) -> Bytes {
+    let mut v = Vec::with_capacity(4 + blocks.len() * COEFF_REC);
+    v.extend_from_slice(&(blocks.len() as u32).to_le_bytes());
+    for (frame, bi, coeffs) in blocks {
+        v.extend_from_slice(&frame.to_le_bytes());
+        v.extend_from_slice(&bi.to_le_bytes());
+        for c in coeffs {
+            v.extend_from_slice(&c.to_le_bytes());
+        }
+    }
+    Bytes::from(v)
+}
+
+/// Wire format of a pixel **batch**: `count u32 | count ×
+/// (frame u32 | block u32 | 64 × u8)`.
+pub fn encode_pixel_batch(blocks: &[(u32, u32, [u8; BLOCK_SIZE])]) -> Bytes {
+    let mut v = Vec::with_capacity(4 + blocks.len() * PIXEL_REC);
+    v.extend_from_slice(&(blocks.len() as u32).to_le_bytes());
+    for (frame, bi, px) in blocks {
+        v.extend_from_slice(&frame.to_le_bytes());
+        v.extend_from_slice(&bi.to_le_bytes());
+        v.extend_from_slice(px);
+    }
+    Bytes::from(v)
+}
+
+/// A parsed batch header over a refcounted message payload. Per-block
+/// accessors hand out [`Bytes`] views into the original buffer, so a
+/// consumer can split a batch into blocks without copying or allocating.
+pub struct BatchView {
+    data: Bytes,
+    count: usize,
+    rec: usize,
+}
+
+impl BatchView {
+    fn parse(data: &Bytes, rec: usize, what: &str) -> Result<Self, EmberaError> {
+        if data.len() < 4 {
+            return Err(EmberaError::Platform(format!(
+                "bad {what} batch: {} bytes, need at least 4",
+                data.len()
+            )));
+        }
+        let count = u32::from_le_bytes(data[0..4].try_into().unwrap()) as usize;
+        if count == 0 || data.len() != 4 + count * rec {
+            return Err(EmberaError::Platform(format!(
+                "bad {what} batch: count {count}, {} bytes",
+                data.len()
+            )));
+        }
+        Ok(BatchView {
+            data: data.clone(),
+            count,
+            rec,
+        })
+    }
+
+    /// Parse a coefficient batch (`count | count × (frame | block | 64 i32)`).
+    pub fn coeffs(data: &Bytes) -> Result<Self, EmberaError> {
+        Self::parse(data, COEFF_REC, "coefficient")
+    }
+
+    /// Parse a pixel batch (`count | count × (frame | block | 64 u8)`).
+    pub fn pixels(data: &Bytes) -> Result<Self, EmberaError> {
+        Self::parse(data, PIXEL_REC, "pixel")
+    }
+
+    /// Number of blocks in the batch.
+    pub fn len(&self) -> usize {
+        self.count
+    }
+
+    /// Whether the batch holds no blocks (parse rejects this, so always
+    /// false on a parsed view).
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Frame index, block index, and zero-copy payload view of the i-th
+    /// record.
+    pub fn block(&self, i: usize) -> (u32, u32, Bytes) {
+        assert!(i < self.count);
+        let off = 4 + i * self.rec;
+        let frame = u32::from_le_bytes(self.data[off..off + 4].try_into().unwrap());
+        let bi = u32::from_le_bytes(self.data[off + 4..off + 8].try_into().unwrap());
+        (frame, bi, self.data.slice(off + 8..off + self.rec))
+    }
+}
+
+/// Decode a 64 × i32 coefficient payload (e.g. a [`BatchView::block`]
+/// view) into a natural-order block.
+pub fn coeffs_from_bytes(b: &[u8]) -> Result<[i32; BLOCK_SIZE], EmberaError> {
+    if b.len() != BLOCK_SIZE * 4 {
+        return Err(EmberaError::Platform(format!(
+            "bad coefficient payload length {}",
+            b.len()
+        )));
+    }
+    let mut coeffs = [0i32; BLOCK_SIZE];
+    for (i, c) in coeffs.iter_mut().enumerate() {
+        *c = i32::from_le_bytes(b[i * 4..i * 4 + 4].try_into().unwrap());
+    }
+    Ok(coeffs)
+}
+
+/// Blocks dealt round-robin: how many of `blocks` land on `lane` of `n`.
+fn lane_share(blocks: u64, n: usize, lane: usize) -> u64 {
+    (lane as u64..blocks).step_by(n).count() as u64
+}
+
+/// Messages a lane receives per frame when batches flush at frame end
+/// (the MPSoC merged component's per-frame round trip): its block
+/// share, flushed every `batch` blocks plus a remainder flush.
+fn lane_msgs_per_frame(per_lane: u64, batch: usize) -> u64 {
+    let b = batch.max(1) as u64;
+    per_lane.div_ceil(b)
+}
+
+/// Messages a lane receives over a whole SMP run, where batches span
+/// frame boundaries: the lane's total block count, flushed every
+/// `batch` blocks plus one remainder flush at stream end.
+fn lane_msgs_total(per_lane_per_frame: u64, frames: u64, batch: usize) -> u64 {
+    let b = batch.max(1) as u64;
+    (per_lane_per_frame * frames).div_ceil(b)
+}
+
 /// Shared probe into pipeline results, for tests and harnesses.
 #[derive(Clone, Default)]
 pub struct PipelineProbe {
@@ -154,15 +295,130 @@ pub struct FetchBehavior {
     stream: MjpegStream,
     out_ifaces: Vec<String>,
     profile: WorkProfile,
+    blocks_per_msg: usize,
+    kernel: DctKind,
+}
+
+/// Dequantization state for whichever kernel the pipeline runs.
+enum DequantTables {
+    Reference([u16; BLOCK_SIZE]),
+    Fast([i32; BLOCK_SIZE]),
+}
+
+/// Entropy decoder matching the kernel choice: the reference kernel
+/// pairs with the paper's bit-serial Huffman decoder, the fast kernel
+/// with the two-level LUT decoder.
+fn entropy_decoder(kernel: DctKind, data: &[u8]) -> EntropyDecoder<'_> {
+    match kernel {
+        DctKind::ReferenceFloat => EntropyDecoder::reference(data),
+        DctKind::FastAan => EntropyDecoder::new(data),
+    }
+}
+
+impl DequantTables {
+    fn for_kernel(kernel: DctKind, quality: u8) -> Self {
+        let qtable = scaled_qtable(quality);
+        match kernel {
+            DctKind::ReferenceFloat => DequantTables::Reference(qtable),
+            DctKind::FastAan => DequantTables::Fast(fast_dequant_table(&qtable)),
+        }
+    }
+
+    fn apply(&self, zz: &[i16; BLOCK_SIZE]) -> [i32; BLOCK_SIZE] {
+        match self {
+            DequantTables::Reference(q) => dequantize_reorder(zz, q),
+            DequantTables::Fast(f) => dequantize_reorder_scaled(zz, f),
+        }
+    }
+}
+
+/// Per-lane coefficient batch buffers for the Fetch side. A lane is
+/// flushed when it holds `blocks_per_msg` blocks; batch size 1
+/// degenerates to the paper's one-message-per-block schedule
+/// (single-block wire format). The free-running SMP Fetch lets batches
+/// span frame boundaries and flushes remainders once at stream end
+/// ([`BatchSender::finish`]); the MPSoC merged component round-trips
+/// every frame and therefore flushes at each frame end
+/// ([`BatchSender::flush_all`]).
+struct BatchSender {
+    batch: usize,
+    lanes: Vec<Vec<(u32, u32, [i32; BLOCK_SIZE])>>,
+}
+
+impl BatchSender {
+    fn new(n_lanes: usize, batch: usize) -> Self {
+        BatchSender {
+            batch: batch.max(1),
+            lanes: vec![Vec::with_capacity(batch.max(1)); n_lanes],
+        }
+    }
+
+    fn flush_lane(
+        &mut self,
+        ctx: &mut dyn Ctx,
+        ifaces: &[String],
+        lane: usize,
+    ) -> Result<(), EmberaError> {
+        if self.lanes[lane].is_empty() {
+            return Ok(());
+        }
+        let msg = if self.batch == 1 {
+            let (frame, bi, coeffs) = self.lanes[lane][0];
+            encode_coeff_msg(frame, bi, &coeffs)
+        } else {
+            encode_coeff_batch(&self.lanes[lane])
+        };
+        self.lanes[lane].clear();
+        ctx.send(&ifaces[lane], msg)
+    }
+
+    fn push(
+        &mut self,
+        ctx: &mut dyn Ctx,
+        ifaces: &[String],
+        frame: u32,
+        bi: u32,
+        coeffs: [i32; BLOCK_SIZE],
+    ) -> Result<(), EmberaError> {
+        let lane = bi as usize % self.lanes.len();
+        self.lanes[lane].push((frame, bi, coeffs));
+        if self.lanes[lane].len() >= self.batch {
+            self.flush_lane(ctx, ifaces, lane)?;
+        }
+        Ok(())
+    }
+
+    /// Flush every lane's remainder (frame end on MPSoC, stream end on
+    /// SMP).
+    fn flush_all(&mut self, ctx: &mut dyn Ctx, ifaces: &[String]) -> Result<(), EmberaError> {
+        for lane in 0..self.lanes.len() {
+            self.flush_lane(ctx, ifaces, lane)?;
+        }
+        Ok(())
+    }
 }
 
 impl FetchBehavior {
-    /// Fetch over `stream`, sending to the given required interfaces.
+    /// Fetch over `stream`, sending to the given required interfaces
+    /// (one message per block, reference kernel — the paper's schedule).
     pub fn new(stream: MjpegStream, out_ifaces: Vec<String>, profile: WorkProfile) -> Self {
+        Self::with_options(stream, out_ifaces, profile, 1, DctKind::ReferenceFloat)
+    }
+
+    /// Fetch with an explicit batch size and (de)quantization kernel.
+    pub fn with_options(
+        stream: MjpegStream,
+        out_ifaces: Vec<String>,
+        profile: WorkProfile,
+        blocks_per_msg: usize,
+        kernel: DctKind,
+    ) -> Self {
         FetchBehavior {
             stream,
             out_ifaces,
             profile,
+            blocks_per_msg: blocks_per_msg.max(1),
+            kernel,
         }
     }
 
@@ -173,19 +429,20 @@ impl FetchBehavior {
         }
         // Frame 0: configuration probe — read geometry, prime tables.
         let header = self.stream.frames[0].header;
-        let qtable = scaled_qtable(header.quality);
+        let tables = DequantTables::for_kernel(self.kernel, header.quality);
         let blocks = header.blocks();
         ctx.compute(Work::ops(
             WorkClass::Control,
             self.profile.file_mgmt_ops_per_frame,
         ));
 
+        let mut sender = BatchSender::new(n_idct, self.blocks_per_msg);
         for (t, frame) in self.stream.frames.iter().enumerate().skip(1) {
             ctx.compute(Work::ops(
                 WorkClass::Control,
                 self.profile.file_mgmt_ops_per_frame,
             ));
-            let mut dec = EntropyDecoder::new(&frame.data);
+            let mut dec = entropy_decoder(self.kernel, &frame.data);
             let mut bits_before = 0u64;
             for bi in 0..blocks {
                 let zz = dec.next_block().map_err(|e| {
@@ -193,7 +450,7 @@ impl FetchBehavior {
                 })?;
                 let bits = dec.bits_consumed() - bits_before;
                 bits_before = dec.bits_consumed();
-                let coeffs = dequantize_reorder(&zz, &qtable);
+                let coeffs = tables.apply(&zz);
                 ctx.compute(
                     Work::ops(
                         WorkClass::Control,
@@ -202,10 +459,12 @@ impl FetchBehavior {
                     )
                     .with_mem(BLOCK_SIZE as u64 * 4),
                 );
-                let msg = encode_coeff_msg(t as u32, bi as u32, &coeffs);
-                ctx.send(&self.out_ifaces[bi % n_idct], msg)?;
+                sender.push(ctx, &self.out_ifaces, t as u32, bi as u32, coeffs)?;
             }
         }
+        // Stream end: flush partially filled lanes. Batches span frame
+        // boundaries, so this is the only remainder flush of the run.
+        sender.flush_all(ctx, &self.out_ifaces)?;
         Ok(())
     }
 }
@@ -221,39 +480,86 @@ impl Behavior for FetchBehavior {
 pub struct IdctBehavior {
     in_iface: String,
     out_iface: String,
+    /// Messages (single blocks at batch 1, batches otherwise) expected.
     expected: u64,
     profile: WorkProfile,
+    blocks_per_msg: usize,
+    kernel: DctKind,
 }
 
 impl IdctBehavior {
-    /// IDCT expecting `expected` blocks on `in_iface`, forwarding to
-    /// `out_iface`.
+    /// IDCT expecting `expected` single-block messages on `in_iface`,
+    /// forwarding to `out_iface` (reference kernel).
     pub fn new(
         in_iface: impl Into<String>,
         out_iface: impl Into<String>,
         expected: u64,
         profile: WorkProfile,
     ) -> Self {
+        Self::with_options(in_iface, out_iface, expected, profile, 1, DctKind::ReferenceFloat)
+    }
+
+    /// IDCT with an explicit batch size and kernel; `expected` counts
+    /// *messages*, each carrying up to `blocks_per_msg` blocks.
+    pub fn with_options(
+        in_iface: impl Into<String>,
+        out_iface: impl Into<String>,
+        expected: u64,
+        profile: WorkProfile,
+        blocks_per_msg: usize,
+        kernel: DctKind,
+    ) -> Self {
         IdctBehavior {
             in_iface: in_iface.into(),
             out_iface: out_iface.into(),
             expected,
             profile,
+            blocks_per_msg: blocks_per_msg.max(1),
+            kernel,
+        }
+    }
+
+    fn transform(&self, coeffs: &[i32; BLOCK_SIZE]) -> [u8; BLOCK_SIZE] {
+        match self.kernel {
+            DctKind::ReferenceFloat => idct_to_pixels(coeffs),
+            DctKind::FastAan => idct_scaled_to_pixels(coeffs),
         }
     }
 }
 
 impl Behavior for IdctBehavior {
     fn run(&mut self, ctx: &mut dyn Ctx) -> Result<(), EmberaError> {
+        let mut out = Vec::with_capacity(self.blocks_per_msg);
         for _ in 0..self.expected {
             let msg = ctx.recv(&self.in_iface)?;
-            let (frame, block, coeffs) = decode_coeff_msg(&msg)?;
-            let pixels = idct_to_pixels(&coeffs);
+            if self.blocks_per_msg == 1 {
+                let (frame, block, coeffs) = decode_coeff_msg(&msg)?;
+                let pixels = self.transform(&coeffs);
+                ctx.compute(
+                    Work::ops(WorkClass::Dsp, self.profile.idct_ops_per_block)
+                        .with_mem(BLOCK_SIZE as u64 * 5),
+                );
+                ctx.send(&self.out_iface, encode_pixel_msg(frame, block, &pixels))?;
+                continue;
+            }
+            // Batched path: split the batch into zero-copy block views,
+            // transform each, and answer with one pixel batch carrying
+            // the same (frame, block) tags.
+            let view = BatchView::coeffs(&msg)?;
+            out.clear();
+            for i in 0..view.len() {
+                let (frame, bi, payload) = view.block(i);
+                let coeffs = coeffs_from_bytes(&payload)?;
+                out.push((frame, bi, self.transform(&coeffs)));
+            }
             ctx.compute(
-                Work::ops(WorkClass::Dsp, self.profile.idct_ops_per_block)
-                    .with_mem(BLOCK_SIZE as u64 * 5),
+                Work::ops(
+                    WorkClass::Dsp,
+                    self.profile.idct_ops_per_block * view.len() as u64,
+                )
+                .with_mem(BLOCK_SIZE as u64 * 5 * view.len() as u64),
             );
-            ctx.send(&self.out_iface, encode_pixel_msg(frame, block, &pixels))?;
+            ctx.send(&self.out_iface, encode_pixel_batch(&out))?;
         }
         Ok(())
     }
@@ -313,11 +619,12 @@ pub struct ReorderBehavior {
     height: usize,
     profile: WorkProfile,
     probe: PipelineProbe,
+    blocks_per_msg: usize,
 }
 
 impl ReorderBehavior {
     /// Reorder expecting `total_blocks` pixel blocks distributed
-    /// round-robin over `in_ifaces`.
+    /// round-robin over `in_ifaces`, one block per message.
     pub fn new(
         in_ifaces: Vec<String>,
         total_blocks: u64,
@@ -326,6 +633,20 @@ impl ReorderBehavior {
         profile: WorkProfile,
         probe: PipelineProbe,
     ) -> Self {
+        Self::with_options(in_ifaces, total_blocks, width, height, profile, probe, 1)
+    }
+
+    /// Reorder with an explicit batch size (must match the Fetch side).
+    #[allow(clippy::too_many_arguments)]
+    pub fn with_options(
+        in_ifaces: Vec<String>,
+        total_blocks: u64,
+        width: usize,
+        height: usize,
+        profile: WorkProfile,
+        probe: PipelineProbe,
+        blocks_per_msg: usize,
+    ) -> Self {
         ReorderBehavior {
             in_ifaces,
             total_blocks,
@@ -333,6 +654,7 @@ impl ReorderBehavior {
             height,
             profile,
             probe,
+            blocks_per_msg: blocks_per_msg.max(1),
         }
     }
 }
@@ -342,19 +664,66 @@ impl Behavior for ReorderBehavior {
         let mut asm = Assembler::new(self.width, self.height, self.probe.clone());
         let n = self.in_ifaces.len();
         let per_frame = asm.blocks;
-        for i in 0..self.total_blocks {
-            // Global block index within its frame selects the IDCT lane.
-            let lane = (i as usize % per_frame) % n;
-            let msg = ctx.recv(&self.in_ifaces[lane])?;
-            let (frame, block, pixels) = decode_pixel_msg(&msg)?;
-            ctx.compute(
-                Work::ops(
-                    WorkClass::MemCopy,
-                    BLOCK_SIZE as u64 * self.profile.reorder_ops_per_pixel,
+        if self.blocks_per_msg == 1 {
+            for i in 0..self.total_blocks {
+                // Global block index within its frame selects the lane.
+                let lane = (i as usize % per_frame) % n;
+                let msg = ctx.recv(&self.in_ifaces[lane])?;
+                let (frame, block, pixels) = decode_pixel_msg(&msg)?;
+                ctx.compute(
+                    Work::ops(
+                        WorkClass::MemCopy,
+                        BLOCK_SIZE as u64 * self.profile.reorder_ops_per_pixel,
+                    )
+                    .with_mem(BLOCK_SIZE as u64 * 2),
+                );
+                asm.add(frame, block, &pixels);
+            }
+            return Ok(());
+        }
+        // Batched path: batches span frame boundaries, so each lane owes
+        // a fixed total message count for the whole run (its block share,
+        // flushed every `blocks_per_msg` blocks, remainder at stream
+        // end). Lanes are drained round-robin one message at a time to
+        // keep the partial-frame window small; per-lane FIFO order makes
+        // frames complete — and fold into the checksum — in frame order.
+        if per_frame == 0 {
+            return Ok(());
+        }
+        let frames = self.total_blocks / per_frame as u64;
+        let quota: Vec<u64> = (0..n)
+            .map(|lane| {
+                lane_msgs_total(
+                    lane_share(per_frame as u64, n, lane),
+                    frames,
+                    self.blocks_per_msg,
                 )
-                .with_mem(BLOCK_SIZE as u64 * 2),
-            );
-            asm.add(frame, block, &pixels);
+            })
+            .collect();
+        let rounds = quota.iter().copied().max().unwrap_or(0);
+        for round in 0..rounds {
+            for (lane, &lane_quota) in quota.iter().enumerate() {
+                if round >= lane_quota {
+                    continue;
+                }
+                let msg = ctx.recv(&self.in_ifaces[lane])?;
+                let view = BatchView::pixels(&msg)?;
+                for i in 0..view.len() {
+                    let (frame, bi, payload) = view.block(i);
+                    let mut px = [0u8; BLOCK_SIZE];
+                    px.copy_from_slice(&payload);
+                    asm.add(frame, bi, &px);
+                }
+                ctx.compute(
+                    Work::ops(
+                        WorkClass::MemCopy,
+                        BLOCK_SIZE as u64
+                            * self.profile.reorder_ops_per_pixel
+                            * view.len() as u64,
+                    )
+                    .with_mem(BLOCK_SIZE as u64 * 2 * view.len() as u64),
+                );
+            }
         }
         Ok(())
     }
@@ -369,10 +738,13 @@ pub struct FetchReorderBehavior {
     in_ifaces: Vec<String>,
     profile: WorkProfile,
     probe: PipelineProbe,
+    blocks_per_msg: usize,
+    kernel: DctKind,
 }
 
 impl FetchReorderBehavior {
-    /// Build the merged component.
+    /// Build the merged component (one block per message, reference
+    /// kernel — the paper's schedule).
     pub fn new(
         stream: MjpegStream,
         out_ifaces: Vec<String>,
@@ -380,12 +752,28 @@ impl FetchReorderBehavior {
         profile: WorkProfile,
         probe: PipelineProbe,
     ) -> Self {
+        Self::with_options(stream, out_ifaces, in_ifaces, profile, probe, 1, DctKind::ReferenceFloat)
+    }
+
+    /// Merged component with an explicit batch size and kernel.
+    #[allow(clippy::too_many_arguments)]
+    pub fn with_options(
+        stream: MjpegStream,
+        out_ifaces: Vec<String>,
+        in_ifaces: Vec<String>,
+        profile: WorkProfile,
+        probe: PipelineProbe,
+        blocks_per_msg: usize,
+        kernel: DctKind,
+    ) -> Self {
         FetchReorderBehavior {
             stream,
             out_ifaces,
             in_ifaces,
             profile,
             probe,
+            blocks_per_msg: blocks_per_msg.max(1),
+            kernel,
         }
     }
 }
@@ -396,8 +784,9 @@ impl Behavior for FetchReorderBehavior {
             return Ok(());
         }
         let n = self.out_ifaces.len();
+        let batch = self.blocks_per_msg;
         let header = self.stream.frames[0].header;
-        let qtable = scaled_qtable(header.quality);
+        let tables = DequantTables::for_kernel(self.kernel, header.quality);
         let blocks = header.blocks();
         let mut asm = Assembler::new(
             header.width as usize,
@@ -408,13 +797,14 @@ impl Behavior for FetchReorderBehavior {
             WorkClass::Control,
             self.profile.file_mgmt_ops_per_frame,
         ));
+        let mut sender = BatchSender::new(n, batch);
         for (t, frame) in self.stream.frames.iter().enumerate().skip(1) {
             ctx.compute(Work::ops(
                 WorkClass::Control,
                 self.profile.file_mgmt_ops_per_frame,
             ));
             // Fetch half: decode + distribute this frame's blocks.
-            let mut dec = EntropyDecoder::new(&frame.data);
+            let mut dec = entropy_decoder(self.kernel, &frame.data);
             let mut bits_before = 0u64;
             for bi in 0..blocks {
                 let zz = dec.next_block().map_err(|e| {
@@ -422,7 +812,7 @@ impl Behavior for FetchReorderBehavior {
                 })?;
                 let bits = dec.bits_consumed() - bits_before;
                 bits_before = dec.bits_consumed();
-                let coeffs = dequantize_reorder(&zz, &qtable);
+                let coeffs = tables.apply(&zz);
                 ctx.compute(
                     Work::ops(
                         WorkClass::Control,
@@ -431,24 +821,52 @@ impl Behavior for FetchReorderBehavior {
                     )
                     .with_mem(BLOCK_SIZE as u64 * 4),
                 );
-                ctx.send(
-                    &self.out_ifaces[bi % n],
-                    encode_coeff_msg(t as u32, bi as u32, &coeffs),
-                )?;
+                sender.push(ctx, &self.out_ifaces, t as u32, bi as u32, coeffs)?;
             }
-            // Reorder half: collect this frame's pixel blocks.
-            for bi in 0..blocks {
-                let lane = bi % n;
-                let msg = ctx.recv(&self.in_ifaces[lane])?;
-                let (f, b, pixels) = decode_pixel_msg(&msg)?;
-                ctx.compute(
-                    Work::ops(
-                        WorkClass::MemCopy,
-                        BLOCK_SIZE as u64 * self.profile.reorder_ops_per_pixel,
-                    )
-                    .with_mem(BLOCK_SIZE as u64 * 2),
-                );
-                asm.add(f, b, &pixels);
+            // The merged component round-trips each frame (send all its
+            // blocks, then collect its pixels), so remainders flush at
+            // frame end — batches never span frames on MPSoC.
+            sender.flush_all(ctx, &self.out_ifaces)?;
+            // Reorder half: collect this frame's pixel blocks. The IDCTs
+            // answer each coefficient message with one pixel message, so
+            // each lane owes its per-frame batch count.
+            if batch == 1 {
+                for bi in 0..blocks {
+                    let lane = bi % n;
+                    let msg = ctx.recv(&self.in_ifaces[lane])?;
+                    let (f, b, pixels) = decode_pixel_msg(&msg)?;
+                    ctx.compute(
+                        Work::ops(
+                            WorkClass::MemCopy,
+                            BLOCK_SIZE as u64 * self.profile.reorder_ops_per_pixel,
+                        )
+                        .with_mem(BLOCK_SIZE as u64 * 2),
+                    );
+                    asm.add(f, b, &pixels);
+                }
+            } else {
+                for (lane, in_iface) in self.in_ifaces.iter().enumerate() {
+                    let msgs = lane_msgs_per_frame(lane_share(blocks as u64, n, lane), batch);
+                    for _ in 0..msgs {
+                        let msg = ctx.recv(in_iface)?;
+                        let view = BatchView::pixels(&msg)?;
+                        for i in 0..view.len() {
+                            let (f, bi, payload) = view.block(i);
+                            let mut px = [0u8; BLOCK_SIZE];
+                            px.copy_from_slice(&payload);
+                            asm.add(f, bi, &px);
+                        }
+                        ctx.compute(
+                            Work::ops(
+                                WorkClass::MemCopy,
+                                BLOCK_SIZE as u64
+                                    * self.profile.reorder_ops_per_pixel
+                                    * view.len() as u64,
+                            )
+                            .with_mem(BLOCK_SIZE as u64 * 2 * view.len() as u64),
+                        );
+                    }
+                }
             }
         }
         Ok(())
@@ -465,6 +883,14 @@ pub struct MjpegAppConfig {
     /// Component stack size. Default 8 392 000 bytes — the paper's
     /// measured Linux thread stack ("8 392 kb").
     pub stack_bytes: u64,
+    /// Coefficient/pixel blocks carried per message. The default of 1
+    /// preserves the paper's exact send-count structure (Table 2); larger
+    /// batches amortize per-message cost for throughput runs.
+    pub blocks_per_msg: usize,
+    /// Which (I)DCT kernel the pipeline runs. The reference float kernel
+    /// is the default; [`DctKind::FastAan`] selects the fixed-point AAN
+    /// fast path with dequantization folded into prescaled tables.
+    pub kernel: DctKind,
 }
 
 impl Default for MjpegAppConfig {
@@ -473,6 +899,8 @@ impl Default for MjpegAppConfig {
             idct_count: 3,
             profile: WorkProfile::default(),
             stack_bytes: 8_392_000,
+            blocks_per_msg: 1,
+            kernel: DctKind::ReferenceFloat,
         }
     }
 }
@@ -494,7 +922,13 @@ pub fn build_smp_app(stream: MjpegStream, cfg: &MjpegAppConfig) -> (AppBuilder, 
         .collect();
     let mut fetch = ComponentSpec::new(
         "Fetch",
-        FetchBehavior::new(stream, fetch_outs.clone(), cfg.profile),
+        FetchBehavior::with_options(
+            stream,
+            fetch_outs.clone(),
+            cfg.profile,
+            cfg.blocks_per_msg,
+            cfg.kernel,
+        ),
     )
     .with_stack_bytes(cfg.stack_bytes);
     for iface in &fetch_outs {
@@ -505,13 +939,22 @@ pub fn build_smp_app(stream: MjpegStream, cfg: &MjpegAppConfig) -> (AppBuilder, 
     for k in 1..=cfg.idct_count {
         // Per-IDCT share: blocks are dealt round-robin, so lane k-1 gets
         // the blocks with index ≡ k-1 (mod idct_count) in every frame.
-        let per_frame = (0..blocks).filter(|b| b % cfg.idct_count as u64 == (k - 1) as u64).count()
-            as u64;
-        let expected = frames_forwarded * per_frame;
+        // Batches span frames on SMP, so the message count is the lane's
+        // whole-run block total divided by the batch size (rounded up
+        // for the stream-end remainder flush).
+        let per_frame = lane_share(blocks, cfg.idct_count, k - 1);
+        let expected = lane_msgs_total(per_frame, frames_forwarded, cfg.blocks_per_msg);
         app.add(
             ComponentSpec::new(
                 format!("IDCT_{k}"),
-                IdctBehavior::new(format!("_fetchIdct{k}"), "idctReorder", expected, cfg.profile),
+                IdctBehavior::with_options(
+                    format!("_fetchIdct{k}"),
+                    "idctReorder",
+                    expected,
+                    cfg.profile,
+                    cfg.blocks_per_msg,
+                    cfg.kernel,
+                ),
             )
             .with_provided(format!("_fetchIdct{k}"))
             .with_required("idctReorder")
@@ -530,13 +973,14 @@ pub fn build_smp_app(stream: MjpegStream, cfg: &MjpegAppConfig) -> (AppBuilder, 
     let (w, h) = header.map(|h| (h.width as usize, h.height as usize)).unwrap_or((8, 8));
     let mut reorder = ComponentSpec::new(
         "Reorder",
-        ReorderBehavior::new(
+        ReorderBehavior::with_options(
             reorder_ins.clone(),
             total_blocks,
             w,
             h,
             cfg.profile,
             probe.clone(),
+            cfg.blocks_per_msg,
         ),
     )
     .with_stack_bytes(cfg.stack_bytes);
@@ -575,7 +1019,15 @@ pub fn build_mpsoc_app(stream: MjpegStream, cfg: &MjpegAppConfig) -> (AppBuilder
         .collect();
     let mut fr = ComponentSpec::new(
         "Fetch-Reorder",
-        FetchReorderBehavior::new(stream, outs.clone(), ins.clone(), cfg.profile, probe.clone()),
+        FetchReorderBehavior::with_options(
+            stream,
+            outs.clone(),
+            ins.clone(),
+            cfg.profile,
+            probe.clone(),
+            cfg.blocks_per_msg,
+            cfg.kernel,
+        ),
     )
     .with_stack_bytes(16 * 1024)
     .on_cpu(0);
@@ -591,13 +1043,19 @@ pub fn build_mpsoc_app(stream: MjpegStream, cfg: &MjpegAppConfig) -> (AppBuilder
     app.add(fr);
 
     for k in 1..=cfg.idct_count {
-        let per_frame =
-            (0..blocks).filter(|b| b % cfg.idct_count as u64 == (k - 1) as u64).count() as u64;
-        let expected = frames_forwarded * per_frame;
+        let per_frame = lane_share(blocks, cfg.idct_count, k - 1);
+        let expected = frames_forwarded * lane_msgs_per_frame(per_frame, cfg.blocks_per_msg);
         app.add(
             ComponentSpec::new(
                 format!("IDCT_{k}"),
-                IdctBehavior::new(format!("_fetchIdct{k}"), "idctReorder", expected, cfg.profile),
+                IdctBehavior::with_options(
+                    format!("_fetchIdct{k}"),
+                    "idctReorder",
+                    expected,
+                    cfg.profile,
+                    cfg.blocks_per_msg,
+                    cfg.kernel,
+                ),
             )
             .with_provided(format!("_fetchIdct{k}"))
             .with_required("idctReorder")
@@ -694,6 +1152,156 @@ mod tests {
             "componentized decode must be bit-identical to reference"
         );
         let _ = &mut expected;
+    }
+
+    #[test]
+    fn coeff_batch_round_trip_is_zero_copy() {
+        let mut c0 = [0i32; BLOCK_SIZE];
+        let mut c1 = [0i32; BLOCK_SIZE];
+        for i in 0..BLOCK_SIZE {
+            c0[i] = i as i32 * 7 - 100;
+            c1[i] = -(i as i32) * 3 + 40;
+        }
+        // Records from two different frames in one batch: batches span
+        // frame boundaries on the SMP pipeline.
+        let b = encode_coeff_batch(&[(9, 4, c0), (10, 7, c1)]);
+        let view = BatchView::coeffs(&b).unwrap();
+        assert_eq!(view.len(), 2);
+        let (f0, bi0, p0) = view.block(0);
+        let (f1, bi1, p1) = view.block(1);
+        assert_eq!((f0, bi0, f1, bi1), (9, 4, 10, 7));
+        assert_eq!(coeffs_from_bytes(&p0).unwrap(), c0);
+        assert_eq!(coeffs_from_bytes(&p1).unwrap(), c1);
+        // Zero-copy: the block views alias the batch buffer.
+        assert_eq!(p0.as_ptr(), b[12..].as_ptr());
+    }
+
+    #[test]
+    fn pixel_batch_round_trip() {
+        let px = [7u8; BLOCK_SIZE];
+        let b = encode_pixel_batch(&[(3, 11, px)]);
+        let view = BatchView::pixels(&b).unwrap();
+        assert_eq!(view.len(), 1);
+        let (f, bi, payload) = view.block(0);
+        assert_eq!((f, bi), (3, 11));
+        assert_eq!(&payload[..], &px[..]);
+    }
+
+    #[test]
+    fn malformed_batches_rejected() {
+        assert!(BatchView::coeffs(&Bytes::from_static(&[0u8; 4])).is_err());
+        // Count says 2 but only one record present.
+        let one = [1u8; BLOCK_SIZE];
+        let mut b = encode_pixel_batch(&[(1, 0, one)]).to_vec();
+        b[0..4].copy_from_slice(&2u32.to_le_bytes());
+        assert!(BatchView::pixels(&Bytes::from(b)).is_err());
+        // Zero-count batches are invalid.
+        let empty = encode_pixel_batch(&[]);
+        assert!(BatchView::pixels(&empty).is_err());
+    }
+
+    #[test]
+    fn batched_smp_pipeline_same_output_fewer_messages() {
+        // Batching must not change decoded output, only message counts:
+        // with 18 blocks/frame over 3 lanes, each lane holds 6 blocks per
+        // frame, so batch=6 folds them into one message per lane-frame.
+        let stream = small_stream(9);
+        let (ref_app, ref_probe) = build_smp_app(stream.clone(), &MjpegAppConfig::default());
+        SmpPlatform::new().deploy(ref_app.build().unwrap()).unwrap().wait().unwrap();
+
+        let cfg = MjpegAppConfig {
+            blocks_per_msg: 6,
+            ..MjpegAppConfig::default()
+        };
+        let (app, probe) = build_smp_app(stream, &cfg);
+        let report = SmpPlatform::new().deploy(app.build().unwrap()).unwrap().wait().unwrap();
+        assert_eq!(probe.frames_completed.load(Ordering::SeqCst), 8);
+        assert_eq!(
+            probe.checksum.load(Ordering::SeqCst),
+            ref_probe.checksum.load(Ordering::SeqCst),
+            "batching changed the decoded pixels"
+        );
+        // 8 forwarded frames × 3 lanes × 1 batch.
+        assert_eq!(report.component("Fetch").unwrap().app.total_sends, 24);
+        for k in 1..=3 {
+            let r = report.component(&format!("IDCT_{k}")).unwrap();
+            assert_eq!(r.app.total_receives, 8);
+            assert_eq!(r.app.total_sends, 8);
+        }
+        assert_eq!(report.component("Reorder").unwrap().app.total_receives, 24);
+    }
+
+    #[test]
+    fn batch_not_dividing_lane_share_still_decodes() {
+        // batch=4 over a 6-block lane share: batches straddle frame
+        // boundaries (4 forwarded frames × 6 = 24 blocks per lane →
+        // 6 messages per lane, no per-frame remainder flush).
+        let stream = small_stream(5);
+        let expected = PipelineProbe::default();
+        for f in &stream.frames[1..] {
+            let px = crate::codec::decode_frame(&f.data, 48, 24, 75).unwrap();
+            expected.fold_frame(&px);
+        }
+        let cfg = MjpegAppConfig {
+            blocks_per_msg: 4,
+            ..MjpegAppConfig::default()
+        };
+        let (app, probe) = build_smp_app(stream, &cfg);
+        let report = SmpPlatform::new().deploy(app.build().unwrap()).unwrap().wait().unwrap();
+        assert_eq!(
+            probe.checksum.load(Ordering::SeqCst),
+            expected.checksum.load(Ordering::SeqCst)
+        );
+        assert_eq!(report.component("Fetch").unwrap().app.total_sends, 3 * 6);
+    }
+
+    #[test]
+    fn fast_kernel_smp_pipeline_matches_fast_reference_decode() {
+        // The fast-kernel pipeline must be bit-identical to a straight
+        // single-threaded fast-kernel decode (the kernels are exact
+        // integer arithmetic, so the distribution over components cannot
+        // perturb the output).
+        let stream = small_stream(6);
+        let expected = PipelineProbe::default();
+        for f in &stream.frames[1..] {
+            let px =
+                crate::codec::decode_frame_with(&f.data, 48, 24, 75, DctKind::FastAan).unwrap();
+            expected.fold_frame(&px);
+        }
+        let cfg = MjpegAppConfig {
+            kernel: DctKind::FastAan,
+            blocks_per_msg: 3,
+            ..MjpegAppConfig::default()
+        };
+        let (app, probe) = build_smp_app(stream, &cfg);
+        SmpPlatform::new().deploy(app.build().unwrap()).unwrap().wait().unwrap();
+        assert_eq!(
+            probe.checksum.load(Ordering::SeqCst),
+            expected.checksum.load(Ordering::SeqCst)
+        );
+    }
+
+    #[test]
+    fn batched_mpsoc_pipeline_decodes_all_frames() {
+        let cfg = MjpegAppConfig {
+            idct_count: 2,
+            blocks_per_msg: 9,
+            kernel: DctKind::FastAan,
+            ..MjpegAppConfig::default()
+        };
+        let (app, probe) = build_mpsoc_app(small_stream(7), &cfg);
+        let report = SmpPlatform::new().deploy(app.build().unwrap()).unwrap().wait().unwrap();
+        assert_eq!(probe.frames_completed.load(Ordering::SeqCst), 6);
+        // Each lane holds 9 blocks per frame: exactly one batch each.
+        assert_eq!(
+            report.component("Fetch-Reorder").unwrap().app.total_sends,
+            6 * 2
+        );
+        for k in 1..=2 {
+            let r = report.component(&format!("IDCT_{k}")).unwrap();
+            assert_eq!(r.app.total_receives, 6);
+            assert_eq!(r.app.total_sends, 6);
+        }
     }
 
     #[test]

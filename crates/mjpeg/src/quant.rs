@@ -85,6 +85,79 @@ pub fn dequantize_reorder(zz: &[i16; BLOCK_SIZE], qtable: &[u16; BLOCK_SIZE]) ->
     out
 }
 
+/// Dequantization table for the fast integer IDCT: the quantizer step and
+/// the AAN per-frequency output scales are folded into one fixed-point
+/// multiplier, so dequantization + DCT prescaling costs a single integer
+/// multiply per coefficient (see [`crate::dct::idct_scaled_to_pixels`]).
+/// Entries are `q[n] · aan[u] · aan[v] · 2^AAN_FRAC_BITS` in natural
+/// order.
+pub fn fast_dequant_table(qtable: &[u16; BLOCK_SIZE]) -> [i32; BLOCK_SIZE] {
+    let aan = crate::dct::aan_scales();
+    let mut out = [0i32; BLOCK_SIZE];
+    for v in 0..8 {
+        for u in 0..8 {
+            let n = v * 8 + u;
+            let s = qtable[n] as f64 * aan[u] * aan[v]
+                * (1u32 << crate::dct::AAN_FRAC_BITS) as f64;
+            out[n] = s.round() as i32;
+        }
+    }
+    out
+}
+
+/// Fast-path fusion of dequantize + reorder + AAN prescale: zigzag input,
+/// natural-order output scaled for [`crate::dct::idct_scaled_to_pixels`].
+pub fn dequantize_reorder_scaled(
+    zz: &[i16; BLOCK_SIZE],
+    ftable: &[i32; BLOCK_SIZE],
+) -> [i32; BLOCK_SIZE] {
+    let mut out = [0i32; BLOCK_SIZE];
+    for (k, &v) in zz.iter().enumerate() {
+        let n = ZIGZAG[k];
+        // Valid baseline streams keep |zz·q| ≤ 2048, well inside i32
+        // after the 2^12 prescale; saturate rather than wrap on corrupt
+        // input.
+        let p = v as i64 * ftable[n] as i64;
+        out[n] = p.clamp(i32::MIN as i64, i32::MAX as i64) as i32;
+    }
+    out
+}
+
+/// Quantization divisors for the fast forward DCT: the quantizer step,
+/// the AAN output scales and the transform's 8·2^AAN_FRAC_BITS gain in
+/// one divisor per coefficient (natural order), matching
+/// [`crate::dct::fdct_fast_scaled`]'s output domain.
+pub fn fast_quant_divisors(qtable: &[u16; BLOCK_SIZE]) -> [i64; BLOCK_SIZE] {
+    let aan = crate::dct::aan_scales();
+    let gain = (8u32 << crate::dct::AAN_FRAC_BITS) as f64;
+    let mut out = [0i64; BLOCK_SIZE];
+    for v in 0..8 {
+        for u in 0..8 {
+            let n = v * 8 + u;
+            out[n] = (qtable[n] as f64 * aan[u] * aan[v] * gain).round() as i64;
+        }
+    }
+    out
+}
+
+/// Quantize AAN-scaled forward-DCT output and emit it in zigzag order
+/// (the integer counterpart of [`quantize_zigzag`]).
+pub fn quantize_zigzag_fast(
+    coeffs: &[i64; BLOCK_SIZE],
+    divisors: &[i64; BLOCK_SIZE],
+) -> [i16; BLOCK_SIZE] {
+    let mut out = [0i16; BLOCK_SIZE];
+    for (k, dst) in out.iter_mut().enumerate() {
+        let n = ZIGZAG[k];
+        let c = coeffs[n];
+        let d = divisors[n];
+        // Round-to-nearest division, symmetric around zero.
+        let q = if c >= 0 { (c + d / 2) / d } else { (c - d / 2) / d };
+        *dst = q as i16;
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -148,4 +148,49 @@ proptest! {
         let p = psnr(&img, &px);
         prop_assert!(p > 20.0, "PSNR {} at q{} dri{} {}x{}", p, quality, dri, w, h);
     }
+
+    /// The fixed-point AAN inverse DCT stays within ±1 gray level of the
+    /// reference float path on arbitrary dequantized coefficients in the
+    /// baseline-JPEG range.
+    #[test]
+    fn fast_idct_within_one_level_of_reference(
+        coeffs in prop::collection::vec(-1024i32..=1024, BLOCK_SIZE)
+    ) {
+        let mut c = [0i32; BLOCK_SIZE];
+        c.copy_from_slice(&coeffs);
+        let reference = mjpeg::dct::idct_to_pixels(&c);
+        let fast = mjpeg::dct::idct_fast_to_pixels(&c);
+        for (i, (&a, &b)) in reference.iter().zip(fast.iter()).enumerate() {
+            prop_assert!(
+                (a as i32 - b as i32).abs() <= 1,
+                "pixel {}: reference {} vs fast {}", i, a, b
+            );
+        }
+    }
+
+    /// The two-level LUT Huffman decoder produces exactly the same
+    /// quantized blocks — and consumes exactly the same bits — as the
+    /// bit-serial reference decoder on any encodable image.
+    #[test]
+    fn lut_huffman_decode_is_bit_identical_to_reference(
+        seed in 0u64..10_000,
+        quality in 30u8..=95,
+    ) {
+        let (w, h) = (16usize, 16usize);
+        let mut x = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+        let mut img = vec![0u8; w * h];
+        for p in img.iter_mut() {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            *p = (x >> 56) as u8;
+        }
+        let data = mjpeg::codec::encode_frame(&img, w, h, quality);
+        let mut lut = mjpeg::codec::EntropyDecoder::new(&data);
+        let mut bitwise = mjpeg::codec::EntropyDecoder::reference(&data);
+        for block in 0..(w / 8) * (h / 8) {
+            let a = lut.next_block().unwrap();
+            let b = bitwise.next_block().unwrap();
+            prop_assert_eq!(&a[..], &b[..], "block {} differs", block);
+            prop_assert_eq!(lut.bits_consumed(), bitwise.bits_consumed());
+        }
+    }
 }

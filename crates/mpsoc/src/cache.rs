@@ -80,7 +80,7 @@ impl L1Cache {
     pub fn new(cfg: CacheConfig) -> Self {
         assert!(cfg.line_bytes.is_power_of_two(), "line size must be 2^n");
         assert!(
-            cfg.size_bytes % cfg.line_bytes == 0,
+            cfg.size_bytes.is_multiple_of(cfg.line_bytes),
             "cache size must be a multiple of the line size"
         );
         L1Cache {

@@ -4,14 +4,18 @@
 //! The default implementation is a `parking_lot` mutex + condvar around a
 //! `VecDeque` — the closest analogue of the paper's pthread mailbox. A
 //! lock-free [`crossbeam::queue::SegQueue`] variant exists for the
-//! mailbox ablation benchmark; it busy-polls with exponential backoff on
-//! the blocking paths.
+//! mailbox ablation benchmark; its blocking path spins briefly with
+//! [`crossbeam::utils::Backoff`] and then parks on a condvar that `push`
+//! only touches when a waiter has registered, so the uncontended send
+//! path stays lock-free.
 
 use std::collections::VecDeque;
+use std::sync::atomic::{fence, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use crossbeam::queue::SegQueue;
+use crossbeam::utils::Backoff;
 use parking_lot::{Condvar, Mutex};
 
 use embera::Message;
@@ -38,6 +42,11 @@ enum Impl {
     },
     Seg {
         queue: SegQueue<Message>,
+        /// Receivers currently parked (or about to park) on `parked`.
+        /// `push` skips the lock entirely while this is zero.
+        waiters: AtomicUsize,
+        park: Mutex<()>,
+        parked: Condvar,
     },
     Bounded {
         queue: Mutex<VecDeque<Message>>,
@@ -85,6 +94,9 @@ impl Mailbox {
             },
             MailboxKind::SegQueue => Impl::Seg {
                 queue: SegQueue::new(),
+                waiters: AtomicUsize::new(0),
+                park: Mutex::new(()),
+                parked: Condvar::new(),
             },
             MailboxKind::Bounded(capacity) => {
                 assert!(capacity >= 1, "bounded mailbox capacity must be >= 1");
@@ -121,8 +133,22 @@ impl Mailbox {
                 queue.lock().push_back(msg);
                 nonempty.notify_one();
             }
-            Impl::Seg { queue } => {
+            Impl::Seg {
+                queue,
+                waiters,
+                park,
+                parked,
+            } => {
                 queue.push(msg);
+                // The fence orders the enqueue before the waiter check;
+                // a receiver registers (SeqCst) before its final empty
+                // probe, so either we see its registration here or it
+                // sees our message there — no lost wakeup.
+                fence(Ordering::SeqCst);
+                if waiters.load(Ordering::SeqCst) > 0 {
+                    let _g = park.lock();
+                    parked.notify_all();
+                }
             }
             Impl::Bounded {
                 queue,
@@ -144,7 +170,7 @@ impl Mailbox {
     pub fn try_pop(&self) -> Option<Message> {
         let msg = match &self.inner.imp {
             Impl::Mutex { queue, .. } => queue.lock().pop_front(),
-            Impl::Seg { queue } => queue.pop(),
+            Impl::Seg { queue, .. } => queue.pop(),
             Impl::Bounded { queue, nonfull, .. } => {
                 let m = queue.lock().pop_front();
                 if m.is_some() {
@@ -208,28 +234,92 @@ impl Mailbox {
                     }
                 }
             }
-            Impl::Seg { queue } => {
+            Impl::Seg {
+                queue,
+                waiters,
+                park,
+                parked,
+            } => {
                 let deadline = Instant::now() + timeout;
-                let mut spins = 0u32;
+                let backoff = Backoff::new();
                 loop {
                     if let Some(m) = queue.pop() {
                         return Some(m);
                     }
-                    if Instant::now() >= deadline {
+                    let now = Instant::now();
+                    if now >= deadline {
                         return queue.pop();
                     }
-                    // Exponential backoff: spin, then yield, then nap.
-                    spins = spins.saturating_add(1);
-                    if spins < 64 {
-                        std::hint::spin_loop();
-                    } else if spins < 256 {
-                        std::thread::yield_now();
-                    } else {
-                        std::thread::sleep(Duration::from_micros(50));
+                    if !backoff.is_completed() {
+                        // Short spin/yield phase: a message in flight
+                        // lands within a few hundred nanoseconds.
+                        backoff.snooze();
+                        continue;
                     }
+                    // Park until a sender notifies or the deadline
+                    // passes. Registration (SeqCst) happens before the
+                    // final empty probe; `push` enqueues before checking
+                    // `waiters`, so the probe sees the message or the
+                    // sender sees us and notifies under `park`.
+                    waiters.fetch_add(1, Ordering::SeqCst);
+                    fence(Ordering::SeqCst);
+                    let mut g = park.lock();
+                    if let Some(m) = queue.pop() {
+                        drop(g);
+                        waiters.fetch_sub(1, Ordering::SeqCst);
+                        return Some(m);
+                    }
+                    let _ = parked.wait_until(&mut g, deadline);
+                    drop(g);
+                    waiters.fetch_sub(1, Ordering::SeqCst);
                 }
             }
         }
+    }
+
+    /// Drain up to `max` queued messages into `out` (appended in FIFO
+    /// order), taking the queue lock once for the whole batch instead of
+    /// once per message. Returns how many messages were appended; never
+    /// blocks. The fast path for batched pipeline receivers.
+    pub fn pop_many(&self, out: &mut Vec<Message>, max: usize) -> usize {
+        if max == 0 {
+            return 0;
+        }
+        let start = out.len();
+        match &self.inner.imp {
+            Impl::Mutex { queue, .. } => {
+                let mut q = queue.lock();
+                let n = max.min(q.len());
+                out.extend(q.drain(..n));
+            }
+            Impl::Seg { queue, .. } => {
+                // The lock-free queue has no bulk drain; pop one at a
+                // time (each pop is a single CAS on the shim).
+                while out.len() - start < max {
+                    match queue.pop() {
+                        Some(m) => out.push(m),
+                        None => break,
+                    }
+                }
+            }
+            Impl::Bounded { queue, nonfull, .. } => {
+                let mut q = queue.lock();
+                let n = max.min(q.len());
+                out.extend(q.drain(..n));
+                if n > 0 {
+                    // Several pushers may have been blocked on capacity.
+                    nonfull.notify_all();
+                }
+            }
+        }
+        let drained = &out[start..];
+        let bytes: u64 = drained.iter().map(|m| m.data_len() as u64).sum();
+        if bytes > 0 {
+            self.inner
+                .queued_bytes
+                .fetch_sub(bytes, std::sync::atomic::Ordering::Relaxed);
+        }
+        drained.len()
     }
 
     /// Bytes of data payload currently queued.
@@ -243,7 +333,7 @@ impl Mailbox {
     pub fn len(&self) -> usize {
         match &self.inner.imp {
             Impl::Mutex { queue, .. } => queue.lock().len(),
-            Impl::Seg { queue } => queue.len(),
+            Impl::Seg { queue, .. } => queue.len(),
             Impl::Bounded { queue, .. } => queue.lock().len(),
         }
     }
@@ -338,6 +428,69 @@ mod tests {
         let unblocked_at = h.join().unwrap();
         assert!(unblocked_at.duration_since(t0) >= Duration::from_millis(25));
         assert_eq!(mb.len(), 2);
+    }
+
+    #[test]
+    fn pop_many_drains_in_fifo_order_and_respects_max() {
+        for kind in [
+            MailboxKind::MutexCondvar,
+            MailboxKind::SegQueue,
+            MailboxKind::Bounded(2048),
+        ] {
+            let mb = Mailbox::new("m", kind);
+            for v in [b"1" as &[u8], b"22", b"333", b"4444"] {
+                mb.push(Message::Data(Bytes::copy_from_slice(v)));
+            }
+            assert_eq!(mb.queued_bytes(), 10);
+            let mut out = Vec::new();
+            assert_eq!(mb.pop_many(&mut out, 3), 3);
+            assert_eq!(out.len(), 3);
+            assert_eq!(&payload(out[0].clone())[..], b"1");
+            assert_eq!(&payload(out[2].clone())[..], b"333");
+            assert_eq!(mb.queued_bytes(), 4);
+            // Appends after existing contents, drains the remainder.
+            assert_eq!(mb.pop_many(&mut out, 16), 1);
+            assert_eq!(&payload(out[3].clone())[..], b"4444");
+            assert_eq!(mb.queued_bytes(), 0);
+            assert_eq!(mb.pop_many(&mut out, 16), 0);
+            assert_eq!(mb.pop_many(&mut out, 0), 0);
+        }
+    }
+
+    #[test]
+    fn pop_many_unblocks_bounded_pushers() {
+        let mb = Mailbox::new("m", MailboxKind::Bounded(2));
+        mb.push(data(b"1"));
+        mb.push(data(b"2"));
+        let tx = mb.clone();
+        let h = std::thread::spawn(move || {
+            tx.push(data(b"3"));
+            tx.push(data(b"4"));
+        });
+        std::thread::sleep(Duration::from_millis(20));
+        let mut out = Vec::new();
+        assert_eq!(mb.pop_many(&mut out, 2), 2);
+        h.join().unwrap();
+        assert_eq!(mb.len(), 2);
+    }
+
+    #[test]
+    fn seg_pop_timeout_parks_instead_of_spinning() {
+        // A long empty wait must not burn CPU: the receiver should park
+        // after the backoff phase and still wake promptly on push.
+        let mb = Mailbox::new("m", MailboxKind::SegQueue);
+        let tx = mb.clone();
+        let h = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(60));
+            tx.push(data(b"late"));
+        });
+        let t0 = Instant::now();
+        let got = mb.pop_timeout(Duration::from_secs(5));
+        let waited = t0.elapsed();
+        h.join().unwrap();
+        assert_eq!(&payload(got.unwrap())[..], b"late");
+        assert!(waited >= Duration::from_millis(40), "woke too early");
+        assert!(waited < Duration::from_secs(4), "missed the wakeup");
     }
 
     #[test]

@@ -164,6 +164,7 @@ impl Platform for SmpPlatform {
                 epoch,
                 shutdown: Arc::clone(&shutdown),
                 observe: self.config.observe,
+                pending: HashMap::new(),
             };
             let finish2 = Arc::clone(&finish);
             let shutdown2 = Arc::clone(&shutdown);
@@ -215,13 +216,16 @@ impl RunningApp for SmpRunning {
                 cvar.wait(&mut st);
             }
         }
+        // The application is done once its own components finish: stamp
+        // the wall clock now, before tearing down the observer and the
+        // introspection service loops (harness shutdown is not app time).
+        let wall_time_ns = self.epoch.elapsed().as_nanos() as u64;
         // Terminate service loops and the observer, then join.
         self.shutdown.store(true, Ordering::Release);
         for h in self.handles {
             h.join()
                 .map_err(|_| EmberaError::Platform("component thread panicked".into()))?;
         }
-        let wall_time_ns = self.epoch.elapsed().as_nanos() as u64;
         let errors = {
             let (lock, _) = &*self.finish;
             std::mem::take(&mut lock.lock().errors)

@@ -2,7 +2,7 @@
 //! records observation statistics, and serves introspection requests —
 //! all outside user code.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -31,7 +31,15 @@ pub(crate) struct ComponentRuntime {
     /// False disables observation recording and introspection service
     /// (ablation A1).
     pub(crate) observe: bool,
+    /// Messages drained from a data mailbox in bulk (one lock per batch
+    /// via [`Mailbox::pop_many`]) but not yet handed to the behavior.
+    pub(crate) pending: HashMap<String, VecDeque<Message>>,
 }
+
+/// How many messages a single `recv` may drain from the mailbox ahead of
+/// the behavior asking for them. Small: enough to amortize the lock over
+/// a pipeline batch without hoarding another component's backlog.
+const DRAIN_BATCH: usize = 16;
 
 impl ComponentRuntime {
     pub(crate) fn now_ns(&self) -> u64 {
@@ -52,8 +60,17 @@ impl ComponentRuntime {
     }
 
     fn refresh_queued_gauge(&self) {
+        // Bulk-drained messages waiting in `pending` are still queued
+        // from the observer's point of view: count them with the
+        // mailbox-resident bytes so the memory gauge is drain-agnostic.
+        let in_flight: u64 = self
+            .pending
+            .values()
+            .flat_map(|q| q.iter())
+            .map(|m| m.data_len() as u64)
+            .sum();
         let total: u64 = self.provided.values().map(|m| m.queued_bytes()).sum();
-        self.stats.set_queued_bytes(total);
+        self.stats.set_queued_bytes(total + in_flight);
     }
 
     fn handle_introspection(&self, msg: Message) {
@@ -107,6 +124,29 @@ impl ComponentRuntime {
 /// The [`Ctx`] implementation handed to behaviors on the SMP backend.
 pub(crate) struct SmpCtx<'a> {
     rt: &'a mut ComponentRuntime,
+}
+
+impl SmpCtx<'_> {
+    /// Next message for `provided`: the head of the local drain buffer
+    /// if one is waiting, else a bulk [`Mailbox::pop_many`] drain (one
+    /// lock for up to [`DRAIN_BATCH`] messages) refills the buffer.
+    fn next_buffered(&mut self, provided: &str, mb: &Mailbox) -> Option<Message> {
+        if !self.rt.pending.contains_key(provided) {
+            self.rt.pending.insert(provided.to_string(), VecDeque::new());
+        }
+        let buf = self.rt.pending.get_mut(provided).unwrap();
+        if let Some(m) = buf.pop_front() {
+            return Some(m);
+        }
+        let mut scratch = Vec::with_capacity(DRAIN_BATCH);
+        if mb.pop_many(&mut scratch, DRAIN_BATCH) == 0 {
+            return None;
+        }
+        let mut drained = scratch.drain(..);
+        let first = drained.next();
+        buf.extend(drained);
+        first
+    }
 }
 
 impl Ctx for SmpCtx<'_> {
@@ -182,7 +222,7 @@ impl Ctx for SmpCtx<'_> {
         loop {
             self.rt.service_introspection();
             let t0 = Instant::now();
-            if let Some(msg) = mb.try_pop() {
+            if let Some(msg) = self.next_buffered(provided, &mb) {
                 let dur = t0.elapsed().as_nanos() as u64;
                 if msg.is_data() && self.rt.observe {
                     self.rt
@@ -193,6 +233,13 @@ impl Ctx for SmpCtx<'_> {
             }
             let now = Instant::now();
             if now >= deadline {
+                return Ok(None);
+            }
+            // Abort the wait promptly on shutdown: the slice loop wakes
+            // every SERVICE_SLICE anyway, so a long timeout (e.g. the
+            // observer's pacing interval) must not keep the thread — and
+            // the application's wall clock — alive after the app is done.
+            if self.rt.shutdown.load(Ordering::Acquire) {
                 return Ok(None);
             }
             let slice = SERVICE_SLICE.min(deadline - now);

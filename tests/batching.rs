@@ -1,0 +1,103 @@
+//! Integration: batched pipeline messaging must preserve the paper's
+//! communication structure. At `blocks_per_msg = 1` — the default — the
+//! Table 2 counts are exact regardless of which DCT kernel runs; larger
+//! batches shrink the message counts by exactly the batch factor while
+//! leaving the decoded pixels bit-identical.
+
+use std::sync::atomic::Ordering;
+
+use embera::{Platform, RunningApp};
+use embera_smp::SmpPlatform;
+use mjpeg::{build_smp_app, synthesize_stream, DctKind, MjpegAppConfig};
+
+fn stream(frames: usize) -> mjpeg::MjpegStream {
+    synthesize_stream(frames, 48, 24, 75, 0x5EED)
+}
+
+/// Table 2 structure: send(Fetch) = blocks × (frames − 1), each IDCT
+/// receives and sends its round-robin share, recv(Reorder) = send(Fetch).
+/// Exact at batch size 1 — the paper's one-message-per-block schedule —
+/// for both the reference float and the fast fixed-point kernel.
+#[test]
+fn table2_counts_exact_at_batch_1_for_both_kernels() {
+    for kernel in [DctKind::ReferenceFloat, DctKind::FastAan] {
+        let n = 31; // stand-in for 578 frames; structure is what matters
+        let cfg = MjpegAppConfig {
+            blocks_per_msg: 1,
+            kernel,
+            ..MjpegAppConfig::default()
+        };
+        let (app, probe) = build_smp_app(stream(n), &cfg);
+        let report = SmpPlatform::new()
+            .deploy(app.build().unwrap())
+            .unwrap()
+            .wait()
+            .unwrap();
+        let fwd = (n - 1) as u64;
+        assert_eq!(probe.frames_completed.load(Ordering::SeqCst), fwd);
+        let fetch = report.component("Fetch").unwrap();
+        assert_eq!(fetch.app.total_sends, 18 * fwd, "kernel {kernel:?}");
+        assert_eq!(fetch.app.total_receives, 0);
+        for k in 1..=3 {
+            let idct = report.component(&format!("IDCT_{k}")).unwrap();
+            assert_eq!(idct.app.total_receives, 6 * fwd, "kernel {kernel:?}");
+            assert_eq!(idct.app.total_sends, 6 * fwd, "kernel {kernel:?}");
+        }
+        let reorder = report.component("Reorder").unwrap();
+        assert_eq!(reorder.app.total_receives, 18 * fwd);
+        assert_eq!(reorder.app.total_sends, 0);
+    }
+}
+
+/// Batching divides per-lane message counts by the batch factor —
+/// batches span frame boundaries on the SMP pipeline, so a lane's count
+/// is its whole-run block share over the batch size (one remainder
+/// flush at stream end) — and leaves the output checksum, hence every
+/// decoded pixel, unchanged.
+#[test]
+fn batching_scales_counts_without_changing_output() {
+    let frames = 13;
+    let fwd = (frames - 1) as u64;
+    let (ref_app, ref_probe) = build_smp_app(stream(frames), &MjpegAppConfig::default());
+    SmpPlatform::new()
+        .deploy(ref_app.build().unwrap())
+        .unwrap()
+        .wait()
+        .unwrap();
+    // 18 blocks over 3 lanes = 6 per lane-frame × 12 forwarded frames =
+    // 72 blocks per lane: batch 2 → 36 messages, batch 4 → 18,
+    // batch 6 → 12, batch 100 → 1 (stream-end remainder flush).
+    for (batch, msgs_per_lane) in [(2usize, 36u64), (4, 18), (6, 12), (100, 1)] {
+        assert_eq!(msgs_per_lane, (6 * fwd).div_ceil(batch as u64));
+        let cfg = MjpegAppConfig {
+            blocks_per_msg: batch,
+            ..MjpegAppConfig::default()
+        };
+        let (app, probe) = build_smp_app(stream(frames), &cfg);
+        let report = SmpPlatform::new()
+            .deploy(app.build().unwrap())
+            .unwrap()
+            .wait()
+            .unwrap();
+        assert_eq!(
+            probe.checksum.load(Ordering::SeqCst),
+            ref_probe.checksum.load(Ordering::SeqCst),
+            "batch {batch} changed decoded pixels"
+        );
+        assert_eq!(
+            report.component("Fetch").unwrap().app.total_sends,
+            3 * msgs_per_lane,
+            "batch {batch}"
+        );
+        for k in 1..=3 {
+            let idct = report.component(&format!("IDCT_{k}")).unwrap();
+            assert_eq!(idct.app.total_receives, msgs_per_lane, "batch {batch}");
+            assert_eq!(idct.app.total_sends, msgs_per_lane, "batch {batch}");
+        }
+        assert_eq!(
+            report.component("Reorder").unwrap().app.total_receives,
+            3 * msgs_per_lane,
+            "batch {batch}"
+        );
+    }
+}

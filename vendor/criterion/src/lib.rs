@@ -1,0 +1,337 @@
+//! Offline shim of [`criterion`](https://crates.io/crates/criterion).
+//!
+//! A genuinely measuring (if statistically modest) harness: each
+//! benchmark is warmed up, then sampled `sample_size` times, each sample
+//! sized so the whole benchmark respects `measurement_time`. Mean /
+//! min / max and optional throughput are printed in a criterion-like
+//! format. No plots, no outlier analysis, no saved baselines.
+
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`].
+pub use std::hint::black_box;
+
+/// Throughput annotation for a benchmark.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// A benchmark identifier: function name plus parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter`.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Parameter-only id.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Timing handle passed to benchmark closures.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `routine`, called `self.iters` times.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// Let the routine time itself: it receives the iteration count and
+    /// returns the measured duration.
+    pub fn iter_custom<R: FnMut(u64) -> Duration>(&mut self, mut routine: R) {
+        self.elapsed = routine(self.iters);
+    }
+}
+
+#[derive(Clone, Copy)]
+struct Settings {
+    sample_size: usize,
+    measurement_time: Duration,
+    throughput: Option<Throughput>,
+}
+
+impl Default for Settings {
+    fn default() -> Self {
+        Settings {
+            sample_size: 10,
+            measurement_time: Duration::from_millis(500),
+            throughput: None,
+        }
+    }
+}
+
+/// One benchmark result (also printed to stdout).
+#[derive(Debug, Clone)]
+pub struct Sampled {
+    /// Full benchmark id (`group/function/param`).
+    pub id: String,
+    /// Mean time per iteration.
+    pub mean: Duration,
+    /// Fastest sample, per iteration.
+    pub min: Duration,
+    /// Slowest sample, per iteration.
+    pub max: Duration,
+}
+
+fn run_benchmark(id: &str, settings: Settings, mut f: impl FnMut(&mut Bencher)) -> Sampled {
+    // Calibration: one iteration, to size the samples.
+    let mut b = Bencher {
+        iters: 1,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b);
+    let per_iter = b.elapsed.max(Duration::from_nanos(1));
+    let budget = settings.measurement_time.max(Duration::from_millis(10));
+    let per_sample = budget.as_nanos() / settings.sample_size.max(1) as u128;
+    let iters = (per_sample / per_iter.as_nanos().max(1)).clamp(1, 1_000_000) as u64;
+
+    let mut samples = Vec::with_capacity(settings.sample_size);
+    for _ in 0..settings.sample_size.max(2) {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        samples.push(b.elapsed / iters as u32);
+    }
+    let mean = samples.iter().sum::<Duration>() / samples.len() as u32;
+    let min = *samples.iter().min().unwrap();
+    let max = *samples.iter().max().unwrap();
+
+    let fmt = |d: Duration| {
+        let ns = d.as_nanos() as f64;
+        if ns < 1e3 {
+            format!("{ns:.1} ns")
+        } else if ns < 1e6 {
+            format!("{:.2} µs", ns / 1e3)
+        } else if ns < 1e9 {
+            format!("{:.2} ms", ns / 1e6)
+        } else {
+            format!("{:.3} s", ns / 1e9)
+        }
+    };
+    print!(
+        "{id:<50} time: [{} {} {}]",
+        fmt(min),
+        fmt(mean),
+        fmt(max)
+    );
+    if let Some(tp) = settings.throughput {
+        let per_sec = |n: u64| n as f64 / mean.as_secs_f64().max(1e-12);
+        match tp {
+            Throughput::Bytes(n) => print!("  thrpt: {:.2} MiB/s", per_sec(n) / (1024.0 * 1024.0)),
+            Throughput::Elements(n) => print!("  thrpt: {:.2} elem/s", per_sec(n)),
+        }
+    }
+    println!();
+    Sampled {
+        id: id.to_string(),
+        mean,
+        min,
+        max,
+    }
+}
+
+/// A group of related benchmarks sharing settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    settings: Settings,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.settings.sample_size = n;
+        self
+    }
+
+    /// Target total measuring time per benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.settings.measurement_time = d;
+        self
+    }
+
+    /// Warm-up time (accepted for API compatibility; the shim warms up
+    /// with its calibration pass).
+    pub fn warm_up_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Throughput annotation for subsequent benchmarks.
+    pub fn throughput(&mut self, tp: Throughput) -> &mut Self {
+        self.settings.throughput = Some(tp);
+        self
+    }
+
+    /// Run a benchmark in this group.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let id = format!("{}/{}", self.name, id.into().id);
+        run_benchmark(&id, self.settings, f);
+        self
+    }
+
+    /// Run a benchmark with an input value.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let id = format!("{}/{}", self.name, id.id);
+        run_benchmark(&id, self.settings, |b| f(b, input));
+        self
+    }
+
+    /// Finish the group (printing-only shim: a no-op separator).
+    pub fn finish(self) {
+        println!();
+    }
+}
+
+/// Benchmark manager (the criterion entry object).
+#[derive(Default)]
+pub struct Criterion {
+    settings: Settings,
+}
+
+impl Criterion {
+    /// Disable distribution plots. The shim never plots, so this only
+    /// exists for configuration-source compatibility with upstream.
+    pub fn without_plots(self) -> Self {
+        self
+    }
+
+    /// Standalone benchmark.
+    pub fn bench_function(&mut self, id: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        run_benchmark(id, self.settings, f);
+        self
+    }
+
+    /// Standalone benchmark with input.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        run_benchmark(&id.id, self.settings, |b| f(b, input));
+        self
+    }
+
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            settings: self.settings,
+            _parent: self,
+        }
+    }
+
+    /// Final summary hook (no-op in the shim).
+    pub fn final_summary(&mut self) {}
+}
+
+/// Define a benchmark group function, criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+    (
+        name = $group:ident;
+        config = $config:expr;
+        targets = $($target:path),+ $(,)?
+    ) => {
+        pub fn $group() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Define `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_something_plausible() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(3).measurement_time(Duration::from_millis(20));
+        group.bench_function("spin", |b| {
+            b.iter(|| {
+                let mut x = 0u64;
+                for i in 0..1000 {
+                    x = x.wrapping_add(black_box(i));
+                }
+                x
+            })
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn iter_custom_reports_given_duration() {
+        let s = run_benchmark(
+            "custom",
+            Settings {
+                sample_size: 2,
+                measurement_time: Duration::from_millis(1),
+                throughput: None,
+            },
+            |b| b.iter_custom(|iters| Duration::from_micros(10) * iters as u32),
+        );
+        assert!(s.mean >= Duration::from_micros(9) && s.mean <= Duration::from_micros(11));
+    }
+}

@@ -1,0 +1,199 @@
+//! Offline shim of the [`crossbeam`](https://crates.io/crates/crossbeam)
+//! subset this workspace uses: `queue::SegQueue` and `utils::Backoff`.
+//!
+//! The real SegQueue is a lock-free segmented queue; this shim keeps the
+//! API and the unbounded-MPMC semantics but guards a `VecDeque` with a
+//! short-critical-section spinlock (uncontended cost is a single CAS,
+//! which preserves the flavour of the ablation it exists for).
+
+pub mod queue {
+    use std::cell::UnsafeCell;
+    use std::collections::VecDeque;
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    /// Unbounded MPMC FIFO queue.
+    pub struct SegQueue<T> {
+        locked: AtomicBool,
+        items: UnsafeCell<VecDeque<T>>,
+    }
+
+    // Safety: all access to `items` happens strictly inside the spinlock
+    // critical section established by `with`.
+    unsafe impl<T: Send> Send for SegQueue<T> {}
+    unsafe impl<T: Send> Sync for SegQueue<T> {}
+
+    impl<T> Default for SegQueue<T> {
+        fn default() -> Self {
+            Self::new()
+        }
+    }
+
+    impl<T> SegQueue<T> {
+        /// Create an empty queue.
+        pub fn new() -> Self {
+            SegQueue {
+                locked: AtomicBool::new(false),
+                items: UnsafeCell::new(VecDeque::new()),
+            }
+        }
+
+        fn with<R>(&self, f: impl FnOnce(&mut VecDeque<T>) -> R) -> R {
+            let backoff = crate::utils::Backoff::new();
+            while self
+                .locked
+                .compare_exchange_weak(false, true, Ordering::Acquire, Ordering::Relaxed)
+                .is_err()
+            {
+                backoff.snooze();
+            }
+            // Safety: we hold the spinlock.
+            let r = f(unsafe { &mut *self.items.get() });
+            self.locked.store(false, Ordering::Release);
+            r
+        }
+
+        /// Enqueue at the back.
+        pub fn push(&self, value: T) {
+            self.with(|q| q.push_back(value));
+        }
+
+        /// Dequeue from the front.
+        pub fn pop(&self) -> Option<T> {
+            self.with(|q| q.pop_front())
+        }
+
+        /// Current number of queued items.
+        pub fn len(&self) -> usize {
+            self.with(|q| q.len())
+        }
+
+        /// Whether the queue is empty.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+    }
+}
+
+pub mod utils {
+    use std::sync::atomic::{AtomicU32, Ordering};
+
+    const SPIN_LIMIT: u32 = 6;
+    const YIELD_LIMIT: u32 = 10;
+
+    /// Exponential backoff for spin loops, mirroring
+    /// `crossbeam_utils::Backoff`.
+    pub struct Backoff {
+        step: AtomicU32,
+    }
+
+    impl Default for Backoff {
+        fn default() -> Self {
+            Self::new()
+        }
+    }
+
+    impl Backoff {
+        /// Fresh backoff state.
+        pub fn new() -> Self {
+            Backoff {
+                step: AtomicU32::new(0),
+            }
+        }
+
+        /// Reset to the initial (pure-spin) state.
+        pub fn reset(&self) {
+            self.step.store(0, Ordering::Relaxed);
+        }
+
+        /// Back off in a lock-free retry loop (spin only).
+        pub fn spin(&self) {
+            let step = self.step.load(Ordering::Relaxed).min(SPIN_LIMIT);
+            for _ in 0..1u32 << step {
+                std::hint::spin_loop();
+            }
+            if step <= SPIN_LIMIT {
+                self.step.store(step + 1, Ordering::Relaxed);
+            }
+        }
+
+        /// Back off while waiting for another thread to make progress:
+        /// spin first, then yield the scheduler slice.
+        pub fn snooze(&self) {
+            let step = self.step.load(Ordering::Relaxed);
+            if step <= SPIN_LIMIT {
+                for _ in 0..1u32 << step {
+                    std::hint::spin_loop();
+                }
+            } else {
+                std::thread::yield_now();
+            }
+            if step <= YIELD_LIMIT {
+                self.step.store(step + 1, Ordering::Relaxed);
+            }
+        }
+
+        /// True once backoff has escalated past yielding — the caller
+        /// should switch to a blocking wait (park) instead of burning CPU.
+        pub fn is_completed(&self) -> bool {
+            self.step.load(Ordering::Relaxed) > YIELD_LIMIT
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::queue::SegQueue;
+    use super::utils::Backoff;
+    use std::sync::Arc;
+
+    #[test]
+    fn fifo_order() {
+        let q = SegQueue::new();
+        q.push(1);
+        q.push(2);
+        q.push(3);
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), Some(3));
+        assert_eq!(q.pop(), None);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn concurrent_producers_consumers() {
+        let q = Arc::new(SegQueue::new());
+        let mut handles = Vec::new();
+        for p in 0..4u32 {
+            let q = Arc::clone(&q);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..1000u32 {
+                    q.push(p * 1000 + i);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let mut got = Vec::new();
+        while let Some(v) = q.pop() {
+            got.push(v);
+        }
+        assert_eq!(got.len(), 4000);
+        got.sort_unstable();
+        got.dedup();
+        assert_eq!(got.len(), 4000, "no element lost or duplicated");
+    }
+
+    #[test]
+    fn backoff_escalates_to_completed() {
+        let b = Backoff::new();
+        assert!(!b.is_completed());
+        for _ in 0..32 {
+            b.snooze();
+        }
+        assert!(b.is_completed());
+        b.reset();
+        assert!(!b.is_completed());
+    }
+}

@@ -1,0 +1,17 @@
+//! Offline shim of [`serde`](https://crates.io/crates/serde).
+//!
+//! The workspace uses serde only to *derive* `Serialize`/`Deserialize`
+//! as forward-looking markers — nothing in-tree performs serialization
+//! through serde (JSON emission is hand-rolled where needed). This shim
+//! provides the two traits as markers and a derive that implements them,
+//! so the annotations keep compiling offline and the real crate can be
+//! swapped back in without source changes.
+
+/// Marker form of `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker form of `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,42 @@
+//! Offline shim of `serde_derive`: emits empty marker-trait impls for
+//! the shim `serde` crate. Handles plain (non-generic) structs and
+//! enums, which covers every derive site in this workspace; `#[serde(…)]`
+//! field attributes are accepted and ignored.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Extract the type name following the first `struct`/`enum`/`union`
+/// keyword at the top level of the item.
+fn type_name(input: TokenStream) -> String {
+    let mut tokens = input.into_iter();
+    while let Some(tt) = tokens.next() {
+        if let TokenTree::Ident(id) = &tt {
+            let kw = id.to_string();
+            if kw == "struct" || kw == "enum" || kw == "union" {
+                match tokens.next() {
+                    Some(TokenTree::Ident(name)) => return name.to_string(),
+                    other => panic!("expected type name after `{kw}`, found {other:?}"),
+                }
+            }
+        }
+    }
+    panic!("serde_derive shim: no struct/enum/union found in derive input");
+}
+
+/// Derive the marker `serde::Serialize` impl.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input);
+    format!("impl ::serde::Serialize for {name} {{}}")
+        .parse()
+        .expect("generated impl must parse")
+}
+
+/// Derive the marker `serde::Deserialize` impl.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input);
+    format!("impl<'de> ::serde::Deserialize<'de> for {name} {{}}")
+        .parse()
+        .expect("generated impl must parse")
+}
