@@ -6,6 +6,7 @@ use std::collections::{HashMap, HashSet};
 use crate::component::{ComponentSpec, INTROSPECTION};
 use crate::error::EmberaError;
 use crate::observer::{ObservationLog, ObserverBehavior, ObserverConfig, OBSERVER_NAME};
+use crate::runtime::TraceConfig;
 
 /// One end of a connection.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
@@ -48,6 +49,10 @@ pub struct AppSpec {
     pub connections: Vec<Connection>,
     /// Whether an observer component was auto-wired.
     pub has_observer: bool,
+    /// Event-tracing opt-in: when set, every backend routes the
+    /// components' runtime events (sends, receives, compute, lifecycle,
+    /// served observations) into sinks built by this configuration.
+    pub trace: Option<TraceConfig>,
 }
 
 impl AppSpec {
@@ -123,6 +128,7 @@ pub struct AppBuilder {
     components: Vec<ComponentSpec>,
     connections: Vec<Connection>,
     observer: Option<ObserverConfig>,
+    trace: Option<TraceConfig>,
 }
 
 impl AppBuilder {
@@ -133,6 +139,7 @@ impl AppBuilder {
             components: Vec::new(),
             connections: Vec::new(),
             observer: None,
+            trace: None,
         }
     }
 
@@ -160,6 +167,15 @@ impl AppBuilder {
         let log = ObservationLog::new();
         self.observer = Some(config.with_log(log.clone()));
         log
+    }
+
+    /// Opt the application into event tracing: every deployed component
+    /// gets a sink from `config` and the runtime emits detailed events
+    /// (sends, receives, compute sections, lifecycle, served observation
+    /// requests) on every backend — no behavior wrapping required.
+    pub fn with_tracing(&mut self, config: TraceConfig) -> &mut Self {
+        self.trace = Some(config);
+        self
     }
 
     /// Validate and finalize the application.
@@ -198,6 +214,7 @@ impl AppBuilder {
             components: self.components,
             connections: self.connections,
             has_observer,
+            trace: self.trace,
         })
     }
 

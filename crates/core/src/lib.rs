@@ -64,6 +64,7 @@ pub mod message;
 pub mod observe;
 pub mod observer;
 pub mod platform;
+pub mod runtime;
 
 pub use app::{AppBuilder, AppSpec, Connection, Endpoint};
 pub use behavior::{Behavior, Ctx, FnBehavior, Work, WorkClass};
@@ -79,3 +80,4 @@ pub use observe::report::{
 pub use observe::stats::ComponentStats;
 pub use observer::{ObservationLog, ObserverBehavior, ObserverConfig, OBSERVER_NAME};
 pub use platform::{AppReport, Platform, RunningApp};
+pub use runtime::{ComponentRuntime, TraceConfig, TraceEventKind, TraceSink};

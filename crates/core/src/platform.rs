@@ -1,4 +1,4 @@
-//! Platform abstraction: how an [`AppSpec`](crate::AppSpec) gets
+//! Platform abstraction: how an [`AppSpec`] gets
 //! deployed and what comes back when it finishes.
 
 use crate::app::AppSpec;

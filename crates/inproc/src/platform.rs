@@ -1,0 +1,368 @@
+//! Deployment of EMBera applications onto the calling thread.
+
+use std::cell::{Cell, RefCell};
+use std::collections::HashMap;
+use std::rc::Rc;
+use std::sync::Arc;
+
+use embera::observe::engine::ObsEngine;
+use embera::runtime::ComponentRuntime;
+use embera::{
+    AppReport, AppSpec, ComponentStats, EmberaError, Platform, RunningApp, INTROSPECTION,
+    OBSERVER_NAME,
+};
+
+use crate::transport::{start_component, InprocTransport, Queue, Servicer, Shared, Slot};
+
+/// Configuration of the in-process backend.
+#[derive(Debug, Clone)]
+pub struct InprocConfig {
+    /// False disables all observation (recording + introspection
+    /// service), mirroring the other backends' ablation switch.
+    pub observe: bool,
+}
+
+impl Default for InprocConfig {
+    fn default() -> Self {
+        InprocConfig { observe: true }
+    }
+}
+
+/// The in-process deterministic platform (see the crate docs for the
+/// scheduling model and its limitations).
+#[derive(Debug, Clone, Default)]
+pub struct InprocPlatform {
+    config: InprocConfig,
+}
+
+impl InprocPlatform {
+    /// Platform with default configuration.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Platform with explicit configuration.
+    pub fn with_config(config: InprocConfig) -> Self {
+        InprocPlatform { config }
+    }
+}
+
+/// A deployed in-process application. Nothing has executed yet:
+/// components run inside [`RunningApp::wait`] on the calling thread.
+pub struct InprocRunning {
+    app_name: String,
+    shared: Rc<Shared>,
+    engines: Vec<ObsEngine>,
+}
+
+impl Platform for InprocPlatform {
+    type Running = InprocRunning;
+
+    fn deploy(&mut self, spec: AppSpec) -> Result<InprocRunning, EmberaError> {
+        // 1. One queue per provided interface (data + introspection).
+        let mut queues: HashMap<(String, String), Queue> = HashMap::new();
+        for c in &spec.components {
+            for iface in c.provided.iter().map(String::as_str).chain([INTROSPECTION]) {
+                queues.insert((c.name.clone(), iface.to_string()), Queue::default());
+            }
+        }
+
+        // 2. Resolve required-interface routes, and record who feeds
+        //    which inbox for the demand-driven scheduler.
+        let index_of: HashMap<&str, usize> = spec
+            .components
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (c.name.as_str(), i))
+            .collect();
+        let mut routes_by_component: HashMap<String, HashMap<String, Queue>> = HashMap::new();
+        let mut producers: HashMap<(String, String), Vec<usize>> = HashMap::new();
+        for conn in &spec.connections {
+            let target = queues
+                .get(&(conn.to.component.clone(), conn.to.interface.clone()))
+                .ok_or_else(|| {
+                    EmberaError::Validation(format!(
+                        "connection target {}::{} has no queue",
+                        conn.to.component, conn.to.interface
+                    ))
+                })?
+                .clone();
+            routes_by_component
+                .entry(conn.from.component.clone())
+                .or_default()
+                .insert(conn.from.interface.clone(), target);
+            if let Some(&from_idx) = index_of.get(conn.from.component.as_str()) {
+                producers
+                    .entry((conn.to.component.clone(), conn.to.interface.clone()))
+                    .or_default()
+                    .push(from_idx);
+            }
+        }
+
+        let observer_idx = spec.components.iter().position(|c| c.name == OBSERVER_NAME);
+        let remaining = spec.components.len() - usize::from(observer_idx.is_some());
+        let shared = Rc::new(Shared {
+            clock: Cell::new(0),
+            // With no application components there is nothing to wait
+            // for — start already shut down so an observer exits at once.
+            shutdown: Cell::new(remaining == 0),
+            remaining: Cell::new(remaining),
+            app_done_ns: Cell::new(None),
+            errors: RefCell::new(Vec::new()),
+            slots: RefCell::new(Vec::new()),
+            servicers: RefCell::new(Vec::new()),
+            producers,
+            observer_idx,
+            observe: self.config.observe,
+        });
+
+        // 3. Build each component's runtime (and its introspection
+        //    servicer) over clones of the shared queues.
+        let trace = spec.trace.clone();
+        let mut engines = Vec::new();
+        for (idx, c) in spec.components.into_iter().enumerate() {
+            let stats = Arc::new(ComponentStats::new(&c.name, &c.provided, &c.required));
+            // No threads, no mailbox structures: accounted memory is the
+            // declared stack reservation alone.
+            stats.set_memory_bytes(c.stack_bytes);
+            let engine = ObsEngine::with_metrics(Arc::clone(&stats), c.metrics.clone());
+            engines.push(engine.clone());
+
+            let provided: HashMap<String, Queue> = c
+                .provided
+                .iter()
+                .map(String::as_str)
+                .chain([INTROSPECTION])
+                .map(|iface| {
+                    (
+                        iface.to_string(),
+                        queues[&(c.name.clone(), iface.to_string())].clone(),
+                    )
+                })
+                .collect();
+            let routes = routes_by_component.remove(&c.name).unwrap_or_default();
+            let inbox = provided[INTROSPECTION].clone();
+            let is_observer = Some(idx) == observer_idx;
+
+            let main = InprocTransport {
+                idx,
+                name: c.name.clone(),
+                is_observer,
+                account_cpu: true,
+                provided: provided.clone(),
+                routes: routes.clone(),
+                stats: Arc::clone(&stats),
+                cpu_ns: 0,
+                shared: Rc::clone(&shared),
+            };
+            let runtime = ComponentRuntime::new(
+                c.name.clone(),
+                c.required.clone(),
+                main,
+                engine.clone(),
+                self.config.observe,
+                trace.as_ref().map(|t| t.sink_for(&c.name)),
+            );
+            shared.slots.borrow_mut().push(Slot::Unstarted {
+                runtime: Box::new(runtime),
+                behavior: c.behavior,
+            });
+
+            let side = InprocTransport {
+                idx,
+                name: c.name.clone(),
+                is_observer,
+                account_cpu: false,
+                provided,
+                routes,
+                stats,
+                cpu_ns: 0,
+                shared: Rc::clone(&shared),
+            };
+            shared.servicers.borrow_mut().push(Servicer {
+                inbox,
+                runtime: RefCell::new(ComponentRuntime::new(
+                    c.name,
+                    c.required,
+                    side,
+                    engine,
+                    self.config.observe,
+                    None,
+                )),
+            });
+        }
+
+        Ok(InprocRunning {
+            app_name: spec.name,
+            shared,
+            engines,
+        })
+    }
+}
+
+impl RunningApp for InprocRunning {
+    fn wait(self) -> Result<AppReport, EmberaError> {
+        // Start components in deployment order; each nested park may
+        // have started later ones already, so re-scan after every run.
+        loop {
+            let next = {
+                let slots = self.shared.slots.borrow();
+                (0..slots.len()).find(|&i| matches!(slots[i], Slot::Unstarted { .. }))
+            };
+            match next {
+                Some(i) => start_component(&self.shared, i),
+                None => break,
+            }
+        }
+        let wall_time_ns = self
+            .shared
+            .app_done_ns
+            .get()
+            .unwrap_or_else(|| self.shared.clock.get());
+        self.shared.shutdown.set(true);
+        // Slots and servicers hold transports that hold `shared` — clear
+        // them to break the Rc cycles before dropping.
+        self.shared.slots.borrow_mut().clear();
+        self.shared.servicers.borrow_mut().clear();
+        let errors = std::mem::take(&mut *self.shared.errors.borrow_mut());
+        // Report the originating failure, not a peer's secondary
+        // `Terminated` from the fail-fast drain.
+        if let Some((name, e)) = errors
+            .iter()
+            .find(|(_, e)| !matches!(e, EmberaError::Terminated))
+            .or_else(|| errors.first())
+        {
+            return Err(EmberaError::Platform(format!(
+                "component '{name}' failed: {e}"
+            )));
+        }
+        Ok(AppReport {
+            app_name: self.app_name,
+            wall_time_ns,
+            components: self
+                .engines
+                .iter()
+                .map(|e| e.full_report(wall_time_ns))
+                .collect(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+    use embera::behavior::behavior_fn;
+    use embera::{AppBuilder, ComponentSpec};
+
+    fn pipe_app() -> AppSpec {
+        let mut app = AppBuilder::new("pipe");
+        app.add(
+            ComponentSpec::new(
+                "src",
+                behavior_fn(|ctx| {
+                    for i in 0..100u32 {
+                        ctx.send("out", Bytes::copy_from_slice(&i.to_le_bytes()))?;
+                    }
+                    Ok(())
+                }),
+            )
+            .with_required("out"),
+        );
+        app.add(
+            ComponentSpec::new(
+                "dst",
+                behavior_fn(|ctx| {
+                    for i in 0..100u32 {
+                        let b = ctx.recv("in")?;
+                        assert_eq!(b.as_ref(), i.to_le_bytes());
+                    }
+                    Ok(())
+                }),
+            )
+            .with_provided("in"),
+        );
+        app.connect(("src", "out"), ("dst", "in"));
+        app.build().unwrap()
+    }
+
+    #[test]
+    fn pipeline_delivers_all_messages_in_order() {
+        let report = InprocPlatform::new().deploy(pipe_app()).unwrap().wait().unwrap();
+        assert_eq!(report.component("src").unwrap().app.total_sends, 100);
+        assert_eq!(report.component("dst").unwrap().app.total_receives, 100);
+    }
+
+    #[test]
+    fn consumer_first_demand_starts_its_producer() {
+        // Same pipeline, consumer deployed first: its blocking recv must
+        // pull the producer in rather than deadlock.
+        let mut app = AppBuilder::new("pull");
+        app.add(
+            ComponentSpec::new("dst", behavior_fn(|ctx| ctx.recv("in").map(|_| ())))
+                .with_provided("in"),
+        );
+        app.add(
+            ComponentSpec::new(
+                "src",
+                behavior_fn(|ctx| ctx.send("out", Bytes::from_static(b"x"))),
+            )
+            .with_required("out"),
+        );
+        app.connect(("src", "out"), ("dst", "in"));
+        let report = InprocPlatform::new()
+            .deploy(app.build().unwrap())
+            .unwrap()
+            .wait()
+            .unwrap();
+        assert_eq!(report.total_receives(), 1);
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let run = || {
+            let r = InprocPlatform::new().deploy(pipe_app()).unwrap().wait().unwrap();
+            (
+                r.wall_time_ns,
+                r.total_sends(),
+                r.component("src").unwrap().middleware.send.total_ns,
+            )
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn genuine_deadlock_is_a_named_error() {
+        let mut app = AppBuilder::new("stuck");
+        app.add(
+            ComponentSpec::new("alone", behavior_fn(|ctx| ctx.recv("in").map(|_| ())))
+                .with_provided("in"),
+        );
+        let err = InprocPlatform::new()
+            .deploy(app.build().unwrap())
+            .unwrap()
+            .wait()
+            .unwrap_err();
+        let EmberaError::Platform(msg) = err else { panic!() };
+        assert!(msg.contains("deadlock") && msg.contains("alone"), "{msg}");
+    }
+
+    #[test]
+    fn timed_recv_jumps_the_clock() {
+        let mut app = AppBuilder::new("timer");
+        app.add(ComponentSpec::new(
+            "t",
+            behavior_fn(|ctx| {
+                assert!(ctx.recv_timeout("in", 5_000)?.is_none());
+                assert!(ctx.now_ns() >= 5_000);
+                Ok(())
+            }),
+        )
+        .with_provided("in"));
+        InprocPlatform::new()
+            .deploy(app.build().unwrap())
+            .unwrap()
+            .wait()
+            .unwrap();
+    }
+}

@@ -32,6 +32,6 @@
 //! `ObserverConfig::rounds` when diagnosing stuck pipelines.
 
 pub mod platform;
-pub mod runtime;
+mod transport;
 
 pub use platform::{Os21Config, Os21Platform, Os21Running};

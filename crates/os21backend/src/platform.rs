@@ -8,6 +8,7 @@ use parking_lot::Mutex;
 use sim_kernel::Kernel;
 
 use embera::observe::engine::ObsEngine;
+use embera::runtime::ComponentRuntime;
 use embera::{
     AppReport, AppSpec, ComponentStats, EmberaError, Placement, Platform, RunningApp,
     INTROSPECTION, OBSERVER_NAME,
@@ -16,7 +17,7 @@ use embx::{EmbxCostConfig, Transport};
 use mpsoc_sim::{CpuId, Machine};
 use os21::Rtos;
 
-use crate::runtime::{AppShared, Endpoint, Os21Runtime};
+use crate::transport::{AppShared, Endpoint, Os21Transport};
 
 /// Configuration of the MPSoC backend.
 #[derive(Debug, Clone)]
@@ -157,6 +158,7 @@ impl Platform for Os21Platform {
             errors: Arc::new(Mutex::new(Vec::new())),
         });
 
+        let trace = spec.trace.clone();
         let mut all_engines = Vec::new();
         for c in spec.components {
             let cpu = placements[&c.name];
@@ -188,22 +190,29 @@ impl Platform for Os21Platform {
             let map = self.machine.memory_map();
             let local_region = map.local_of(cpu).unwrap_or_else(|| map.sdram());
 
-            let runtime = Os21Runtime {
-                name: c.name.clone(),
-                provided,
-                routes,
-                stats: Arc::clone(&stats),
-                engine,
-                local_region,
-                activity,
-                app: Arc::clone(&app_shared),
-                observe: self.config.observe,
-                is_observer: c.name == OBSERVER_NAME,
-                mem_cursor: std::sync::atomic::AtomicU64::new(0),
-            };
             let behavior = c.behavior;
+            let name = c.name.clone();
+            let required = c.required.clone();
+            let app = Arc::clone(&app_shared);
+            let observe = self.config.observe;
+            let is_observer = c.name == OBSERVER_NAME;
+            let sink = trace.as_ref().map(|t| t.sink_for(&c.name));
+            let stats2 = Arc::clone(&stats);
             rtos.spawn_task(&mut kernel, cpu, c.name.clone(), 0, move |task| {
-                runtime.run_task(task, behavior);
+                let transport = Os21Transport {
+                    name: name.clone(),
+                    task,
+                    provided,
+                    routes,
+                    stats: stats2,
+                    local_region,
+                    activity,
+                    app,
+                    is_observer,
+                    mem_cursor: 0,
+                };
+                ComponentRuntime::new(name, required, transport, engine, observe, sink)
+                    .run_to_completion(behavior);
             });
         }
 

@@ -27,7 +27,7 @@
 
 pub mod mailbox;
 pub mod platform;
-pub mod runtime;
+mod transport;
 
 pub use mailbox::{Mailbox, MailboxKind};
 pub use platform::{SmpConfig, SmpPlatform, SmpRunning};

@@ -1,7 +1,6 @@
 //! Deployment of EMBera applications onto host threads.
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Instant;
@@ -9,13 +8,14 @@ use std::time::Instant;
 use parking_lot::{Condvar, Mutex};
 
 use embera::observe::engine::ObsEngine;
+use embera::runtime::ComponentRuntime;
 use embera::{
     AppReport, AppSpec, ComponentStats, EmberaError, Platform, RunningApp, INTROSPECTION,
     OBSERVER_NAME,
 };
 
 use crate::mailbox::{Mailbox, MailboxKind};
-use crate::runtime::ComponentRuntime;
+use crate::transport::{FinishState, ShutdownSignal, SmpTransport};
 
 /// Configuration of the SMP backend.
 #[derive(Debug, Clone)]
@@ -61,16 +61,11 @@ impl SmpPlatform {
     }
 }
 
-struct FinishState {
-    finished: usize,
-    errors: Vec<(String, EmberaError)>,
-}
-
 /// A deployed SMP application.
 pub struct SmpRunning {
     app_name: String,
     epoch: Instant,
-    shutdown: Arc<AtomicBool>,
+    shutdown: Arc<ShutdownSignal>,
     handles: Vec<JoinHandle<()>>,
     engines: Vec<ObsEngine>,
     app_component_count: usize,
@@ -82,7 +77,7 @@ impl Platform for SmpPlatform {
 
     fn deploy(&mut self, spec: AppSpec) -> Result<SmpRunning, EmberaError> {
         let epoch = Instant::now();
-        let shutdown = Arc::new(AtomicBool::new(false));
+        let shutdown = Arc::new(ShutdownSignal::new());
         let finish = Arc::new((
             Mutex::new(FinishState {
                 finished: 0,
@@ -121,6 +116,7 @@ impl Platform for SmpPlatform {
         }
 
         // 3. Spawn one thread per component.
+        let trace = spec.trace.clone();
         let mut handles = Vec::new();
         let mut all_engines = Vec::new();
         let app_component_count = spec
@@ -155,41 +151,34 @@ impl Platform for SmpPlatform {
                 .collect();
             let routes = routes_by_component.remove(&c.name).unwrap_or_default();
 
-            let runtime = ComponentRuntime {
+            let pending = provided
+                .keys()
+                .map(|k| (k.clone(), std::collections::VecDeque::new()))
+                .collect();
+            let transport = SmpTransport {
                 name: c.name.clone(),
                 provided,
                 routes,
-                stats: Arc::clone(&stats),
-                engine,
+                pending,
+                scratch: Vec::with_capacity(16),
                 epoch,
                 shutdown: Arc::clone(&shutdown),
                 observe: self.config.observe,
-                pending: HashMap::new(),
+                finish: Arc::clone(&finish),
+                is_app_component: c.name != OBSERVER_NAME,
             };
-            let finish2 = Arc::clone(&finish);
-            let shutdown2 = Arc::clone(&shutdown);
-            let is_app_component = c.name != OBSERVER_NAME;
-            let name = c.name.clone();
+            let runtime = ComponentRuntime::new(
+                c.name.clone(),
+                c.required.clone(),
+                transport,
+                engine,
+                self.config.observe,
+                trace.as_ref().map(|t| t.sink_for(&c.name)),
+            );
             let handle = std::thread::Builder::new()
                 .name(format!("embera:{}", c.name))
                 .stack_size(c.stack_bytes as usize)
-                .spawn(move || {
-                    runtime.run_thread(c.behavior, move |err| {
-                        let (lock, cvar) = &*finish2;
-                        let mut st = lock.lock();
-                        if let Some(e) = err {
-                            st.errors.push((name, e));
-                            // Fail fast: a failed component aborts the
-                            // application so peers blocked in recv drain
-                            // out with `Terminated` instead of hanging.
-                            shutdown2.store(true, Ordering::Release);
-                        }
-                        if is_app_component {
-                            st.finished += 1;
-                            cvar.notify_all();
-                        }
-                    });
-                })
+                .spawn(move || runtime.run_to_completion(c.behavior))
                 .map_err(|e| EmberaError::Platform(format!("thread spawn failed: {e}")))?;
             handles.push(handle);
         }
@@ -221,7 +210,7 @@ impl RunningApp for SmpRunning {
         // introspection service loops (harness shutdown is not app time).
         let wall_time_ns = self.epoch.elapsed().as_nanos() as u64;
         // Terminate service loops and the observer, then join.
-        self.shutdown.store(true, Ordering::Release);
+        self.shutdown.signal();
         for h in self.handles {
             h.join()
                 .map_err(|_| EmberaError::Platform("component thread panicked".into()))?;

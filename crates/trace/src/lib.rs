@@ -15,9 +15,14 @@
 //!   never blocks the traced component,
 //! * [`TraceCollector`] — registers per-component rings and drains them
 //!   into a global, time-ordered trace,
-//! * [`TracingCtx`] — a decorator over any [`embera::Ctx`] that emits
-//!   events around every primitive without touching application code
-//!   (preserving the paper's "without modifying its code" property),
+//! * [`sink`] — the bridge to the runtime's first-class tracing: a
+//!   [`TraceCollector`] doubles as the [`embera::TraceConfig`] sink
+//!   factory (see [`TraceCollector::trace_config`]), so tracing is a
+//!   one-line application opt-in and also captures runtime-internal
+//!   events such as served introspection requests,
+//! * [`TracingCtx`] — the original decorator over any [`embera::Ctx`],
+//!   retained for tracing a single behavior ad hoc without touching the
+//!   application description,
 //! * [`analysis`] — timeline statistics: per-component activity spans,
 //!   communication matrix, utilization,
 //! * [`export`] — a line-oriented text format with round-trip parsing.
@@ -28,6 +33,7 @@ pub mod event;
 pub mod export;
 pub mod instrument;
 pub mod ring;
+pub mod sink;
 
 pub use analysis::{ComponentActivity, TimelineStats};
 pub use collector::{TraceCollector, TraceHandle};

@@ -1,6 +1,13 @@
 //! Event tracing (paper §6 future work, experiment X3): run a pipeline
-//! with per-component trace rings and print timeline statistics plus a
-//! snippet of the raw trace.
+//! with first-class runtime tracing and print timeline statistics plus
+//! a snippet of the raw trace.
+//!
+//! Tracing is a one-line opt-in on the *application description*
+//! (`AppBuilder::with_tracing`): the component runtime emits events
+//! around every primitive on every backend, so the behaviors below are
+//! completely ordinary — no decorators, no instrumentation. The runtime
+//! also reports what no decorator could see: `ObsServed` events for
+//! introspection requests it answers on a component's behalf.
 //!
 //! ```text
 //! cargo run --release --example tracing_demo
@@ -11,7 +18,6 @@ use embera::behavior::behavior_fn;
 use embera::{AppBuilder, ComponentSpec, Platform, RunningApp};
 use embera_smp::SmpPlatform;
 use embera_trace::analysis::TimelineStats;
-use embera_trace::instrument::TracedBehavior;
 use embera_trace::{export, TraceCollector};
 
 fn main() {
@@ -19,34 +25,29 @@ fn main() {
     let collector = TraceCollector::default();
 
     let mut app = AppBuilder::new("traced-pipeline");
+    app.with_tracing(collector.trace_config());
     app.add(
         ComponentSpec::new(
             "stage_a",
-            TracedBehavior::new(
-                behavior_fn(move |ctx| {
-                    for i in 0..MESSAGES {
-                        ctx.send("out", Bytes::from(vec![i as u8; 512]))?;
-                    }
-                    Ok(())
-                }),
-                collector.register("stage_a"),
-            ),
+            behavior_fn(move |ctx| {
+                for i in 0..MESSAGES {
+                    ctx.send("out", Bytes::from(vec![i as u8; 512]))?;
+                }
+                Ok(())
+            }),
         )
         .with_required("out"),
     );
     app.add(
         ComponentSpec::new(
             "stage_b",
-            TracedBehavior::new(
-                behavior_fn(move |ctx| {
-                    for _ in 0..MESSAGES {
-                        let m = ctx.recv("in")?;
-                        ctx.send("out", m)?;
-                    }
-                    Ok(())
-                }),
-                collector.register("stage_b"),
-            ),
+            behavior_fn(move |ctx| {
+                for _ in 0..MESSAGES {
+                    let m = ctx.recv("in")?;
+                    ctx.send("out", m)?;
+                }
+                Ok(())
+            }),
         )
         .with_provided("in")
         .with_required("out"),
@@ -54,15 +55,12 @@ fn main() {
     app.add(
         ComponentSpec::new(
             "stage_c",
-            TracedBehavior::new(
-                behavior_fn(move |ctx| {
-                    for _ in 0..MESSAGES {
-                        ctx.recv("in")?;
-                    }
-                    Ok(())
-                }),
-                collector.register("stage_c"),
-            ),
+            behavior_fn(move |ctx| {
+                for _ in 0..MESSAGES {
+                    ctx.recv("in")?;
+                }
+                Ok(())
+            }),
         )
         .with_provided("in"),
     );

@@ -1,0 +1,317 @@
+//! Backend conformance suite: the three platforms (SMP threads,
+//! simulated MPSoC, in-process deterministic) must be indistinguishable
+//! through the `Ctx` API and the observation reports. Every test here
+//! runs the *same* application description on all three and pins the
+//! shared-runtime guarantees: FIFO delivery, the error contract,
+//! introspection service while blocked, termination semantics, and
+//! counter conservation.
+
+use bytes::Bytes;
+use embera::behavior::behavior_fn;
+use embera::{
+    AppBuilder, AppReport, AppSpec, ComponentSpec, EmberaError, Message, ObsRequest, Platform,
+    RunningApp, INTROSPECTION,
+};
+use embera_inproc::InprocPlatform;
+use embera_os21::Os21Platform;
+use embera_smp::SmpPlatform;
+
+type RunFn = fn(AppSpec) -> Result<AppReport, EmberaError>;
+
+fn backends() -> Vec<(&'static str, RunFn)> {
+    fn smp(spec: AppSpec) -> Result<AppReport, EmberaError> {
+        SmpPlatform::new().deploy(spec)?.wait()
+    }
+    fn os21(spec: AppSpec) -> Result<AppReport, EmberaError> {
+        Os21Platform::three_cpu().deploy(spec)?.wait()
+    }
+    fn inproc(spec: AppSpec) -> Result<AppReport, EmberaError> {
+        InprocPlatform::new().deploy(spec)?.wait()
+    }
+    vec![("smp", smp), ("os21", os21), ("inproc", inproc)]
+}
+
+#[test]
+fn fifo_order_per_connection() {
+    for (backend, run) in backends() {
+        let mut app = AppBuilder::new("fifo");
+        app.add(
+            ComponentSpec::new(
+                "src",
+                behavior_fn(|ctx| {
+                    for i in 0..50u32 {
+                        ctx.send("out", Bytes::copy_from_slice(&i.to_le_bytes()))?;
+                    }
+                    Ok(())
+                }),
+            )
+            .with_required("out")
+            .with_stack_bytes(1 << 20)
+            .on_cpu(0),
+        );
+        app.add(
+            ComponentSpec::new(
+                "dst",
+                behavior_fn(|ctx| {
+                    for i in 0..50u32 {
+                        let b = ctx.recv("in")?;
+                        assert_eq!(b.as_ref(), i.to_le_bytes(), "out-of-order delivery");
+                    }
+                    Ok(())
+                }),
+            )
+            .with_provided("in")
+            .with_stack_bytes(1 << 20)
+            .on_cpu(1),
+        );
+        app.connect(("src", "out"), ("dst", "in"));
+        let report = run(app.build().unwrap()).unwrap_or_else(|e| panic!("[{backend}] {e}"));
+        assert_eq!(report.total_sends(), 50, "[{backend}]");
+        assert_eq!(report.total_receives(), 50, "[{backend}]");
+    }
+}
+
+#[test]
+fn blocking_recv_after_shutdown_is_terminated() {
+    // `failer` errors immediately; the fail-fast shutdown must drain
+    // `waiter` out of its blocking recv with `Terminated` (never a
+    // hang), and the report must carry the *originating* error.
+    for (backend, run) in backends() {
+        let mut app = AppBuilder::new("failfast");
+        // On inproc, the component that blocks first must be deployed
+        // first (the scheduler then demand-starts the rest); the other
+        // backends are order-insensitive.
+        app.add(
+            ComponentSpec::new(
+                "waiter",
+                behavior_fn(|ctx| match ctx.recv("in") {
+                    Err(EmberaError::Terminated) => Ok(()),
+                    other => panic!("expected Terminated, got {other:?}"),
+                }),
+            )
+            .with_provided("in")
+            .with_stack_bytes(1 << 20)
+            .on_cpu(0),
+        );
+        app.add(
+            ComponentSpec::new(
+                "failer",
+                behavior_fn(|_| Err(EmberaError::Platform("injected fault".into()))),
+            )
+            .with_stack_bytes(1 << 20)
+            .on_cpu(1),
+        );
+        let err = run(app.build().unwrap()).unwrap_err();
+        let EmberaError::Platform(msg) = err else {
+            panic!("[{backend}] wrong error kind");
+        };
+        assert!(
+            msg.contains("failer") && msg.contains("injected fault"),
+            "[{backend}] {msg}"
+        );
+    }
+}
+
+#[test]
+fn introspection_answered_while_blocked_in_recv() {
+    // The paper's key property: a component is observable while blocked
+    // in a receive, with zero cooperation from its behavior. `prober`
+    // sends an observation request to `blocked` (which is parked in
+    // `recv` and will stay parked until `prober` later feeds it), waits
+    // for the reply, and only then unblocks it.
+    for (backend, run) in backends() {
+        let mut app = AppBuilder::new("probe");
+        app.add(
+            ComponentSpec::new(
+                "blocked",
+                behavior_fn(|ctx| {
+                    let b = ctx.recv("in")?;
+                    assert_eq!(b.as_ref(), b"unblock");
+                    Ok(())
+                }),
+            )
+            .with_provided("in")
+            .with_stack_bytes(1 << 20)
+            .on_cpu(0),
+        );
+        app.add(
+            ComponentSpec::new(
+                "prober",
+                behavior_fn(|ctx| {
+                    ctx.send_message(
+                        "ask",
+                        Message::ObsRequest {
+                            from: "prober".into(),
+                            request: ObsRequest::AppStats,
+                        },
+                    )?;
+                    let reply = ctx.recv_message("replies")?;
+                    let Message::ObsReply { from, .. } = reply else {
+                        panic!("expected ObsReply, got {reply:?}");
+                    };
+                    assert_eq!(from, "blocked");
+                    ctx.send("out", Bytes::from_static(b"unblock"))?;
+                    Ok(())
+                }),
+            )
+            .with_provided("replies")
+            .with_required("ask")
+            .with_required("out")
+            .with_stack_bytes(1 << 20)
+            .on_cpu(1),
+        );
+        app.connect(("prober", "ask"), ("blocked", INTROSPECTION));
+        app.connect(("blocked", INTROSPECTION), ("prober", "replies"));
+        app.connect(("prober", "out"), ("blocked", "in"));
+        let report = run(app.build().unwrap()).unwrap_or_else(|e| panic!("[{backend}] {e}"));
+        // Observation traffic is runtime traffic: only the one data
+        // message counts.
+        let blocked = report.component("blocked").unwrap();
+        assert_eq!(blocked.app.total_receives, 1, "[{backend}]");
+        assert_eq!(report.component("prober").unwrap().app.total_sends, 1, "[{backend}]");
+    }
+}
+
+#[test]
+fn counters_are_conserved_across_a_pipeline() {
+    // Σ sends == Σ receives when every queued message is consumed, on
+    // every backend, with mixed payload sizes.
+    for (backend, run) in backends() {
+        const N: u32 = 20;
+        let payload = |i: u32| Bytes::from(vec![i as u8; 4 + (i as usize % 7) * 16]);
+        let mut app = AppBuilder::new("conserve");
+        let p = payload;
+        app.add(
+            ComponentSpec::new(
+                "src",
+                behavior_fn(move |ctx| {
+                    for i in 0..N {
+                        ctx.send("out", p(i))?;
+                    }
+                    Ok(())
+                }),
+            )
+            .with_required("out")
+            .with_stack_bytes(1 << 20)
+            .on_cpu(0),
+        );
+        app.add(
+            ComponentSpec::new(
+                "mid",
+                behavior_fn(move |ctx| {
+                    for _ in 0..N {
+                        let b = ctx.recv("in")?;
+                        ctx.send("out", b)?;
+                    }
+                    Ok(())
+                }),
+            )
+            .with_provided("in")
+            .with_required("out")
+            .with_stack_bytes(1 << 20)
+            .on_cpu(1),
+        );
+        let q = payload;
+        app.add(
+            ComponentSpec::new(
+                "dst",
+                behavior_fn(move |ctx| {
+                    for i in 0..N {
+                        let b = ctx.recv("in")?;
+                        assert_eq!(b, q(i));
+                    }
+                    Ok(())
+                }),
+            )
+            .with_provided("in")
+            .with_stack_bytes(1 << 20)
+            .on_cpu(2),
+        );
+        app.connect(("src", "out"), ("mid", "in"));
+        app.connect(("mid", "out"), ("dst", "in"));
+        let report = run(app.build().unwrap()).unwrap_or_else(|e| panic!("[{backend}] {e}"));
+        assert_eq!(report.total_sends(), 2 * u64::from(N), "[{backend}]");
+        assert_eq!(
+            report.total_sends(),
+            report.total_receives(),
+            "[{backend}] send/receive conservation"
+        );
+    }
+}
+
+#[test]
+fn error_contract_is_identical_on_every_backend() {
+    // Declared-but-unbound requires a hand-built spec: `AppBuilder`
+    // validation rejects it up front, which is itself part of the
+    // contract. The backends must still agree on what happens.
+    for (backend, run) in backends() {
+        let solo = ComponentSpec::new(
+            "solo",
+            behavior_fn(|ctx| {
+                match ctx.send("loose", Bytes::new()) {
+                    Err(EmberaError::Disconnected { interface, .. }) => {
+                        assert_eq!(interface, "loose");
+                    }
+                    other => panic!("declared-but-unbound: expected Disconnected, got {other:?}"),
+                }
+                match ctx.send("ghost", Bytes::new()) {
+                    Err(EmberaError::UnknownInterface { interface, .. }) => {
+                        assert_eq!(interface, "ghost");
+                    }
+                    other => panic!("undeclared send: expected UnknownInterface, got {other:?}"),
+                }
+                match ctx.recv_timeout("nowhere", 1_000) {
+                    Err(EmberaError::UnknownInterface { interface, .. }) => {
+                        assert_eq!(interface, "nowhere");
+                    }
+                    other => panic!("undeclared recv: expected UnknownInterface, got {other:?}"),
+                }
+                // Unattached introspection is silently dropped.
+                ctx.send_message(
+                    INTROSPECTION,
+                    Message::ObsRequest {
+                        from: "solo".into(),
+                        request: ObsRequest::AppStats,
+                    },
+                )?;
+                Ok(())
+            }),
+        )
+        .with_required("loose")
+        .with_stack_bytes(1 << 20);
+        let spec = AppSpec {
+            name: "contract".into(),
+            components: vec![solo],
+            connections: Vec::new(),
+            has_observer: false,
+            trace: None,
+        };
+        run(spec).unwrap_or_else(|e| panic!("[{backend}] {e}"));
+    }
+}
+
+#[test]
+fn unmodified_mjpeg_behaviors_deploy_on_inproc() {
+    // The acceptance bar for the runtime extraction: the MJPEG behavior
+    // structs written for the SMP backend run unchanged on the
+    // in-process scheduler and decode the same stream to the same
+    // counts and checksum.
+    let cfg = mjpeg::MjpegAppConfig::default();
+    let run = |platform_run: RunFn| {
+        let stream = mjpeg::synthesize_stream(4, 48, 24, 75, 9);
+        let (app, probe) = mjpeg::build_smp_app(stream, &cfg);
+        let report = platform_run(app.build().unwrap()).unwrap();
+        (
+            probe
+                .frames_completed
+                .load(std::sync::atomic::Ordering::Acquire),
+            probe.checksum.load(std::sync::atomic::Ordering::Acquire),
+            report.total_sends(),
+            report.total_receives(),
+        )
+    };
+    let smp = run(|spec| SmpPlatform::new().deploy(spec)?.wait());
+    let inp = run(|spec| InprocPlatform::new().deploy(spec)?.wait());
+    assert!(smp.0 > 0, "pipeline decoded no frames");
+    assert_eq!(smp, inp, "(frames, checksum, sends, receives) must match");
+}
