@@ -7,6 +7,7 @@ use crate::component::{ComponentSpec, INTROSPECTION};
 use crate::error::EmberaError;
 use crate::observer::{ObservationLog, ObserverBehavior, ObserverConfig, OBSERVER_NAME};
 use crate::runtime::TraceConfig;
+use crate::supervise::FaultPlan;
 
 /// One end of a connection.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
@@ -53,6 +54,10 @@ pub struct AppSpec {
     /// components' runtime events (sends, receives, compute, lifecycle,
     /// served observations) into sinks built by this configuration.
     pub trace: Option<TraceConfig>,
+    /// Deterministic fault-injection plan applied by the shared
+    /// component runtime on every backend (reproducible bit-for-bit on
+    /// `embera-inproc`).
+    pub faults: Option<FaultPlan>,
 }
 
 impl AppSpec {
@@ -129,6 +134,7 @@ pub struct AppBuilder {
     connections: Vec<Connection>,
     observer: Option<ObserverConfig>,
     trace: Option<TraceConfig>,
+    faults: Option<FaultPlan>,
 }
 
 impl AppBuilder {
@@ -140,6 +146,7 @@ impl AppBuilder {
             connections: Vec::new(),
             observer: None,
             trace: None,
+            faults: None,
         }
     }
 
@@ -175,6 +182,32 @@ impl AppBuilder {
     /// requests) on every backend — no behavior wrapping required.
     pub fn with_tracing(&mut self, config: TraceConfig) -> &mut Self {
         self.trace = Some(config);
+        self
+    }
+
+    /// Attach a deterministic fault-injection plan (testing aid). The
+    /// shared component runtime applies the plan on every backend; empty
+    /// plans are discarded.
+    pub fn with_faults(&mut self, plan: FaultPlan) -> &mut Self {
+        self.faults = (!plan.is_empty()).then_some(plan);
+        self
+    }
+
+    /// Attach a restart policy to an already-added component — the
+    /// supervision hook for components created by application builders
+    /// (e.g. the MJPEG pipeline). Panics if no component with that name
+    /// has been added: supervising a typo is a configuration bug.
+    pub fn restart_component(
+        &mut self,
+        name: &str,
+        policy: crate::supervise::RestartPolicy,
+    ) -> &mut Self {
+        let c = self
+            .components
+            .iter_mut()
+            .find(|c| c.name == name)
+            .unwrap_or_else(|| panic!("restart_component: no component named '{name}'"));
+        c.restart = Some(policy);
         self
     }
 
@@ -215,6 +248,7 @@ impl AppBuilder {
             connections: self.connections,
             has_observer,
             trace: self.trace,
+            faults: self.faults,
         })
     }
 

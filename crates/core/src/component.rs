@@ -4,6 +4,7 @@ use std::sync::Arc;
 
 use crate::behavior::Behavior;
 use crate::observe::custom::MetricSource;
+use crate::supervise::RestartPolicy;
 
 /// Name of the implicit observation interface pair created "by default
 /// on any EMBera component" (paper §4.2). Each component has both an
@@ -45,6 +46,10 @@ pub struct ComponentSpec {
     /// Application-registered observation functions (paper §6
     /// extension); sampled by the runtime on `Custom`/`Full` requests.
     pub metrics: Vec<Arc<dyn MetricSource>>,
+    /// Supervision: how the runtime reacts when the behavior fails
+    /// (error or contained panic). `None` keeps the historical
+    /// fail-fast semantics.
+    pub restart: Option<RestartPolicy>,
 }
 
 impl ComponentSpec {
@@ -59,6 +64,7 @@ impl ComponentSpec {
             stack_bytes: 8 * 1024 * 1024,
             placement: Placement::Any,
             metrics: Vec::new(),
+            restart: None,
         }
     }
 
@@ -92,6 +98,12 @@ impl ComponentSpec {
         self
     }
 
+    /// Supervise this component with a restart policy.
+    pub fn with_restart(mut self, policy: RestartPolicy) -> Self {
+        self.restart = Some(policy);
+        self
+    }
+
     /// Does the component declare this provided interface (including the
     /// implicit introspection interface)?
     pub fn has_provided(&self, iface: &str) -> bool {
@@ -113,6 +125,7 @@ impl std::fmt::Debug for ComponentSpec {
             .field("required", &self.required)
             .field("stack_bytes", &self.stack_bytes)
             .field("placement", &self.placement)
+            .field("restart", &self.restart)
             .finish_non_exhaustive()
     }
 }

@@ -30,6 +30,15 @@ pub enum EmberaError {
         /// Interface on which the message arrived.
         interface: String,
     },
+    /// A behavior panicked; the panic was contained by the component
+    /// runtime instead of poisoning the rest of the application.
+    BehaviorPanic {
+        /// Component whose behavior panicked.
+        component: String,
+        /// Stringified panic payload (`""` when the payload was not a
+        /// string).
+        payload: String,
+    },
     /// Backend-specific failure.
     Platform(String),
 }
@@ -52,6 +61,9 @@ impl fmt::Display for EmberaError {
             EmberaError::Terminated => write!(f, "application terminated"),
             EmberaError::UnexpectedMessage { interface } => {
                 write!(f, "non-data message on data interface '{interface}'")
+            }
+            EmberaError::BehaviorPanic { component, payload } => {
+                write!(f, "behavior of component '{component}' panicked: {payload}")
             }
             EmberaError::Platform(msg) => write!(f, "platform error: {msg}"),
         }

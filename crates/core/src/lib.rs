@@ -65,6 +65,7 @@ pub mod observe;
 pub mod observer;
 pub mod platform;
 pub mod runtime;
+pub mod supervise;
 
 pub use app::{AppBuilder, AppSpec, Connection, Endpoint};
 pub use behavior::{Behavior, Ctx, FnBehavior, Work, WorkClass};
@@ -74,10 +75,11 @@ pub use message::Message;
 pub use observe::custom::{CustomMetric, FnMetric, MetricSource};
 pub use observe::protocol::{ObsReply, ObsRequest};
 pub use observe::report::{
-    AppStats, IfaceCounterSnapshot, MiddlewareStats, ObservationReport, OsStats, StructureInfo,
-    TimingSnapshot,
+    AppStats, HealthInfo, HealthState, IfaceCounterSnapshot, MiddlewareStats, ObservationReport,
+    OsStats, StructureInfo, TimingSnapshot,
 };
 pub use observe::stats::ComponentStats;
-pub use observer::{ObservationLog, ObserverBehavior, ObserverConfig, OBSERVER_NAME};
+pub use observer::{ObservationLog, ObserverBehavior, ObserverConfig, StallRecord, OBSERVER_NAME};
 pub use platform::{AppReport, Platform, RunningApp};
 pub use runtime::{ComponentRuntime, TraceConfig, TraceEventKind, TraceSink};
+pub use supervise::{Escalation, FaultAction, FaultPlan, FaultReport, RestartPolicy};

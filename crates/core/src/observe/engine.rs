@@ -53,7 +53,8 @@ impl ObsEngine {
             ObsRequest::AppStats => ObsReply::App(self.stats.app_stats()),
             ObsRequest::Structure => ObsReply::Structure(self.stats.structure()),
             ObsRequest::Custom => ObsReply::Custom(sample_all(&self.metrics)),
-            ObsRequest::Full => ObsReply::Full(self.full_report(now_ns)),
+            ObsRequest::Health => ObsReply::Health(self.stats.health(now_ns)),
+            ObsRequest::Full => ObsReply::Full(Box::new(self.full_report(now_ns))),
         }
     }
 }
@@ -107,6 +108,10 @@ mod tests {
         assert!(matches!(
             e.answer(ObsRequest::Structure, 10),
             ObsReply::Structure(_)
+        ));
+        assert!(matches!(
+            e.answer(ObsRequest::Health, 10),
+            ObsReply::Health(_)
         ));
         assert!(matches!(e.answer(ObsRequest::Full, 10), ObsReply::Full(_)));
     }

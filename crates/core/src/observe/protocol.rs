@@ -5,7 +5,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::observe::custom::CustomMetric;
 use crate::observe::report::{
-    AppStats, MiddlewareStats, ObservationReport, OsStats, StructureInfo,
+    AppStats, HealthInfo, MiddlewareStats, ObservationReport, OsStats, StructureInfo,
 };
 
 /// What an observer asks of a component (paper §3.3: "The observation
@@ -25,6 +25,9 @@ pub enum ObsRequest {
     /// Application-registered observation functions
     /// ([`MetricSource`](crate::observe::custom::MetricSource)s).
     Custom,
+    /// Supervision: liveness state, last-progress timestamp, queue
+    /// depth, restart count.
+    Health,
     /// Everything at once.
     Full,
 }
@@ -42,15 +45,18 @@ pub enum ObsReply {
     Structure(StructureInfo),
     /// Answer to [`ObsRequest::Custom`].
     Custom(Vec<CustomMetric>),
-    /// Answer to [`ObsRequest::Full`].
-    Full(ObservationReport),
+    /// Answer to [`ObsRequest::Health`].
+    Health(HealthInfo),
+    /// Answer to [`ObsRequest::Full`]. Boxed: the full report dwarfs
+    /// every other variant, and replies are moved through mail queues.
+    Full(Box<ObservationReport>),
 }
 
 impl ObsReply {
     /// Extract the full report if this is a [`ObsReply::Full`] reply.
     pub fn into_full(self) -> Option<ObservationReport> {
         match self {
-            ObsReply::Full(r) => Some(r),
+            ObsReply::Full(r) => Some(*r),
             _ => None,
         }
     }
@@ -62,7 +68,7 @@ mod tests {
 
     #[test]
     fn into_full_extracts_only_full() {
-        let full = ObsReply::Full(ObservationReport::default());
+        let full = ObsReply::Full(Box::default());
         assert!(full.into_full().is_some());
         let os = ObsReply::Os(OsStats::default());
         assert!(os.into_full().is_none());

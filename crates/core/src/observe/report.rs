@@ -183,6 +183,57 @@ impl StructureInfo {
     }
 }
 
+/// Liveness state of a component as seen by the supervision layer.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum HealthState {
+    /// Deployed, behavior not yet started.
+    #[default]
+    Created,
+    /// Behavior executing.
+    Running,
+    /// Behavior blocked in a receive.
+    Blocked,
+    /// Behavior failed (error or contained panic).
+    Faulted,
+    /// Between a failed attempt and its policy-driven re-run.
+    Restarting,
+    /// Behavior completed.
+    Finished,
+}
+
+/// Supervision-level observation: the answer to
+/// [`ObsRequest::Health`](crate::observe::protocol::ObsRequest::Health).
+/// Liveness and backlog signals travel over the same introspection
+/// channel as the paper's performance counters, so an unmodified
+/// observer can watch for stuck pipelines.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HealthInfo {
+    /// Current liveness state.
+    pub state: HealthState,
+    /// Platform time of the last observable progress (send, data
+    /// receive, or compute), ns.
+    pub last_progress_ns: u64,
+    /// Messages currently queued in the component's provided-interface
+    /// mailboxes.
+    pub queued_messages: u64,
+    /// Bytes of payload currently queued (same gauge as
+    /// [`OsStats::queued_bytes`]).
+    pub queued_bytes: u64,
+    /// Restarts performed by the component's supervision policy so far.
+    pub restarts: u64,
+}
+
+impl HealthInfo {
+    /// Watchdog predicate: has this component made no progress for more
+    /// than `watchdog_ns` at observation time `now_ns`? Only `Running`
+    /// and `Blocked` components can stall; terminal and not-yet-started
+    /// states are excluded.
+    pub fn is_stalled(&self, now_ns: u64, watchdog_ns: u64) -> bool {
+        matches!(self.state, HealthState::Running | HealthState::Blocked)
+            && now_ns.saturating_sub(self.last_progress_ns) > watchdog_ns
+    }
+}
+
 /// The complete multi-level observation report of one component.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct ObservationReport {
@@ -200,6 +251,10 @@ pub struct ObservationReport {
     /// time (paper §6 extension).
     #[serde(default)]
     pub custom: Vec<crate::observe::custom::CustomMetric>,
+    /// Supervision-level liveness snapshot (absent in reports produced
+    /// before the supervision layer existed).
+    #[serde(default)]
+    pub health: Option<HealthInfo>,
 }
 
 #[cfg(test)]
@@ -245,6 +300,23 @@ mod tests {
         };
         assert_eq!(b.mean_ns(), 5);
         assert_eq!(SizeBucket::default().mean_ns(), 0);
+    }
+
+    #[test]
+    fn stall_detection_needs_a_live_state() {
+        let mut h = HealthInfo {
+            state: HealthState::Running,
+            last_progress_ns: 1_000,
+            ..Default::default()
+        };
+        assert!(!h.is_stalled(1_500, 1_000), "within deadline");
+        assert!(h.is_stalled(3_000, 1_000), "past deadline");
+        h.state = HealthState::Blocked;
+        assert!(h.is_stalled(3_000, 1_000));
+        h.state = HealthState::Finished;
+        assert!(!h.is_stalled(3_000, 1_000), "terminal states never stall");
+        h.state = HealthState::Created;
+        assert!(!h.is_stalled(3_000, 1_000));
     }
 
     #[test]

@@ -9,9 +9,14 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use crate::observe::report::{
-    AppStats, IfaceCounterSnapshot, MiddlewareStats, ObservationReport, OsStats, SizeBucket,
-    StructureInfo, TimingSnapshot,
+    AppStats, HealthInfo, HealthState, IfaceCounterSnapshot, MiddlewareStats, ObservationReport,
+    OsStats, SizeBucket, StructureInfo, TimingSnapshot,
 };
+
+/// Supervision flag bits (`ComponentStats::flags`).
+const FLAG_BLOCKED: u64 = 1;
+const FLAG_FAULTED: u64 = 1 << 1;
+const FLAG_RESTARTING: u64 = 1 << 2;
 
 /// Message-size bucket boundaries (bytes) for send-timing histograms.
 pub const SIZE_BUCKET_BOUNDS: [u64; 6] = [
@@ -104,6 +109,21 @@ pub struct ComponentStats {
     memory_bytes: AtomicU64,
     cpu_time_ns: AtomicU64,
     queued_bytes: AtomicU64,
+    queued_messages: AtomicU64,
+    /// Count of observable progress events (send push, data receive,
+    /// compute). The hot path only bumps this counter — no clock read.
+    progress_marks: AtomicU64,
+    /// Counter value last folded into `last_progress_ns` by `health`.
+    progress_seen: AtomicU64,
+    /// Platform time of the component's last observable progress — the
+    /// watchdog's input. Stamped lazily: `health` compares
+    /// `progress_marks` against `progress_seen` and refreshes this with
+    /// the caller's clock, so its granularity is the health poll
+    /// interval (always far finer than a useful watchdog window).
+    last_progress_ns: AtomicU64,
+    /// `FLAG_*` supervision bits.
+    flags: AtomicU64,
+    restarts: AtomicU64,
 }
 
 impl ComponentStats {
@@ -134,6 +154,12 @@ impl ComponentStats {
             memory_bytes: AtomicU64::new(0),
             cpu_time_ns: AtomicU64::new(0),
             queued_bytes: AtomicU64::new(0),
+            queued_messages: AtomicU64::new(0),
+            progress_marks: AtomicU64::new(0),
+            progress_seen: AtomicU64::new(0),
+            last_progress_ns: AtomicU64::new(0),
+            flags: AtomicU64::new(0),
+            restarts: AtomicU64::new(0),
         }
     }
 
@@ -142,9 +168,14 @@ impl ComponentStats {
         &self.name
     }
 
-    /// Record behavior start at platform time `now_ns`.
+    /// Record behavior start at platform time `now_ns`. Also clears the
+    /// supervision flags and the finished timestamp, so a restarted
+    /// component reads as `Running` again.
     pub fn mark_started(&self, now_ns: u64) {
         self.started_ns.store(now_ns, Ordering::Release);
+        self.finished_ns.store(u64::MAX, Ordering::Release);
+        self.flags.store(0, Ordering::Release);
+        self.last_progress_ns.fetch_max(now_ns, Ordering::Relaxed);
     }
 
     /// Record behavior completion at platform time `now_ns`.
@@ -177,6 +208,78 @@ impl ComponentStats {
     /// Update the queued-payload gauge (runtime-maintained).
     pub fn set_queued_bytes(&self, bytes: u64) {
         self.queued_bytes.store(bytes, Ordering::Release);
+    }
+
+    /// Update the queued-message-count gauge (runtime-maintained).
+    pub fn set_queued_messages(&self, count: u64) {
+        self.queued_messages.store(count, Ordering::Release);
+    }
+
+    /// Record observable progress. Deliberately clock-free (a single
+    /// relaxed increment): this runs on every send, data receive and
+    /// compute annotation, where an extra `now()` per message is
+    /// measurable on the SMP hot path.
+    pub fn mark_progress(&self) {
+        self.progress_marks.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Mark the component as blocked in (or released from) a receive.
+    pub fn set_blocked(&self, blocked: bool) {
+        if blocked {
+            self.flags.fetch_or(FLAG_BLOCKED, Ordering::Release);
+        } else {
+            self.flags.fetch_and(!FLAG_BLOCKED, Ordering::Release);
+        }
+    }
+
+    /// Mark the component as faulted (behavior failed terminally).
+    pub fn mark_faulted(&self) {
+        self.flags.fetch_or(FLAG_FAULTED, Ordering::Release);
+    }
+
+    /// Record one restart: the component is between failed attempt and
+    /// re-run. Cleared by the next `mark_started`.
+    pub fn mark_restarting(&self) {
+        self.restarts.fetch_add(1, Ordering::Relaxed);
+        let mut flags = self.flags.load(Ordering::Acquire);
+        flags &= !(FLAG_FAULTED | FLAG_BLOCKED);
+        flags |= FLAG_RESTARTING;
+        self.flags.store(flags, Ordering::Release);
+    }
+
+    /// Number of restarts so far.
+    pub fn restarts(&self) -> u64 {
+        self.restarts.load(Ordering::Relaxed)
+    }
+
+    /// Supervision snapshot taken at platform time `now_ns`. Progress
+    /// marks accumulated since the previous snapshot are folded into
+    /// `last_progress_ns` here, with the caller's clock.
+    pub fn health(&self, now_ns: u64) -> HealthInfo {
+        let marks = self.progress_marks.load(Ordering::Relaxed);
+        if marks != self.progress_seen.swap(marks, Ordering::Relaxed) {
+            self.last_progress_ns.fetch_max(now_ns, Ordering::Relaxed);
+        }
+        let flags = self.flags.load(Ordering::Acquire);
+        let state = if flags & FLAG_RESTARTING != 0 {
+            HealthState::Restarting
+        } else if flags & FLAG_FAULTED != 0 {
+            HealthState::Faulted
+        } else {
+            match self.state() {
+                LifeState::Finished => HealthState::Finished,
+                LifeState::Running if flags & FLAG_BLOCKED != 0 => HealthState::Blocked,
+                LifeState::Running => HealthState::Running,
+                LifeState::Created => HealthState::Created,
+            }
+        };
+        HealthInfo {
+            state,
+            last_progress_ns: self.last_progress_ns.load(Ordering::Relaxed),
+            queued_messages: self.queued_messages.load(Ordering::Acquire),
+            queued_bytes: self.queued_bytes.load(Ordering::Acquire),
+            restarts: self.restarts(),
+        }
     }
 
     /// Record a data send of `bytes` over `iface` taking `dur_ns`.
@@ -292,6 +395,7 @@ impl ComponentStats {
             app: self.app_stats(),
             structure: self.structure(),
             custom: Vec::new(),
+            health: Some(self.health(now_ns)),
         }
     }
 }
@@ -376,6 +480,31 @@ mod tests {
         s.record_send("nonexistent", 5, 1);
         assert_eq!(s.app_stats().total_sends, 0);
         assert_eq!(s.middleware_stats().send.count, 1);
+    }
+
+    #[test]
+    fn health_follows_lifecycle_and_flags() {
+        let s = stats();
+        assert_eq!(s.health(0).state, HealthState::Created);
+        s.mark_started(1_000);
+        assert_eq!(s.health(1_000).state, HealthState::Running);
+        assert_eq!(s.health(1_000).last_progress_ns, 1_000);
+        s.set_blocked(true);
+        assert_eq!(s.health(2_000).state, HealthState::Blocked);
+        s.set_blocked(false);
+        s.mark_progress();
+        assert_eq!(s.health(3_000).last_progress_ns, 3_000);
+        s.mark_faulted();
+        assert_eq!(s.health(3_000).state, HealthState::Faulted);
+        s.mark_restarting();
+        let h = s.health(3_000);
+        assert_eq!(h.state, HealthState::Restarting);
+        assert_eq!(h.restarts, 1);
+        // A restart looks like a fresh start: running again, flags clear.
+        s.mark_started(4_000);
+        assert_eq!(s.health(4_000).state, HealthState::Running);
+        s.mark_finished(5_000);
+        assert_eq!(s.health(5_000).state, HealthState::Finished);
     }
 
     #[test]

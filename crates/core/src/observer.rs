@@ -15,7 +15,7 @@ use crate::behavior::{Behavior, Ctx};
 use crate::error::EmberaError;
 use crate::message::Message;
 use crate::observe::protocol::{ObsReply, ObsRequest};
-use crate::observe::report::ObservationReport;
+use crate::observe::report::{HealthState, ObservationReport};
 
 
 /// Reserved name of the auto-wired observer component.
@@ -32,10 +32,25 @@ pub struct ObservationRecord {
     pub report: ObservationReport,
 }
 
+/// One watchdog violation: a component whose health reply showed no
+/// progress for longer than the observer's configured deadline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StallRecord {
+    /// The stalled component.
+    pub component: String,
+    /// Observer time when the stall was detected, ns.
+    pub at_ns: u64,
+    /// The component's last reported progress timestamp, ns.
+    pub last_progress_ns: u64,
+    /// The component's reported liveness state at detection time.
+    pub state: HealthState,
+}
+
 /// Shared log of everything the observer collected.
 #[derive(Clone, Default)]
 pub struct ObservationLog {
     records: Arc<Mutex<Vec<ObservationRecord>>>,
+    stalls: Arc<Mutex<Vec<StallRecord>>>,
 }
 
 impl ObservationLog {
@@ -62,6 +77,29 @@ impl ObservationLog {
     /// Whether the log is empty.
     pub fn is_empty(&self) -> bool {
         self.records.lock().is_empty()
+    }
+
+    /// Append a watchdog violation.
+    pub(crate) fn push_stall(&self, stall: StallRecord) {
+        self.stalls.lock().push(stall);
+    }
+
+    /// Snapshot of all watchdog violations detected so far.
+    pub fn stalls(&self) -> Vec<StallRecord> {
+        self.stalls.lock().clone()
+    }
+
+    /// Names of components with at least one watchdog violation,
+    /// first-detection order, deduplicated.
+    pub fn stalled_components(&self) -> Vec<String> {
+        let stalls = self.stalls.lock();
+        let mut names: Vec<String> = Vec::new();
+        for s in stalls.iter() {
+            if !names.contains(&s.component) {
+                names.push(s.component.clone());
+            }
+        }
+        names
     }
 
     /// Latest report per component, in first-seen order.
@@ -93,6 +131,10 @@ pub struct ObserverConfig {
     /// to be observed". Default: [`ObsRequest::Full`]. Narrower requests
     /// (e.g. only [`ObsRequest::AppStats`]) reduce observation traffic.
     pub request: ObsRequest,
+    /// Watchdog deadline, ns: when a health-carrying reply shows no
+    /// progress for longer than this, a [`StallRecord`] is logged.
+    /// 0 (default) disables the watchdog.
+    pub watchdog_ns: u64,
     pub(crate) log: ObservationLog,
 }
 
@@ -103,6 +145,7 @@ impl Default for ObserverConfig {
             max_rounds: None,
             reply_timeout_ns: 100_000_000, // 100 ms
             request: ObsRequest::Full,
+            watchdog_ns: 0,
             log: ObservationLog::new(),
         }
     }
@@ -124,6 +167,12 @@ impl ObserverConfig {
     /// Select which observation level to poll.
     pub fn request(mut self, request: ObsRequest) -> Self {
         self.request = request;
+        self
+    }
+
+    /// Enable the stall watchdog with the given no-progress deadline.
+    pub fn watchdog_ns(mut self, ns: u64) -> Self {
+        self.watchdog_ns = ns;
         self
     }
 
@@ -186,7 +235,7 @@ impl Behavior for ObserverBehavior {
                         // Lift partial replies into a (sparse) report so
                         // every request kind lands in the same log.
                         let report = match *reply {
-                            ObsReply::Full(report) => Some(report),
+                            ObsReply::Full(report) => Some(*report),
                             ObsReply::Os(os) => Some(ObservationReport {
                                 component: from,
                                 os,
@@ -212,10 +261,30 @@ impl Behavior for ObserverBehavior {
                                 custom,
                                 ..Default::default()
                             }),
+                            ObsReply::Health(health) => Some(ObservationReport {
+                                component: from,
+                                health: Some(health),
+                                ..Default::default()
+                            }),
                         };
                         if let Some(report) = report {
+                            let at_ns = ctx.now_ns();
+                            // Watchdog: any reply carrying health (Health
+                            // or Full) is checked against the deadline.
+                            if self.config.watchdog_ns > 0 {
+                                if let Some(h) = &report.health {
+                                    if h.is_stalled(at_ns, self.config.watchdog_ns) {
+                                        self.config.log.push_stall(StallRecord {
+                                            component: report.component.clone(),
+                                            at_ns,
+                                            last_progress_ns: h.last_progress_ns,
+                                            state: h.state,
+                                        });
+                                    }
+                                }
+                            }
                             self.config.log.push(ObservationRecord {
-                                at_ns: ctx.now_ns(),
+                                at_ns,
                                 round,
                                 report,
                             });
@@ -264,8 +333,34 @@ mod tests {
 
     #[test]
     fn config_builders() {
-        let c = ObserverConfig::default().rounds(5).interval_ns(42);
+        let c = ObserverConfig::default()
+            .rounds(5)
+            .interval_ns(42)
+            .watchdog_ns(7);
         assert_eq!(c.max_rounds, Some(5));
         assert_eq!(c.interval_ns, 42);
+        assert_eq!(c.watchdog_ns, 7);
+    }
+
+    #[test]
+    fn stall_log_dedups_component_names() {
+        let log = ObservationLog::new();
+        assert!(log.stalls().is_empty());
+        for at_ns in [10, 20] {
+            log.push_stall(StallRecord {
+                component: "IDCT_1".to_string(),
+                at_ns,
+                last_progress_ns: 1,
+                state: HealthState::Blocked,
+            });
+        }
+        log.push_stall(StallRecord {
+            component: "Fetch".to_string(),
+            at_ns: 30,
+            last_progress_ns: 2,
+            state: HealthState::Running,
+        });
+        assert_eq!(log.stalls().len(), 3);
+        assert_eq!(log.stalled_components(), vec!["IDCT_1", "Fetch"]);
     }
 }

@@ -44,6 +44,7 @@ mod trace;
 
 pub use trace::{TraceConfig, TraceEventKind, TraceSink};
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 
 use crate::behavior::{Behavior, Ctx, Work};
@@ -53,6 +54,7 @@ use crate::message::Message;
 use crate::observe::engine::ObsEngine;
 use crate::observe::protocol::ObsReply;
 use crate::observe::stats::ComponentStats;
+use crate::supervise::{ComponentFaults, Escalation, FaultAction, FaultPlan, RestartPolicy};
 
 /// What a platform backend must provide to host components: message
 /// movement with costs, time, shutdown visibility, and parking.
@@ -121,6 +123,32 @@ pub trait Transport {
     /// platform's termination protocol requires.
     fn behavior_finished(&mut self, error: Option<EmberaError>);
 
+    /// Like [`Transport::behavior_finished`] with an error, but the
+    /// failure stays contained to this component
+    /// ([`Escalation::OneForOne`]): record it and account completion
+    /// *without* the fail-fast application shutdown. The default falls
+    /// back to the escalating path.
+    fn behavior_finished_contained(&mut self, error: EmberaError) {
+        self.behavior_finished(Some(error));
+    }
+
+    /// Messages (not bytes) currently queued across this component's
+    /// provided interfaces — the supervision layer's queue-depth gauge.
+    /// Backends without a cheap count may return 0.
+    fn queued_messages(&self) -> u64 {
+        0
+    }
+
+    /// Best-effort pause of this execution flow for `ns` (restart
+    /// backoff, injected message delays). Virtual-time backends advance
+    /// their clock; the default is a no-op.
+    fn delay(&mut self, _ns: u64) {}
+
+    /// Discard queued *data* messages on every provided interface
+    /// (restart with [`RestartPolicy::drain_mailboxes`]); introspection
+    /// traffic is preserved. The default is a no-op.
+    fn drain_inboxes(&mut self) {}
+
     /// Last-moment patch of an outgoing introspection reply with data
     /// only the platform knows (e.g. RTOS per-task CPU time).
     fn refine_reply(&mut self, _reply: &mut ObsReply) {}
@@ -146,6 +174,11 @@ pub struct ComponentRuntime<T: Transport> {
     /// (the overhead-ablation configuration).
     observe: bool,
     trace: Option<Box<dyn TraceSink>>,
+    /// Supervision policy ([`crate::ComponentSpec::with_restart`]).
+    restart: Option<RestartPolicy>,
+    /// This component's slice of the application's fault-injection plan
+    /// (`None` — the overwhelmingly common case — costs one branch).
+    faults: Option<ComponentFaults>,
 }
 
 impl<T: Transport> ComponentRuntime<T> {
@@ -169,12 +202,27 @@ impl<T: Transport> ComponentRuntime<T> {
             engine,
             observe,
             trace,
+            restart: None,
+            faults: None,
         }
     }
 
     /// The component's name.
     pub fn name(&self) -> &str {
         &self.name
+    }
+
+    /// Attach the component's restart policy (backends thread
+    /// [`crate::ComponentSpec::restart`] through here at deployment).
+    pub fn set_restart_policy(&mut self, policy: Option<RestartPolicy>) {
+        self.restart = policy;
+    }
+
+    /// Extract this component's slice of the application's
+    /// fault-injection plan (backends thread
+    /// [`crate::AppSpec::faults`](crate::AppSpec) through here).
+    pub fn set_fault_plan(&mut self, plan: &FaultPlan) {
+        self.faults = plan.for_component(&self.name);
     }
 
     /// The underlying transport.
@@ -232,17 +280,32 @@ impl<T: Transport> ComponentRuntime<T> {
 
     fn refresh_queued_gauge(&self) {
         self.stats.set_queued_bytes(self.transport.queued_bytes());
+        self.stats
+            .set_queued_messages(self.transport.queued_messages());
     }
 
     /// Run the behavior under this runtime's [`Ctx`]: lifecycle marks,
-    /// trace bracketing, and a final gauge refresh.
+    /// trace bracketing, panic containment, and a final gauge refresh.
+    /// A panic inside the behavior is caught and attributed as
+    /// [`EmberaError::BehaviorPanic`] — it never unwinds into the
+    /// backend's execution-flow machinery.
     pub fn run_behavior(&mut self, behavior: &mut dyn Behavior) -> Result<(), EmberaError> {
         self.stats.mark_started(self.transport.now_ns());
         self.emit(self.transport.now_ns(), TraceEventKind::BehaviorStart, 0, 0);
-        let result = {
+        let outcome = {
             let mut ctx = RuntimeCtx { rt: self };
-            behavior.run(&mut ctx)
+            catch_unwind(AssertUnwindSafe(|| behavior.run(&mut ctx)))
         };
+        let result = match outcome {
+            Ok(result) => result,
+            Err(payload) => Err(EmberaError::BehaviorPanic {
+                component: self.name.clone(),
+                payload: panic_payload_string(payload.as_ref()),
+            }),
+        };
+        if matches!(result, Err(EmberaError::BehaviorPanic { .. })) {
+            self.emit(self.transport.now_ns(), TraceEventKind::BehaviorPanic, 0, 0);
+        }
         self.emit(
             self.transport.now_ns(),
             TraceEventKind::BehaviorEnd,
@@ -250,6 +313,9 @@ impl<T: Transport> ComponentRuntime<T> {
             0,
         );
         self.stats.mark_finished(self.transport.now_ns());
+        if matches!(&result, Err(e) if !matches!(e, EmberaError::Terminated)) {
+            self.stats.mark_faulted();
+        }
         self.refresh_queued_gauge();
         result
     }
@@ -273,12 +339,51 @@ impl<T: Transport> ComponentRuntime<T> {
         }
     }
 
-    /// Full execution-flow body: behavior, termination accounting,
-    /// quiescent observation service, exit hook. This is what a backend
-    /// runs in the component's thread/task/turn.
+    /// Full execution-flow body: behavior (re-run under the restart
+    /// policy, if any), termination accounting, quiescent observation
+    /// service, exit hook. This is what a backend runs in the
+    /// component's thread/task/turn.
     pub fn run_to_completion(mut self, mut behavior: Box<dyn Behavior>) {
-        let result = self.run_behavior(behavior.as_mut());
-        self.transport.behavior_finished(result.err());
+        let mut restarts: u32 = 0;
+        let result = loop {
+            let result = self.run_behavior(behavior.as_mut());
+            let Err(e) = &result else { break result };
+            // `Terminated` is cooperative shutdown, not a fault; and once
+            // the application is going down a re-run could only drain out
+            // again.
+            let restartable =
+                !matches!(e, EmberaError::Terminated) && !self.transport.is_shutdown();
+            match self.restart {
+                Some(policy) if restartable && restarts < policy.max_restarts => {
+                    restarts += 1;
+                    self.stats.mark_restarting();
+                    self.emit(
+                        self.transport.now_ns(),
+                        TraceEventKind::Restart,
+                        u64::from(restarts),
+                        policy.backoff_ns,
+                    );
+                    if policy.drain_mailboxes {
+                        self.transport.drain_inboxes();
+                    }
+                    if policy.backoff_ns > 0 {
+                        self.transport.delay(policy.backoff_ns);
+                    }
+                }
+                _ => break result,
+            }
+        };
+        match (result.err(), self.restart) {
+            // Budget exhausted under OneForOne: the failure is recorded
+            // but stays contained — no fail-fast application shutdown.
+            (Some(e), Some(policy))
+                if policy.escalation == Escalation::OneForOne
+                    && !matches!(e, EmberaError::Terminated) =>
+            {
+                self.transport.behavior_finished_contained(e);
+            }
+            (err, _) => self.transport.behavior_finished(err),
+        }
         self.serve_quiescent();
         self.transport.on_exit();
     }
@@ -298,12 +403,19 @@ impl<T: Transport> ComponentRuntime<T> {
             });
         }
         let t0 = self.trace_now();
+        // Health: flag the component Blocked only once it actually parks,
+        // and clear the flag on every exit path.
+        let mut parked = false;
         loop {
             self.service_introspection();
             if let Some((msg, cost)) = self.transport.try_pop(provided) {
+                if parked {
+                    self.stats.set_blocked(false);
+                }
                 if msg.is_data() && self.observe {
                     self.stats
                         .record_receive(provided, msg.data_len() as u64, cost);
+                    self.stats.mark_progress();
                 }
                 let t1 = self.trace_now();
                 self.emit(
@@ -312,20 +424,66 @@ impl<T: Transport> ComponentRuntime<T> {
                     msg.data_len() as u64,
                     t1.saturating_sub(t0),
                 );
+                // Fault injection: panic the behavior at data-receive
+                // iteration k — after the pop, so the message is consumed
+                // and lost exactly as in a real mid-work panic.
+                if msg.is_data() {
+                    if let Some(faults) = self.faults.as_mut() {
+                        if let Some(k) = faults.on_recv() {
+                            std::panic::panic_any(format!(
+                                "injected fault: panic at receive iteration {k}"
+                            ));
+                        }
+                    }
+                }
                 return Ok(Some(msg));
             }
             if let Some(d) = deadline_ns {
                 if self.transport.now_ns() >= d {
+                    if parked {
+                        self.stats.set_blocked(false);
+                    }
                     return Ok(None);
                 }
             }
             if self.transport.is_shutdown() {
                 // A timed wait reports the timeout path; a blocking wait
                 // becomes `Terminated` in `recv_message`.
+                if parked {
+                    self.stats.set_blocked(false);
+                }
                 return Ok(None);
+            }
+            if self.observe && !parked {
+                parked = true;
+                self.stats.set_blocked(true);
             }
             self.transport.park_recv(provided, deadline_ns);
         }
+    }
+}
+
+/// Deterministically corrupt a data message: flip the first payload
+/// byte. Empty payloads pass through unchanged (nothing to corrupt).
+fn corrupt_data(msg: Message) -> Message {
+    match msg {
+        Message::Data(data) if !data.is_empty() => {
+            let mut bytes = data.to_vec();
+            bytes[0] ^= 0xFF;
+            Message::Data(bytes.into())
+        }
+        other => other,
+    }
+}
+
+/// Render a caught panic payload for [`EmberaError::BehaviorPanic`].
+fn panic_payload_string(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        String::new()
     }
 }
 
@@ -360,11 +518,34 @@ impl<T: Transport> Ctx for RuntimeCtx<'_, T> {
         }
         let is_data = msg.is_data();
         let bytes = msg.data_len() as u64;
+        let mut msg = msg;
+        // Fault injection on outgoing data messages.
+        if is_data {
+            if let Some(faults) = rt.faults.as_mut() {
+                match faults.on_send(required) {
+                    Some(FaultAction::Drop) => {
+                        rt.emit(rt.trace_now(), TraceEventKind::FaultInjected, 0, bytes);
+                        rt.service_introspection();
+                        return Ok(()); // never reaches the transport
+                    }
+                    Some(FaultAction::Corrupt) => {
+                        rt.emit(rt.trace_now(), TraceEventKind::FaultInjected, 1, bytes);
+                        msg = corrupt_data(msg);
+                    }
+                    Some(FaultAction::Delay(ns)) => {
+                        rt.emit(rt.trace_now(), TraceEventKind::FaultInjected, 2, bytes);
+                        rt.transport.delay(ns);
+                    }
+                    None => {}
+                }
+            }
+        }
         let t0 = rt.trace_now();
         rt.emit(t0, TraceEventKind::SendStart, bytes, 0);
         let cost = rt.transport.push(required, msg);
         if is_data && rt.observe {
             rt.stats.record_send(required, bytes, cost);
+            rt.stats.mark_progress();
         }
         let t1 = rt.trace_now();
         rt.emit(t1, TraceEventKind::SendEnd, bytes, t1.saturating_sub(t0));
@@ -391,6 +572,9 @@ impl<T: Transport> Ctx for RuntimeCtx<'_, T> {
     fn compute(&mut self, work: Work) {
         let t0 = self.rt.trace_now();
         self.rt.transport.compute(work);
+        if self.rt.observe {
+            self.rt.stats.mark_progress();
+        }
         let t1 = self.rt.trace_now();
         self.rt
             .emit(t1, TraceEventKind::Compute, work.ops, t1.saturating_sub(t0));
@@ -583,6 +767,137 @@ mod tests {
         match seen {
             Some(Some(EmberaError::Platform(msg))) => assert_eq!(msg, "boom"),
             other => panic!("behavior_finished not called with error: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn panic_is_contained_and_attributed() {
+        let t = Loopback::default();
+        let finished = Arc::clone(&t.finished);
+        let rt = runtime_with(t, &[]);
+        rt.run_to_completion(Box::new(behavior_fn(|_| panic!("kaboom"))));
+        let seen = finished.lock().take();
+        match seen {
+            Some(Some(EmberaError::BehaviorPanic { component, payload })) => {
+                assert_eq!(component, "c");
+                assert!(payload.contains("kaboom"), "{payload}");
+            }
+            other => panic!("expected contained panic, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn restart_policy_reruns_failed_behavior() {
+        let t = Loopback::default();
+        let finished = Arc::clone(&t.finished);
+        let mut rt = runtime_with(t, &[]);
+        rt.set_restart_policy(Some(RestartPolicy {
+            max_restarts: 2,
+            ..Default::default()
+        }));
+        let stats = Arc::clone(&rt.stats);
+        let mut attempts = 0u32;
+        rt.run_to_completion(Box::new(behavior_fn(move |_ctx| {
+            attempts += 1;
+            if attempts < 2 {
+                Err(EmberaError::Platform("flaky".into()))
+            } else {
+                Ok(())
+            }
+        })));
+        assert_eq!(
+            finished.lock().take(),
+            Some(None),
+            "second attempt succeeded, so the app sees no error"
+        );
+        assert_eq!(stats.restarts(), 1, "restarted exactly once");
+        assert_eq!(
+            stats.health(0).state,
+            crate::observe::report::HealthState::Finished
+        );
+    }
+
+    #[test]
+    fn exhausted_one_for_one_budget_stays_contained() {
+        let t = Loopback::default();
+        let finished = Arc::clone(&t.finished);
+        let mut rt = runtime_with(t, &[]);
+        rt.set_restart_policy(Some(RestartPolicy {
+            max_restarts: 1,
+            escalation: Escalation::OneForOne,
+            ..Default::default()
+        }));
+        let stats = Arc::clone(&rt.stats);
+        rt.run_to_completion(Box::new(behavior_fn(|_| {
+            Err(EmberaError::Platform("always".into()))
+        })));
+        // Loopback has no contained override, so the default forwards to
+        // behavior_finished — the error is still recorded.
+        let seen = finished.lock().take();
+        match seen {
+            Some(Some(EmberaError::Platform(msg))) => assert_eq!(msg, "always"),
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(stats.restarts(), 1);
+        assert_eq!(
+            stats.health(0).state,
+            crate::observe::report::HealthState::Faulted
+        );
+    }
+
+    #[test]
+    fn fault_plan_drops_and_corrupts_deterministically() {
+        let mut t = Loopback::default();
+        t.routes.push("out".into());
+        t.inboxes.insert("out".into(), VecDeque::new());
+        let mut rt = runtime_with(t, &["out"]);
+        let plan = FaultPlan::new()
+            .drop_message("c", "out", 1)
+            .corrupt_message("c", "out", 2);
+        rt.set_fault_plan(&plan);
+        let mut b = behavior_fn(|ctx| {
+            for i in 0..3u8 {
+                ctx.send("out", Bytes::from(vec![i, 0x55]))?;
+            }
+            Ok(())
+        });
+        rt.run_behavior(&mut b).unwrap();
+        // The dropped message never reached the transport and is not
+        // counted as a send.
+        assert_eq!(rt.engine.full_report(0).app.total_sends, 2);
+        let payloads: Vec<Vec<u8>> = rt.transport.inboxes["out"]
+            .iter()
+            .map(|m| match m {
+                Message::Data(d) => d.to_vec(),
+                _ => Vec::new(),
+            })
+            .collect();
+        assert_eq!(payloads, vec![vec![0, 0x55], vec![2 ^ 0xFF, 0x55]]);
+    }
+
+    #[test]
+    fn fault_plan_panics_on_receive_iteration() {
+        let mut t = Loopback::default();
+        t.routes.push("out".into());
+        t.inboxes.insert("out".into(), VecDeque::new());
+        let finished = Arc::clone(&t.finished);
+        let mut rt = runtime_with(t, &["out"]);
+        rt.set_fault_plan(&FaultPlan::new().panic_on_iteration("c", 1));
+        rt.run_to_completion(Box::new(behavior_fn(|ctx| {
+            for _ in 0..3 {
+                ctx.send("out", Bytes::from_static(b"m"))?;
+            }
+            for _ in 0..3 {
+                ctx.recv("out")?;
+            }
+            Ok(())
+        })));
+        let seen = finished.lock().take();
+        match seen {
+            Some(Some(EmberaError::BehaviorPanic { payload, .. })) => {
+                assert!(payload.contains("iteration 1"), "{payload}");
+            }
+            other => panic!("expected injected panic, got {other:?}"),
         }
     }
 

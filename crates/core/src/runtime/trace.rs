@@ -39,6 +39,14 @@ pub enum TraceEventKind {
     /// The runtime answered an observation request (invisible to the
     /// behavior — only first-class tracing can see these).
     ObsServed,
+    /// The behavior panicked and the runtime contained it.
+    BehaviorPanic,
+    /// Supervision is re-running a failed behavior; `a` = restart
+    /// attempt number (1-based), `b` = backoff ns.
+    Restart,
+    /// The fault-injection plan fired; `a` = action code (0 drop,
+    /// 1 corrupt, 2 delay), `b` = payload bytes of the targeted message.
+    FaultInjected,
 }
 
 /// Receives trace events for one component. Implemented by

@@ -119,6 +119,7 @@ impl Platform for InprocPlatform {
         // 3. Build each component's runtime (and its introspection
         //    servicer) over clones of the shared queues.
         let trace = spec.trace.clone();
+        let faults = spec.faults.clone();
         let mut engines = Vec::new();
         for (idx, c) in spec.components.into_iter().enumerate() {
             let stats = Arc::new(ComponentStats::new(&c.name, &c.provided, &c.required));
@@ -155,7 +156,7 @@ impl Platform for InprocPlatform {
                 cpu_ns: 0,
                 shared: Rc::clone(&shared),
             };
-            let runtime = ComponentRuntime::new(
+            let mut runtime = ComponentRuntime::new(
                 c.name.clone(),
                 c.required.clone(),
                 main,
@@ -163,6 +164,10 @@ impl Platform for InprocPlatform {
                 self.config.observe,
                 trace.as_ref().map(|t| t.sink_for(&c.name)),
             );
+            runtime.set_restart_policy(c.restart);
+            if let Some(plan) = &faults {
+                runtime.set_fault_plan(plan);
+            }
             shared.slots.borrow_mut().push(Slot::Unstarted {
                 runtime: Box::new(runtime),
                 behavior: c.behavior,
@@ -225,17 +230,9 @@ impl RunningApp for InprocRunning {
         self.shared.slots.borrow_mut().clear();
         self.shared.servicers.borrow_mut().clear();
         let errors = std::mem::take(&mut *self.shared.errors.borrow_mut());
-        // Report the originating failure, not a peer's secondary
-        // `Terminated` from the fail-fast drain.
-        if let Some((name, e)) = errors
-            .iter()
-            .find(|(_, e)| !matches!(e, EmberaError::Terminated))
-            .or_else(|| errors.first())
-        {
-            return Err(EmberaError::Platform(format!(
-                "component '{name}' failed: {e}"
-            )));
-        }
+        // Aggregate every originating failure (peers' secondary
+        // `Terminated` from the fail-fast drain rank last).
+        embera::supervise::fault_result(errors)?;
         Ok(AppReport {
             app_name: self.app_name,
             wall_time_ns,

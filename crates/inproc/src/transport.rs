@@ -279,4 +279,44 @@ impl Transport for InprocTransport {
             self.shared.shutdown.set(true);
         }
     }
+
+    fn behavior_finished_contained(&mut self, error: EmberaError) {
+        // OneForOne containment: record the failure and account the
+        // completion, but skip the fail-fast shutdown so peers run on.
+        self.shared.slots.borrow_mut()[self.idx] = Slot::Finished;
+        self.shared
+            .errors
+            .borrow_mut()
+            .push((self.name.clone(), error));
+        if !self.is_observer {
+            let left = self.shared.remaining.get() - 1;
+            self.shared.remaining.set(left);
+            if left == 0 {
+                self.shared.app_done_ns.set(Some(self.shared.clock.get()));
+                self.shared.shutdown.set(true);
+            }
+        }
+    }
+
+    fn queued_messages(&self) -> u64 {
+        self.provided
+            .iter()
+            .filter(|(iface, _)| iface.as_str() != INTROSPECTION)
+            .map(|(_, q)| q.borrow().len() as u64)
+            .sum()
+    }
+
+    fn delay(&mut self, ns: u64) {
+        // Pure latency: the logical clock advances, CPU accounting does
+        // not (the component is waiting, not working).
+        self.shared.clock.set(self.shared.clock.get() + ns);
+    }
+
+    fn drain_inboxes(&mut self) {
+        for (iface, q) in &self.provided {
+            if iface != INTROSPECTION {
+                q.borrow_mut().clear();
+            }
+        }
+    }
 }

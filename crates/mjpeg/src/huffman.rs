@@ -259,6 +259,12 @@ pub fn read_magnitude(r: &mut BitReader<'_>, cat: u8) -> Result<i32, OutOfBits> 
     if cat == 0 {
         return Ok(0);
     }
+    // Baseline categories stop at 11 (DC) / 10 (AC); a larger value can
+    // only come from a corrupt stream or a crafted Huffman table. Reject
+    // it here instead of overflowing the magnitude shift below.
+    if cat > 16 {
+        return Err(OutOfBits);
+    }
     let raw = r.bits(cat as u32)? as i32;
     let half = 1 << (cat - 1);
     Ok(if raw < half {

@@ -28,6 +28,11 @@ const EOI: u16 = 0xFFD9;
 const DRI: u16 = 0xFFDD;
 const RST0: u8 = 0xD0;
 
+/// Decode-side allocation cap. SOF0 dimensions are attacker-controlled
+/// (up to 65535×65535 ≈ 4.3 GB per plane); refuse anything above 64 M
+/// pixels before allocating planes.
+const MAX_PIXELS: u64 = 1 << 26;
+
 /// Decoded pixel data of a parsed JFIF file.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum JfifPixels {
@@ -330,6 +335,9 @@ pub fn decode_jfif(bytes: &[u8]) -> Result<JfifImage, String> {
                         return Err("16-bit quantization tables unsupported".into());
                     }
                     let id = (pq_tq & 0x0F) as usize;
+                    if id >= qtables.len() {
+                        return Err(format!("quantization table id {id} out of range"));
+                    }
                     if p + 65 > payload.len() {
                         return Err("truncated DQT".into());
                     }
@@ -349,6 +357,9 @@ pub fn decode_jfif(bytes: &[u8]) -> Result<JfifImage, String> {
                     }
                     let class = payload[p] >> 4;
                     let id = (payload[p] & 0x0F) as usize;
+                    if id >= dc_tables.len() {
+                        return Err(format!("Huffman table id {id} out of range"));
+                    }
                     let mut bits = [0u8; 16];
                     bits.copy_from_slice(&payload[p + 1..p + 17]);
                     let nvals: usize = bits.iter().map(|&b| b as usize).sum();
@@ -381,6 +392,14 @@ pub fn decode_jfif(bytes: &[u8]) -> Result<JfifImage, String> {
                 if ncomp != 1 && ncomp != 3 {
                     return Err(format!("{ncomp} components unsupported"));
                 }
+                if payload.len() < 6 + ncomp * 3 {
+                    return Err("truncated SOF0 component list".into());
+                }
+                if width as u64 * height as u64 > MAX_PIXELS {
+                    return Err(format!(
+                        "image {width}x{height} exceeds the {MAX_PIXELS}-pixel decode limit"
+                    ));
+                }
                 for c in 0..ncomp {
                     let o = 6 + c * 3;
                     if payload[o + 1] != 0x11 {
@@ -393,9 +412,15 @@ pub fn decode_jfif(bytes: &[u8]) -> Result<JfifImage, String> {
                 if components.is_empty() {
                     return Err("SOS before SOF0".into());
                 }
+                if payload.is_empty() {
+                    return Err("empty SOS".into());
+                }
                 let ncomp = payload[0] as usize;
                 if ncomp != components.len() {
                     return Err("SOS/SOF0 component mismatch".into());
+                }
+                if payload.len() < 1 + ncomp * 2 + 3 {
+                    return Err("truncated SOS component list".into());
                 }
                 let mut infos = Vec::new();
                 for c in 0..ncomp {
@@ -406,11 +431,18 @@ pub fn decode_jfif(bytes: &[u8]) -> Result<JfifImage, String> {
                         .find(|(cid, _)| *cid == id)
                         .ok_or_else(|| format!("SOS references unknown component {id}"))?;
                     let _ = comp_id;
-                    infos.push(ComponentInfo {
+                    let info = ComponentInfo {
                         qtable: *qtable,
                         dc_table: (tables >> 4) as usize,
                         ac_table: (tables & 0x0F) as usize,
-                    });
+                    };
+                    if info.qtable >= qtables.len()
+                        || info.dc_table >= dc_tables.len()
+                        || info.ac_table >= ac_tables.len()
+                    {
+                        return Err("SOS references out-of-range table id".into());
+                    }
+                    infos.push(info);
                 }
                 scan = Some((infos, pos));
             }
@@ -616,6 +648,66 @@ mod tests {
         let mut bad = file.clone();
         bad[0] = 0x00; // break SOI
         assert!(decode_jfif(&bad).is_err());
+    }
+
+    #[test]
+    fn oversized_dimensions_rejected_before_allocation() {
+        // A 4-byte patch of the SOF0 height/width fields must not make
+        // the decoder allocate gigabytes: the dimension cap rejects it.
+        let mut file = encode_jfif_gray(&gray_image(16, 16), 16, 16, 75);
+        let sof = file
+            .windows(2)
+            .position(|w| w == [0xFF, 0xC0])
+            .expect("no SOF0");
+        // SOF0 payload: len u16 | precision | height u16 | width u16 ...
+        file[sof + 5..sof + 9].copy_from_slice(&[0xFF, 0xFF, 0xFF, 0xFF]);
+        assert!(decode_jfif(&file).is_err());
+    }
+
+    #[test]
+    fn fuzzed_mutations_never_panic() {
+        // Fuzz-style regression over mutated headers and entropy data:
+        // every public decode entry point must return Ok or Err on
+        // corrupt input, never panic. Deterministic LCG so a failure
+        // reproduces byte-for-byte.
+        let seeds = [
+            encode_jfif_gray(&gray_image(24, 16), 24, 16, 75),
+            encode_jfif_rgb(&rgb_image(16, 8), 16, 8, 60),
+            encode_jfif_gray_dri(&gray_image(48, 24), 48, 24, 90, 3),
+        ];
+        let mut state = 0x2545_F491_4F6C_DD1Du64;
+        let mut rng = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 33) as usize
+        };
+        for file in &seeds {
+            // Single-byte corruptions, biased toward the header area
+            // where the structural parsers live.
+            for _ in 0..400 {
+                let mut m = file.clone();
+                let idx = if rng() % 2 == 0 {
+                    rng() % m.len().min(64)
+                } else {
+                    rng() % m.len()
+                };
+                m[idx] = (rng() % 256) as u8;
+                let _ = decode_jfif(&m);
+            }
+            // Truncations at every prefix length (coarse stride plus the
+            // full tail) — the classic half-written-file shape.
+            for cut in (0..file.len()).step_by(7).chain(file.len() - 8..file.len()) {
+                let _ = decode_jfif(&file[..cut]);
+            }
+            // Double corruptions: marker bytes and lengths together.
+            for _ in 0..200 {
+                let mut m = file.clone();
+                let a = rng() % m.len();
+                let b = rng() % m.len();
+                m[a] ^= 0xFF;
+                m[b] = (rng() % 256) as u8;
+                let _ = decode_jfif(&m);
+            }
+        }
     }
 
     #[test]

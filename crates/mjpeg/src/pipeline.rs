@@ -121,6 +121,15 @@ const COEFF_REC: usize = 8 + BLOCK_SIZE * 4;
 /// Bytes per block record in a pixel batch: frame u32 | block u32 | 64 × u8.
 const PIXEL_REC: usize = 8 + BLOCK_SIZE;
 
+/// Idle deadline for tolerant-mode receives. Tolerant components cannot
+/// rely on a fixed message budget (frames may be dropped upstream), so
+/// they stop once their inputs stay silent this long. On the in-process
+/// backend this is logical time — the scheduler only reports a timeout
+/// once no producer can make progress, which keeps tolerant runs
+/// deterministic. On the threaded backend it is wall-clock time and is
+/// sized generously above any scheduling hiccup.
+const TOLERANT_IDLE_NS: u64 = 500_000_000;
+
 /// Wire format of a coefficient **batch**: `count u32 | count ×
 /// (frame u32 | block u32 | 64 × i32)`. Used when `blocks_per_msg > 1`;
 /// the single-block formats above stay the wire format at batch size 1
@@ -261,6 +270,10 @@ pub struct PipelineProbe {
     pub frames_completed: Arc<AtomicU64>,
     /// FNV-1a checksum over reassembled pixel data, in frame order.
     pub checksum: Arc<AtomicU64>,
+    /// Frames abandoned in tolerant mode: corrupt frames skipped by
+    /// Fetch plus frames left incomplete at Reorder exit (blocks lost to
+    /// a mid-stream fault). Always 0 in the default strict mode.
+    pub dropped_frames: Arc<AtomicU64>,
 }
 
 impl PipelineProbe {
@@ -297,6 +310,11 @@ pub struct FetchBehavior {
     profile: WorkProfile,
     blocks_per_msg: usize,
     kernel: DctKind,
+    /// Tolerant mode: a corrupt frame is decoded in full *before* any of
+    /// its blocks is sent, so a mid-frame decode error drops the whole
+    /// frame atomically (counted on the probe) instead of failing the
+    /// component after a partial send.
+    tolerant: Option<PipelineProbe>,
 }
 
 /// Dequantization state for whichever kernel the pipeline runs.
@@ -419,7 +437,16 @@ impl FetchBehavior {
             profile,
             blocks_per_msg: blocks_per_msg.max(1),
             kernel,
+            tolerant: None,
         }
+    }
+
+    /// Enable graceful degradation: a frame whose entropy data fails to
+    /// decode is skipped (and counted on `probe.dropped_frames`) instead
+    /// of aborting the component.
+    pub fn tolerant(mut self, probe: PipelineProbe) -> Self {
+        self.tolerant = Some(probe);
+        self
     }
 
     fn run_inner(&mut self, ctx: &mut dyn Ctx) -> Result<(), EmberaError> {
@@ -444,6 +471,34 @@ impl FetchBehavior {
             ));
             let mut dec = entropy_decoder(self.kernel, &frame.data);
             let mut bits_before = 0u64;
+            if let Some(probe) = &self.tolerant {
+                // Decode the whole frame before sending any of it: a
+                // corrupt frame is dropped atomically, never half-sent.
+                let mut buffered = Vec::with_capacity(blocks);
+                let decoded = (0..blocks).try_for_each(|_| {
+                    let zz = dec.next_block()?;
+                    let bits = dec.bits_consumed() - bits_before;
+                    bits_before = dec.bits_consumed();
+                    buffered.push((bits, tables.apply(&zz)));
+                    Ok::<(), crate::bitstream::OutOfBits>(())
+                });
+                if decoded.is_err() {
+                    probe.dropped_frames.fetch_add(1, Ordering::AcqRel);
+                    continue;
+                }
+                for (bi, (bits, coeffs)) in buffered.into_iter().enumerate() {
+                    ctx.compute(
+                        Work::ops(
+                            WorkClass::Control,
+                            bits * self.profile.huffman_ops_per_bit
+                                + BLOCK_SIZE as u64 * self.profile.dequant_ops_per_coeff,
+                        )
+                        .with_mem(BLOCK_SIZE as u64 * 4),
+                    );
+                    sender.push(ctx, &self.out_ifaces, t as u32, bi as u32, coeffs)?;
+                }
+                continue;
+            }
             for bi in 0..blocks {
                 let zz = dec.next_block().map_err(|e| {
                     EmberaError::Platform(format!("frame {t} block {bi}: {e}"))
@@ -485,6 +540,11 @@ pub struct IdctBehavior {
     profile: WorkProfile,
     blocks_per_msg: usize,
     kernel: DctKind,
+    /// Tolerant mode: instead of a fixed message budget, drain the input
+    /// until it stays idle (or shutdown). A restarted IDCT then resumes
+    /// mid-stream without deadlocking on messages its first incarnation
+    /// already consumed.
+    tolerant: bool,
 }
 
 impl IdctBehavior {
@@ -516,7 +576,15 @@ impl IdctBehavior {
             profile,
             blocks_per_msg: blocks_per_msg.max(1),
             kernel,
+            tolerant: false,
         }
+    }
+
+    /// Enable graceful degradation: drain the input until idle instead
+    /// of expecting a fixed message count.
+    pub fn tolerant(mut self) -> Self {
+        self.tolerant = true;
+        self
     }
 
     fn transform(&self, coeffs: &[i32; BLOCK_SIZE]) -> [u8; BLOCK_SIZE] {
@@ -525,41 +593,59 @@ impl IdctBehavior {
             DctKind::FastAan => idct_scaled_to_pixels(coeffs),
         }
     }
+
+    fn process_message(
+        &self,
+        ctx: &mut dyn Ctx,
+        msg: &Bytes,
+        out: &mut Vec<(u32, u32, [u8; BLOCK_SIZE])>,
+    ) -> Result<(), EmberaError> {
+        if self.blocks_per_msg == 1 {
+            let (frame, block, coeffs) = decode_coeff_msg(msg)?;
+            let pixels = self.transform(&coeffs);
+            ctx.compute(
+                Work::ops(WorkClass::Dsp, self.profile.idct_ops_per_block)
+                    .with_mem(BLOCK_SIZE as u64 * 5),
+            );
+            return ctx.send(&self.out_iface, encode_pixel_msg(frame, block, &pixels));
+        }
+        // Batched path: split the batch into zero-copy block views,
+        // transform each, and answer with one pixel batch carrying
+        // the same (frame, block) tags.
+        let view = BatchView::coeffs(msg)?;
+        out.clear();
+        for i in 0..view.len() {
+            let (frame, bi, payload) = view.block(i);
+            let coeffs = coeffs_from_bytes(&payload)?;
+            out.push((frame, bi, self.transform(&coeffs)));
+        }
+        ctx.compute(
+            Work::ops(
+                WorkClass::Dsp,
+                self.profile.idct_ops_per_block * view.len() as u64,
+            )
+            .with_mem(BLOCK_SIZE as u64 * 5 * view.len() as u64),
+        );
+        ctx.send(&self.out_iface, encode_pixel_batch(out))
+    }
 }
 
 impl Behavior for IdctBehavior {
     fn run(&mut self, ctx: &mut dyn Ctx) -> Result<(), EmberaError> {
         let mut out = Vec::with_capacity(self.blocks_per_msg);
+        if self.tolerant {
+            loop {
+                let msg = match ctx.recv_timeout(&self.in_iface, TOLERANT_IDLE_NS) {
+                    Ok(Some(m)) => m,
+                    Ok(None) | Err(EmberaError::Terminated) => return Ok(()),
+                    Err(e) => return Err(e),
+                };
+                self.process_message(ctx, &msg, &mut out)?;
+            }
+        }
         for _ in 0..self.expected {
             let msg = ctx.recv(&self.in_iface)?;
-            if self.blocks_per_msg == 1 {
-                let (frame, block, coeffs) = decode_coeff_msg(&msg)?;
-                let pixels = self.transform(&coeffs);
-                ctx.compute(
-                    Work::ops(WorkClass::Dsp, self.profile.idct_ops_per_block)
-                        .with_mem(BLOCK_SIZE as u64 * 5),
-                );
-                ctx.send(&self.out_iface, encode_pixel_msg(frame, block, &pixels))?;
-                continue;
-            }
-            // Batched path: split the batch into zero-copy block views,
-            // transform each, and answer with one pixel batch carrying
-            // the same (frame, block) tags.
-            let view = BatchView::coeffs(&msg)?;
-            out.clear();
-            for i in 0..view.len() {
-                let (frame, bi, payload) = view.block(i);
-                let coeffs = coeffs_from_bytes(&payload)?;
-                out.push((frame, bi, self.transform(&coeffs)));
-            }
-            ctx.compute(
-                Work::ops(
-                    WorkClass::Dsp,
-                    self.profile.idct_ops_per_block * view.len() as u64,
-                )
-                .with_mem(BLOCK_SIZE as u64 * 5 * view.len() as u64),
-            );
-            ctx.send(&self.out_iface, encode_pixel_batch(&out))?;
+            self.process_message(ctx, &msg, &mut out)?;
         }
         Ok(())
     }
@@ -620,6 +706,10 @@ pub struct ReorderBehavior {
     profile: WorkProfile,
     probe: PipelineProbe,
     blocks_per_msg: usize,
+    /// Tolerant mode: drain lanes until they stay idle instead of
+    /// expecting `total_blocks`; frames still incomplete at exit are
+    /// counted on `probe.dropped_frames` rather than deadlocking.
+    tolerant: bool,
 }
 
 impl ReorderBehavior {
@@ -655,7 +745,71 @@ impl ReorderBehavior {
             profile,
             probe,
             blocks_per_msg: blocks_per_msg.max(1),
+            tolerant: false,
         }
+    }
+
+    /// Enable graceful degradation: drain lanes until idle and count
+    /// incomplete frames as dropped instead of requiring the full block
+    /// budget.
+    pub fn tolerant(mut self) -> Self {
+        self.tolerant = true;
+        self
+    }
+
+    /// Fold one pixel message (single block or batch, per the configured
+    /// wire format) into the assembler, charging reorder work.
+    fn absorb(&self, ctx: &mut dyn Ctx, asm: &mut Assembler, msg: &Bytes) -> Result<(), EmberaError> {
+        let blocks = if self.blocks_per_msg == 1 {
+            let (frame, block, pixels) = decode_pixel_msg(msg)?;
+            asm.add(frame, block, &pixels);
+            1u64
+        } else {
+            let view = BatchView::pixels(msg)?;
+            for i in 0..view.len() {
+                let (frame, bi, payload) = view.block(i);
+                let mut px = [0u8; BLOCK_SIZE];
+                px.copy_from_slice(&payload);
+                asm.add(frame, bi, &px);
+            }
+            view.len() as u64
+        };
+        ctx.compute(
+            Work::ops(
+                WorkClass::MemCopy,
+                BLOCK_SIZE as u64 * self.profile.reorder_ops_per_pixel * blocks,
+            )
+            .with_mem(BLOCK_SIZE as u64 * 2 * blocks),
+        );
+        Ok(())
+    }
+
+    /// Tolerant drain: poll lanes round-robin with an idle deadline and
+    /// stop after one full round of silence (or shutdown). Whatever is
+    /// still partially assembled then was lost upstream — count it.
+    fn run_tolerant(&mut self, ctx: &mut dyn Ctx, asm: &mut Assembler) -> Result<(), EmberaError> {
+        'drain: loop {
+            let mut got_any = false;
+            for lane in 0..self.in_ifaces.len() {
+                match ctx.recv_timeout(&self.in_ifaces[lane], TOLERANT_IDLE_NS) {
+                    Ok(Some(msg)) => {
+                        got_any = true;
+                        self.absorb(ctx, asm, &msg)?;
+                    }
+                    Ok(None) => {}
+                    Err(EmberaError::Terminated) => break 'drain,
+                    Err(e) => return Err(e),
+                }
+            }
+            if !got_any {
+                break;
+            }
+        }
+        let leftover = asm.partial.len() as u64;
+        if leftover > 0 {
+            self.probe.dropped_frames.fetch_add(leftover, Ordering::AcqRel);
+        }
+        Ok(())
     }
 }
 
@@ -664,6 +818,9 @@ impl Behavior for ReorderBehavior {
         let mut asm = Assembler::new(self.width, self.height, self.probe.clone());
         let n = self.in_ifaces.len();
         let per_frame = asm.blocks;
+        if self.tolerant {
+            return self.run_tolerant(ctx, &mut asm);
+        }
         if self.blocks_per_msg == 1 {
             for i in 0..self.total_blocks {
                 // Global block index within its frame selects the lane.
@@ -891,6 +1048,16 @@ pub struct MjpegAppConfig {
     /// is the default; [`DctKind::FastAan`] selects the fixed-point AAN
     /// fast path with dequantization folded into prescaled tables.
     pub kernel: DctKind,
+    /// Graceful degradation for the SMP pipeline: a corrupt frame is
+    /// skipped by Fetch (counted on [`PipelineProbe::dropped_frames`]),
+    /// IDCTs drain their input until idle instead of expecting a fixed
+    /// budget (so a supervised restart resumes mid-stream), and Reorder
+    /// counts frames left incomplete by lost blocks instead of
+    /// deadlocking. Default `false`: any decode error fails the run —
+    /// the paper's strict message-budget schedule. The MPSoC merged
+    /// builder ignores this flag (its per-frame round trip cannot skip
+    /// frames without desynchronizing the IDCT lanes).
+    pub tolerate_corrupt_frames: bool,
 }
 
 impl Default for MjpegAppConfig {
@@ -901,6 +1068,7 @@ impl Default for MjpegAppConfig {
             stack_bytes: 8_392_000,
             blocks_per_msg: 1,
             kernel: DctKind::ReferenceFloat,
+            tolerate_corrupt_frames: false,
         }
     }
 }
@@ -920,17 +1088,17 @@ pub fn build_smp_app(stream: MjpegStream, cfg: &MjpegAppConfig) -> (AppBuilder, 
     let fetch_outs: Vec<String> = (1..=cfg.idct_count)
         .map(|k| format!("fetchIdct{k}"))
         .collect();
-    let mut fetch = ComponentSpec::new(
-        "Fetch",
-        FetchBehavior::with_options(
-            stream,
-            fetch_outs.clone(),
-            cfg.profile,
-            cfg.blocks_per_msg,
-            cfg.kernel,
-        ),
-    )
-    .with_stack_bytes(cfg.stack_bytes);
+    let mut fetch_behavior = FetchBehavior::with_options(
+        stream,
+        fetch_outs.clone(),
+        cfg.profile,
+        cfg.blocks_per_msg,
+        cfg.kernel,
+    );
+    if cfg.tolerate_corrupt_frames {
+        fetch_behavior = fetch_behavior.tolerant(probe.clone());
+    }
+    let mut fetch = ComponentSpec::new("Fetch", fetch_behavior).with_stack_bytes(cfg.stack_bytes);
     for iface in &fetch_outs {
         fetch = fetch.with_required(iface);
     }
@@ -944,22 +1112,23 @@ pub fn build_smp_app(stream: MjpegStream, cfg: &MjpegAppConfig) -> (AppBuilder, 
         // for the stream-end remainder flush).
         let per_frame = lane_share(blocks, cfg.idct_count, k - 1);
         let expected = lane_msgs_total(per_frame, frames_forwarded, cfg.blocks_per_msg);
+        let mut idct = IdctBehavior::with_options(
+            format!("_fetchIdct{k}"),
+            "idctReorder",
+            expected,
+            cfg.profile,
+            cfg.blocks_per_msg,
+            cfg.kernel,
+        );
+        if cfg.tolerate_corrupt_frames {
+            idct = idct.tolerant();
+        }
         app.add(
-            ComponentSpec::new(
-                format!("IDCT_{k}"),
-                IdctBehavior::with_options(
-                    format!("_fetchIdct{k}"),
-                    "idctReorder",
-                    expected,
-                    cfg.profile,
-                    cfg.blocks_per_msg,
-                    cfg.kernel,
-                ),
-            )
-            .with_provided(format!("_fetchIdct{k}"))
-            .with_required("idctReorder")
-            .with_stack_bytes(cfg.stack_bytes)
-            .on_cpu(k),
+            ComponentSpec::new(format!("IDCT_{k}"), idct)
+                .with_provided(format!("_fetchIdct{k}"))
+                .with_required("idctReorder")
+                .with_stack_bytes(cfg.stack_bytes)
+                .on_cpu(k),
         );
         app.connect(
             ("Fetch", &format!("fetchIdct{k}")),
@@ -971,19 +1140,19 @@ pub fn build_smp_app(stream: MjpegStream, cfg: &MjpegAppConfig) -> (AppBuilder, 
         .map(|k| format!("_idct{k}Reorder"))
         .collect();
     let (w, h) = header.map(|h| (h.width as usize, h.height as usize)).unwrap_or((8, 8));
-    let mut reorder = ComponentSpec::new(
-        "Reorder",
-        ReorderBehavior::with_options(
-            reorder_ins.clone(),
-            total_blocks,
-            w,
-            h,
-            cfg.profile,
-            probe.clone(),
-            cfg.blocks_per_msg,
-        ),
-    )
-    .with_stack_bytes(cfg.stack_bytes);
+    let mut reorder_behavior = ReorderBehavior::with_options(
+        reorder_ins.clone(),
+        total_blocks,
+        w,
+        h,
+        cfg.profile,
+        probe.clone(),
+        cfg.blocks_per_msg,
+    );
+    if cfg.tolerate_corrupt_frames {
+        reorder_behavior = reorder_behavior.tolerant();
+    }
+    let mut reorder = ComponentSpec::new("Reorder", reorder_behavior).with_stack_bytes(cfg.stack_bytes);
     for m in probe.metrics() {
         reorder = reorder.with_metric(m);
     }

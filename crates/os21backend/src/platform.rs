@@ -159,6 +159,7 @@ impl Platform for Os21Platform {
         });
 
         let trace = spec.trace.clone();
+        let faults = spec.faults.clone();
         let mut all_engines = Vec::new();
         for c in spec.components {
             let cpu = placements[&c.name];
@@ -198,6 +199,8 @@ impl Platform for Os21Platform {
             let is_observer = c.name == OBSERVER_NAME;
             let sink = trace.as_ref().map(|t| t.sink_for(&c.name));
             let stats2 = Arc::clone(&stats);
+            let restart = c.restart;
+            let component_faults = faults.clone();
             rtos.spawn_task(&mut kernel, cpu, c.name.clone(), 0, move |task| {
                 let transport = Os21Transport {
                     name: name.clone(),
@@ -211,8 +214,13 @@ impl Platform for Os21Platform {
                     is_observer,
                     mem_cursor: 0,
                 };
-                ComponentRuntime::new(name, required, transport, engine, observe, sink)
-                    .run_to_completion(behavior);
+                let mut runtime =
+                    ComponentRuntime::new(name, required, transport, engine, observe, sink);
+                runtime.set_restart_policy(restart);
+                if let Some(plan) = &component_faults {
+                    runtime.set_fault_plan(plan);
+                }
+                runtime.run_to_completion(behavior);
             });
         }
 
@@ -245,17 +253,9 @@ impl RunningApp for Os21Running {
             .run()
             .map_err(|e| EmberaError::Platform(e.to_string()))?;
         let errors = std::mem::take(&mut *self.errors.lock());
-        // Prefer the originating failure over secondary `Terminated`
-        // errors from the fail-fast drain.
-        if let Some((name, e)) = errors
-            .iter()
-            .find(|(_, e)| !matches!(e, EmberaError::Terminated))
-            .or_else(|| errors.first())
-        {
-            return Err(EmberaError::Platform(format!(
-                "component '{name}' failed: {e}"
-            )));
-        }
+        // Aggregate every originating failure; secondary `Terminated`
+        // errors from the fail-fast drain rank last.
+        embera::supervise::fault_result(errors)?;
         let wall = self.kernel.now();
         Ok(AppReport {
             app_name: self.app_name,

@@ -204,6 +204,54 @@ impl Transport for Os21Transport {
         }
     }
 
+    fn behavior_finished_contained(&mut self, error: EmberaError) {
+        // OneForOne containment: record the failure and account the
+        // completion, but skip the fail-fast shutdown so peers run on.
+        self.stats.set_cpu_time_ns(self.task.task_time());
+        self.app.errors.lock().push((self.name.clone(), error));
+        if !self.is_observer {
+            let left = self.app.remaining.fetch_sub(1, Ordering::AcqRel) - 1;
+            if left == 0 {
+                self.app.shutdown.store(true, Ordering::Release);
+                for e in self.app.activity_events.lock().iter() {
+                    self.task.sim().notify(*e);
+                }
+            }
+        }
+    }
+
+    fn queued_messages(&self) -> u64 {
+        self.provided
+            .iter()
+            .filter(|(iface, _)| iface.as_str() != INTROSPECTION)
+            .map(|(_, ep)| ep.side.lock().len() as u64)
+            .sum()
+    }
+
+    fn delay(&mut self, ns: u64) {
+        // Best-effort backoff in virtual time. The activity event may
+        // cut the wait short; the restart still happens after it.
+        if ns > 0 {
+            self.task.sim().wait_timeout(self.activity, ns);
+        }
+    }
+
+    fn drain_inboxes(&mut self) {
+        for (iface, ep) in &self.provided {
+            if iface == INTROSPECTION {
+                continue;
+            }
+            // Keep the wire object and the typed sidecar aligned: pop
+            // both in lock-step until the endpoint is empty.
+            while ep.object.try_receive_uncosted().is_some() {
+                ep.side
+                    .lock()
+                    .pop_front()
+                    .expect("sidecar out of sync with distributed object");
+            }
+        }
+    }
+
     fn refine_reply(&mut self, reply: &mut ObsReply) {
         // Keep RTOS CPU-time fresh in OS-level replies.
         self.stats.set_cpu_time_ns(self.task.task_time());

@@ -117,6 +117,7 @@ impl Platform for SmpPlatform {
 
         // 3. Spawn one thread per component.
         let trace = spec.trace.clone();
+        let faults = spec.faults.clone();
         let mut handles = Vec::new();
         let mut all_engines = Vec::new();
         let app_component_count = spec
@@ -167,7 +168,7 @@ impl Platform for SmpPlatform {
                 finish: Arc::clone(&finish),
                 is_app_component: c.name != OBSERVER_NAME,
             };
-            let runtime = ComponentRuntime::new(
+            let mut runtime = ComponentRuntime::new(
                 c.name.clone(),
                 c.required.clone(),
                 transport,
@@ -175,6 +176,10 @@ impl Platform for SmpPlatform {
                 self.config.observe,
                 trace.as_ref().map(|t| t.sink_for(&c.name)),
             );
+            runtime.set_restart_policy(c.restart);
+            if let Some(plan) = &faults {
+                runtime.set_fault_plan(plan);
+            }
             let handle = std::thread::Builder::new()
                 .name(format!("embera:{}", c.name))
                 .stack_size(c.stack_bytes as usize)
@@ -219,17 +224,9 @@ impl RunningApp for SmpRunning {
             let (lock, _) = &*self.finish;
             std::mem::take(&mut lock.lock().errors)
         };
-        // Report the originating failure: secondary `Terminated` errors
-        // from peers drained by the fail-fast shutdown are less useful.
-        if let Some((name, e)) = errors
-            .iter()
-            .find(|(_, e)| !matches!(e, EmberaError::Terminated))
-            .or_else(|| errors.first())
-        {
-            return Err(EmberaError::Platform(format!(
-                "component '{name}' failed: {e}"
-            )));
-        }
+        // Aggregate every originating failure: secondary `Terminated`
+        // errors from peers drained by the fail-fast shutdown rank last.
+        embera::supervise::fault_result(errors)?;
         Ok(AppReport {
             app_name: self.app_name,
             wall_time_ns,

@@ -225,4 +225,48 @@ impl Transport for SmpTransport {
             cvar.notify_all();
         }
     }
+
+    fn behavior_finished_contained(&mut self, error: EmberaError) {
+        // OneForOne containment: record the failure but skip the
+        // fail-fast shutdown so the rest of the application runs on.
+        let (lock, cvar) = &*self.finish;
+        let mut st = lock.lock();
+        st.errors.push((self.name.clone(), error));
+        if self.is_app_component {
+            st.finished += 1;
+            cvar.notify_all();
+        }
+    }
+
+    fn queued_messages(&self) -> u64 {
+        let in_flight: u64 = self
+            .pending
+            .iter()
+            .filter(|(iface, _)| iface.as_str() != INTROSPECTION)
+            .map(|(_, q)| q.len() as u64)
+            .sum();
+        let resident: u64 = self
+            .provided
+            .iter()
+            .filter(|(iface, _)| iface.as_str() != INTROSPECTION)
+            .map(|(_, mb)| mb.len() as u64)
+            .sum();
+        in_flight + resident
+    }
+
+    fn delay(&mut self, ns: u64) {
+        std::thread::sleep(Duration::from_nanos(ns));
+    }
+
+    fn drain_inboxes(&mut self) {
+        for (iface, mb) in &self.provided {
+            if iface == INTROSPECTION {
+                continue;
+            }
+            if let Some(buf) = self.pending.get_mut(iface) {
+                buf.clear();
+            }
+            while mb.try_pop().is_some() {}
+        }
+    }
 }

@@ -108,8 +108,11 @@ fn kind_rank(k: EventKind) -> u8 {
         EventKind::Recv => 3,
         EventKind::Compute => 4,
         EventKind::ObsServed => 5,
-        EventKind::User(_) => 6,
-        EventKind::BehaviorEnd => 7,
+        EventKind::FaultInjected => 6,
+        EventKind::BehaviorPanic => 7,
+        EventKind::Restart => 8,
+        EventKind::User(_) => 9,
+        EventKind::BehaviorEnd => 10,
     }
 }
 

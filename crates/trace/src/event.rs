@@ -21,6 +21,14 @@ pub enum EventKind {
     Compute,
     /// An observation request was served.
     ObsServed,
+    /// A behavior panic was contained by the runtime.
+    BehaviorPanic,
+    /// Supervision re-ran a failed behavior; `a` = attempt number
+    /// (1-based), `b` = backoff ns.
+    Restart,
+    /// The fault-injection plan fired; `a` = action code (0 drop,
+    /// 1 corrupt, 2 delay), `b` = targeted payload bytes.
+    FaultInjected,
     /// Application-defined event; `a`/`b` free.
     User(u16),
 }

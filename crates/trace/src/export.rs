@@ -14,6 +14,9 @@ fn kind_token(k: EventKind) -> String {
         EventKind::Recv => "recv".into(),
         EventKind::Compute => "compute".into(),
         EventKind::ObsServed => "obs_served".into(),
+        EventKind::BehaviorPanic => "behavior_panic".into(),
+        EventKind::Restart => "restart".into(),
+        EventKind::FaultInjected => "fault_injected".into(),
         EventKind::User(n) => format!("user:{n}"),
     }
 }
@@ -27,6 +30,9 @@ fn parse_kind(tok: &str) -> Result<EventKind, String> {
         "recv" => EventKind::Recv,
         "compute" => EventKind::Compute,
         "obs_served" => EventKind::ObsServed,
+        "behavior_panic" => EventKind::BehaviorPanic,
+        "restart" => EventKind::Restart,
+        "fault_injected" => EventKind::FaultInjected,
         other => {
             let Some(n) = other.strip_prefix("user:") else {
                 return Err(format!("unknown event kind '{other}'"));
@@ -99,6 +105,9 @@ pub fn to_chrome_json(events: &[TraceEvent], names: &[String]) -> String {
             EventKind::BehaviorStart => ("behavior_start".to_string(), 0, true),
             EventKind::BehaviorEnd => ("behavior_end".to_string(), 0, true),
             EventKind::ObsServed => ("obs_served".to_string(), 0, true),
+            EventKind::BehaviorPanic => ("behavior_panic".to_string(), 0, true),
+            EventKind::Restart => (format!("restart #{}", e.a), 0, true),
+            EventKind::FaultInjected => ("fault_injected".to_string(), 0, true),
             EventKind::User(n) => (format!("user:{n}"), e.b, e.b == 0),
             EventKind::SendStart => continue, // folded into SendEnd
         };
@@ -142,7 +151,10 @@ mod tests {
             TraceEvent::new(5, 1, EventKind::Compute, 99, 3),
             TraceEvent::new(6, 1, EventKind::ObsServed, 0, 0),
             TraceEvent::new(7, 1, EventKind::User(42), 1, 2),
-            TraceEvent::new(8, 0, EventKind::BehaviorEnd, 0, 0),
+            TraceEvent::new(8, 1, EventKind::BehaviorPanic, 0, 0),
+            TraceEvent::new(9, 1, EventKind::Restart, 1, 1_000),
+            TraceEvent::new(10, 0, EventKind::FaultInjected, 0, 64),
+            TraceEvent::new(11, 0, EventKind::BehaviorEnd, 0, 0),
         ];
         let text = to_text(&events);
         assert_eq!(from_text(&text).unwrap(), events);

@@ -25,6 +25,9 @@ pub fn map_kind(kind: TraceEventKind) -> EventKind {
         TraceEventKind::Recv => EventKind::Recv,
         TraceEventKind::Compute => EventKind::Compute,
         TraceEventKind::ObsServed => EventKind::ObsServed,
+        TraceEventKind::BehaviorPanic => EventKind::BehaviorPanic,
+        TraceEventKind::Restart => EventKind::Restart,
+        TraceEventKind::FaultInjected => EventKind::FaultInjected,
     }
 }
 

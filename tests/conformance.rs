@@ -285,6 +285,7 @@ fn error_contract_is_identical_on_every_backend() {
             connections: Vec::new(),
             has_observer: false,
             trace: None,
+            faults: None,
         };
         run(spec).unwrap_or_else(|e| panic!("[{backend}] {e}"));
     }
