@@ -1,0 +1,118 @@
+//! Kernel microbenchmark (PR 5): blocks per second of each inverse-DCT
+//! kernel in isolation, plus the entropy-decode and color-conversion
+//! stages, so pipeline-level sweep numbers can be decomposed into
+//! per-stage costs.
+//!
+//! The three IDCT kernels are the pipeline's `DctKind` options:
+//! `reference_float` (the paper-faithful float path), `fast_aan`
+//! (fixed-point AAN on prescaled coefficients), and `fast_simd` (the
+//! runtime-dispatched SSE2/AVX2 vectorization of the same butterfly —
+//! byte-identical to `fast_aan` by construction).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use mjpeg::codec::EntropyDecoder;
+use mjpeg::dct::{idct_scaled_to_pixels, idct_to_pixels, BLOCK_SIZE};
+use mjpeg::simd::idct_scaled_to_pixels_simd;
+
+const BLOCKS: usize = 256;
+
+/// Deterministic pseudo-random coefficient blocks in the dequantized
+/// range (same LCG the workload generator uses).
+fn coeff_blocks() -> Vec<[i32; BLOCK_SIZE]> {
+    let mut x = 0x578u64;
+    (0..BLOCKS)
+        .map(|_| {
+            let mut c = [0i32; BLOCK_SIZE];
+            for v in c.iter_mut() {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                *v = ((x >> 40) as i32 & 0x7FF) - 1024;
+            }
+            c
+        })
+        .collect()
+}
+
+fn bench_idct_kernels(c: &mut Criterion) {
+    let blocks = coeff_blocks();
+    let mut group = c.benchmark_group("idct_kernels");
+    group.throughput(Throughput::Elements(BLOCKS as u64));
+    group.bench_function("reference_float", |b| {
+        b.iter(|| {
+            for coeffs in &blocks {
+                std::hint::black_box(idct_to_pixels(coeffs));
+            }
+        })
+    });
+    group.bench_function("fast_aan", |b| {
+        b.iter(|| {
+            for coeffs in &blocks {
+                std::hint::black_box(idct_scaled_to_pixels(coeffs));
+            }
+        })
+    });
+    group.bench_function("fast_simd", |b| {
+        b.iter(|| {
+            for coeffs in &blocks {
+                std::hint::black_box(idct_scaled_to_pixels_simd(coeffs));
+            }
+        })
+    });
+    group.finish();
+}
+
+fn bench_entropy_decode(c: &mut Criterion) {
+    // One encoded Table-1 frame (48x24 = 18 blocks), decoded repeatedly:
+    // the Fetch component's per-block cost.
+    let stream = embera_bench::stream(2, 0x578);
+    let data = stream.frames[1].data.clone();
+    let mut group = c.benchmark_group("entropy_decode");
+    group.throughput(Throughput::Elements(18));
+    group.bench_function("huffman_lut", |b| {
+        b.iter(|| {
+            let mut dec = EntropyDecoder::new(&data);
+            for _ in 0..18 {
+                std::hint::black_box(dec.next_block().unwrap());
+            }
+        })
+    });
+    group.bench_function("huffman_reference", |b| {
+        b.iter(|| {
+            let mut dec = EntropyDecoder::reference(&data);
+            for _ in 0..18 {
+                std::hint::black_box(dec.next_block().unwrap());
+            }
+        })
+    });
+    group.finish();
+}
+
+fn bench_color(c: &mut Criterion) {
+    let n = 4096usize;
+    let y: Vec<u8> = (0..n).map(|i| (i * 7) as u8).collect();
+    let cb: Vec<u8> = (0..n).map(|i| (i * 13) as u8).collect();
+    let cr: Vec<u8> = (0..n).map(|i| (i * 29) as u8).collect();
+    let mut out = vec![0u8; n * 3];
+    let mut group = c.benchmark_group("color_convert");
+    group.throughput(Throughput::Elements(n as u64));
+    group.bench_function("ycbcr_to_rgb_slice", |b| {
+        b.iter(|| {
+            mjpeg::color::ycbcr_to_rgb_slice(&y, &cb, &cr, &mut out);
+            std::hint::black_box(out[0]);
+        })
+    });
+    group.bench_function("ycbcr_to_rgb_scalar", |b| {
+        b.iter(|| {
+            for i in 0..n {
+                let (r, g, bl) = mjpeg::color::ycbcr_to_rgb(y[i], cb[i], cr[i]);
+                out[i * 3] = r;
+                out[i * 3 + 1] = g;
+                out[i * 3 + 2] = bl;
+            }
+            std::hint::black_box(out[0]);
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_idct_kernels, bench_entropy_decode, bench_color);
+criterion_main!(benches);

@@ -6,6 +6,8 @@
 //! cargo run --release -p embera-bench --bin repro -- table1|table2|figure4|figure5|table3|figure8
 //! cargo run --release -p embera-bench --bin repro -- cache|memseries|trace    # paper future work
 //! cargo run --release -p embera-bench --bin repro -- scaling|dot              # scaling study, graphs
+//! cargo run --release -p embera-bench --bin repro -- bench-sweep              # workers x batch x kernel -> BENCH_pr5.json
+//! cargo run --release -p embera-bench --bin repro -- alloc-check --assert-zero  # steady-state allocation proof
 //! ```
 //!
 //! Reduced scale keeps the default run under a minute; `--paper` uses
@@ -13,20 +15,67 @@
 
 use embera::{ObserverConfig, Platform, RunningApp};
 use embera_bench::{
-    run_mpsoc_mjpeg, run_smp_mjpeg, run_smp_mjpeg_with, stream, FIGURE4_SIZES_KB,
-    FIGURE8_SIZES_KB,
+    run_mpsoc_mjpeg, run_smp_mjpeg, run_smp_mjpeg_stream, run_smp_mjpeg_with, stream,
+    FIGURE4_SIZES_KB, FIGURE8_SIZES_KB,
 };
 use embera_os21::Os21Platform;
 use embera_repro::stats::linear_fit;
 use embera_repro::sweep::{mpsoc_send_sweep, smp_send_sweep, MpsocSender};
 use embera_repro::tables::{format_table1, format_table2, format_table3, table3_ratio};
 use embera_smp::SmpPlatform;
-use mjpeg::{build_mpsoc_app, build_smp_app, DctKind, MjpegAppConfig};
+use mjpeg::{build_mpsoc_app, build_smp_app, DctKind, DispatchPolicy, MjpegAppConfig};
 
 struct Scale {
     small: usize,
     large: usize,
     sweep_iters: u32,
+}
+
+// ---------------------------------------------------------------------
+// Counting global allocator: the proof behind the zero-allocation
+// messaging claim. Every heap acquisition (alloc, alloc_zeroed,
+// realloc) bumps one counter; `alloc-check` then compares an F-frame
+// and a 2F-frame pipeline run — fixed per-run overhead (threads,
+// mailboxes, reports) cancels, so the difference divided by the extra
+// frames is the steady-state allocation cost per frame. Pooled
+// messaging must bring it to exactly zero.
+// ---------------------------------------------------------------------
+
+struct CountingAlloc;
+
+static ALLOC_COUNT: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+
+unsafe impl std::alloc::GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: std::alloc::Layout) -> *mut u8 {
+        ALLOC_COUNT.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        std::alloc::System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: std::alloc::Layout) {
+        std::alloc::System.dealloc(ptr, layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: std::alloc::Layout) -> *mut u8 {
+        ALLOC_COUNT.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        std::alloc::System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(
+        &self,
+        ptr: *mut u8,
+        layout: std::alloc::Layout,
+        new_size: usize,
+    ) -> *mut u8 {
+        ALLOC_COUNT.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        std::alloc::System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn allocs_now() -> u64 {
+    ALLOC_COUNT.load(std::sync::atomic::Ordering::SeqCst)
 }
 
 fn main() {
@@ -64,6 +113,8 @@ fn main() {
         "scaling" => scaling(&scale),
         "dot" => dot(),
         "bench-json" => bench_json(&scale, &args),
+        "bench-sweep" => bench_sweep(&scale, &args),
+        "alloc-check" => alloc_check(&scale, &args),
         "all" => {
             table1_and_2(&scale, true, true);
             figure4(&scale);
@@ -78,7 +129,7 @@ fn main() {
         other => {
             eprintln!("unknown experiment '{other}'");
             eprintln!(
-                "available: table1 table2 figure4 figure5 table3 figure8 cache memseries trace scaling dot bench-json all"
+                "available: table1 table2 figure4 figure5 table3 figure8 cache memseries trace scaling dot bench-json bench-sweep alloc-check all"
             );
             std::process::exit(2);
         }
@@ -325,11 +376,37 @@ fn scaling(scale: &Scale) {
     );
 }
 
-/// One measured pipeline configuration for `bench-json`.
+fn kernel_name(kind: DctKind) -> &'static str {
+    match kind {
+        DctKind::ReferenceFloat => "reference_float",
+        DctKind::FastAan => "fast_aan",
+        DctKind::FastSimd => "fast_simd",
+    }
+}
+
+fn dispatch_name(policy: DispatchPolicy) -> &'static str {
+    match policy {
+        DispatchPolicy::RoundRobin => "round_robin",
+        DispatchPolicy::LeastLoaded => "least_loaded",
+    }
+}
+
+/// `--key value` lookup in the raw argument list.
+fn arg_value<'a>(args: &'a [String], key: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == key)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+/// One measured pipeline configuration for `bench-json` / `bench-sweep`.
 struct BenchRun {
-    label: &'static str,
+    label: String,
     blocks_per_msg: usize,
     kernel: &'static str,
+    workers: usize,
+    dispatch: &'static str,
+    pooled: bool,
     wall_s: f64,
     frames_per_s: f64,
     blocks_per_s: f64,
@@ -337,7 +414,34 @@ struct BenchRun {
     sends: u64,
 }
 
-fn measure_pipeline(frames: usize, cfg: &MjpegAppConfig, label: &'static str) -> BenchRun {
+fn bench_run_from(
+    frames: usize,
+    cfg: &MjpegAppConfig,
+    label: String,
+    wall_ns: u64,
+    report: &embera::AppReport,
+) -> BenchRun {
+    let fetch = report.component("Fetch").expect("Fetch");
+    let forwarded = (frames - 1) as f64;
+    let blocks = forwarded * 18.0;
+    let wall_s = wall_ns as f64 / 1e9;
+    BenchRun {
+        label,
+        blocks_per_msg: cfg.blocks_per_msg,
+        kernel: kernel_name(cfg.kernel),
+        workers: cfg.idct_count,
+        dispatch: dispatch_name(cfg.dispatch),
+        pooled: cfg.payload_pool,
+        wall_s,
+        frames_per_s: forwarded / wall_s,
+        blocks_per_s: blocks / wall_s,
+        mean_send_us: fetch.middleware.send.mean_ns() as f64 / 1e3,
+        sends: fetch.app.total_sends,
+    }
+}
+
+/// Measure with the observer attached (the PR 1 `bench-json` protocol).
+fn measure_pipeline(frames: usize, cfg: &MjpegAppConfig, label: &str) -> BenchRun {
     // Best of three runs: the pipeline is short enough that scheduler
     // noise (not warm-up) dominates run-to-run variance.
     let mut best: Option<(u64, embera::AppReport)> = None;
@@ -349,23 +453,27 @@ fn measure_pipeline(frames: usize, cfg: &MjpegAppConfig, label: &'static str) ->
         }
     }
     let (wall_ns, report) = best.unwrap();
-    let fetch = report.component("Fetch").expect("Fetch");
-    let forwarded = (frames - 1) as f64;
-    let blocks = forwarded * 18.0;
-    let wall_s = wall_ns as f64 / 1e9;
-    BenchRun {
-        label,
-        blocks_per_msg: cfg.blocks_per_msg,
-        kernel: match cfg.kernel {
-            DctKind::ReferenceFloat => "reference_float",
-            DctKind::FastAan => "fast_aan",
-        },
-        wall_s,
-        frames_per_s: forwarded / wall_s,
-        blocks_per_s: blocks / wall_s,
-        mean_send_us: fetch.middleware.send.mean_ns() as f64 / 1e3,
-        sends: fetch.app.total_sends,
+    bench_run_from(frames, cfg, label.to_string(), wall_ns, &report)
+}
+
+/// Measure observer-free on a pre-synthesized stream (the `bench-sweep`
+/// protocol: stream synthesis and observation stay out of the timed
+/// region, so the number is the pipeline's own throughput).
+fn measure_stream(frames: usize, cfg: &MjpegAppConfig, label: String) -> BenchRun {
+    // Synthesize the workload once and clone it per repetition: every
+    // rep decodes identical bytes, so best-of-N isolates run-to-run
+    // scheduling noise instead of workload variation.
+    let base = stream(frames, 0x578);
+    let mut best: Option<(u64, embera::AppReport)> = None;
+    for _ in 0..5 {
+        let (report, done) = run_smp_mjpeg_stream(base.clone(), cfg, None);
+        assert_eq!(done, frames as u64 - 1, "pipeline dropped frames");
+        if best.as_ref().map(|(t, _)| report.wall_time_ns < *t).unwrap_or(true) {
+            best = Some((report.wall_time_ns, report));
+        }
     }
+    let (wall_ns, report) = best.unwrap();
+    bench_run_from(frames, cfg, label, wall_ns, &report)
 }
 
 fn bench_run_json(r: &BenchRun) -> String {
@@ -385,6 +493,279 @@ fn bench_run_json(r: &BenchRun) -> String {
         r.label, r.blocks_per_msg, r.kernel, r.wall_s, r.frames_per_s, r.blocks_per_s,
         r.mean_send_us, r.sends
     )
+}
+
+/// The richer per-run record used by `bench-sweep` (adds worker count,
+/// dispatch policy, and pooling to the PR 1 schema).
+fn sweep_run_json(r: &BenchRun) -> String {
+    format!(
+        concat!(
+            "{{\n",
+            "      \"label\": \"{}\",\n",
+            "      \"workers\": {},\n",
+            "      \"blocks_per_msg\": {},\n",
+            "      \"kernel\": \"{}\",\n",
+            "      \"dispatch\": \"{}\",\n",
+            "      \"pooled\": {},\n",
+            "      \"wall_s\": {:.6},\n",
+            "      \"frames_per_s\": {:.2},\n",
+            "      \"blocks_per_s\": {:.1},\n",
+            "      \"fetch_mean_send_us\": {:.3},\n",
+            "      \"fetch_sends\": {}\n",
+            "    }}"
+        ),
+        r.label, r.workers, r.blocks_per_msg, r.kernel, r.dispatch, r.pooled, r.wall_s,
+        r.frames_per_s, r.blocks_per_s, r.mean_send_us, r.sends
+    )
+}
+
+fn git_rev() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short=12", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .unwrap_or_else(|| "unknown".into())
+}
+
+#[cfg(target_arch = "x86_64")]
+fn cpu_features() -> (bool, bool) {
+    (
+        is_x86_feature_detected!("sse2"),
+        is_x86_feature_detected!("avx2"),
+    )
+}
+
+#[cfg(not(target_arch = "x86_64"))]
+fn cpu_features() -> (bool, bool) {
+    (false, false)
+}
+
+/// The `optimized.blocks_per_s` field of a previously written
+/// `BENCH_pr1.json`, if one exists next to the working directory.
+fn pr1_optimized_blocks_per_s() -> Option<f64> {
+    let text = std::fs::read_to_string("BENCH_pr1.json").ok()?;
+    // Everything from the top-level "optimized" key onward (`split`
+    // would stop at the next occurrence — the label string inside it).
+    let optimized = &text[text.find("\"optimized\"")?..];
+    let value = optimized.split("\"blocks_per_s\":").nth(1)?;
+    value
+        .trim()
+        .split([',', '\n', ' '])
+        .next()?
+        .trim()
+        .parse()
+        .ok()
+}
+
+/// Marginal heap allocations per extra frame, measured differentially:
+/// run the pipeline at `frames` and `2 * frames` frames and subtract
+/// the allocation counts. Fixed per-run overhead (thread spawn,
+/// mailboxes, report assembly) appears in both runs and cancels; what
+/// remains is the steady-state per-frame cost. Streams are synthesized
+/// and the pool prewarmed *outside* the counted windows, and a warm-up
+/// run first settles lazy statics (Huffman LUTs, SIMD dispatch).
+/// Returns the total marginal count, the per-frame rate, and the pool
+/// stats of the long run (pooled mode only).
+fn marginal_allocs(
+    frames: usize,
+    cfg: &MjpegAppConfig,
+    pooled: bool,
+) -> (i64, f64, Option<embera::PoolStats>) {
+    let counted = |n: usize| -> (u64, Option<embera::PoolStats>) {
+        let s = stream(n, 0x578);
+        let pool = pooled.then(|| {
+            let p = mjpeg::pipeline_pool(cfg);
+            p.prewarm(256);
+            p
+        });
+        let before = allocs_now();
+        let (_report, done) = run_smp_mjpeg_stream(s, cfg, pool.clone());
+        let after = allocs_now();
+        assert_eq!(done, n as u64 - 1, "pipeline dropped frames");
+        (after - before, pool.map(|p| p.stats()))
+    };
+    counted(frames.clamp(2, 8));
+    // Min of two attempts per length: scheduler interleaving cannot
+    // remove allocations, so the minimum is the cleanest sample.
+    let (short, _) = (0..2).map(|_| counted(frames)).min_by_key(|r| r.0).unwrap();
+    let (long, stats) = (0..2)
+        .map(|_| counted(2 * frames))
+        .min_by_key(|r| r.0)
+        .unwrap();
+    let marginal = long as i64 - short as i64;
+    (marginal, marginal as f64 / frames as f64, stats)
+}
+
+/// `alloc-check` — prove the pooled pipeline decodes in steady state
+/// with **zero** heap allocations, via the counting global allocator.
+/// `--assert-zero` exits nonzero on failure (the CI smoke gate);
+/// `--frames N` overrides the base stream length.
+fn alloc_check(scale: &Scale, args: &[String]) {
+    let assert_zero = args.iter().any(|a| a == "--assert-zero");
+    let frames = arg_value(args, "--frames")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(scale.small)
+        .max(4);
+    let cfg = MjpegAppConfig {
+        blocks_per_msg: 72,
+        kernel: DctKind::FastSimd,
+        ..Default::default()
+    };
+    println!(
+        "=== alloc-check — marginal heap allocations, {frames}- vs {}-frame runs ===",
+        2 * frames
+    );
+    let (plain, plain_pf, _) = marginal_allocs(frames, &cfg, false);
+    let (pooled, pooled_pf, stats) = marginal_allocs(frames, &cfg, true);
+    let stats = stats.expect("pooled run returns pool stats");
+    println!("unpooled: {plain:+} marginal allocations ({plain_pf:+.2} per extra frame)");
+    println!("pooled:   {pooled:+} marginal allocations ({pooled_pf:+.2} per extra frame)");
+    println!(
+        "pool: grown {} recycled {} dropped {} free {}",
+        stats.grown, stats.recycled, stats.dropped, stats.free
+    );
+    let zero = pooled <= 0 && stats.grown == 0;
+    if zero {
+        println!("steady state is allocation-free in the pooled configuration");
+    } else {
+        println!("FAIL: pooled steady state still allocates");
+    }
+    println!();
+    if assert_zero && !zero {
+        std::process::exit(1);
+    }
+}
+
+/// `bench-sweep` — the PR 5 scaling matrix: IDCT worker count x batch
+/// size x kernel (plus least-loaded dispatch cells), measured
+/// observer-free on pre-synthesized streams, written to
+/// `BENCH_pr5.json` (or `--out <path>`) with full provenance: git
+/// revision, detected CPU features, host core count, dispatch policy,
+/// and the steady-state allocation proof.
+fn bench_sweep(scale: &Scale, args: &[String]) {
+    let out_path = arg_value(args, "--out").unwrap_or("BENCH_pr5.json");
+    let frames = arg_value(args, "--frames")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(scale.small)
+        .max(4);
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!(
+        "=== bench-sweep — workers x batch x kernel, {frames}-frame stream, {cores} core(s) ==="
+    );
+    let mut runs = Vec::new();
+    // Paper-faithful reference cell (one block per message, float IDCT,
+    // no pool) so the sweep records its own "before" point.
+    runs.push(measure_stream(
+        frames,
+        &MjpegAppConfig::default(),
+        "reference".into(),
+    ));
+    for workers in [1usize, 2, 3, 4, 6] {
+        for batch in [1usize, 18, 72, 288] {
+            for kernel in [DctKind::FastAan, DctKind::FastSimd] {
+                let cfg = MjpegAppConfig {
+                    idct_count: workers,
+                    blocks_per_msg: batch,
+                    kernel,
+                    payload_pool: true,
+                    ..Default::default()
+                };
+                let label = format!("w{workers}_b{batch}_{}", kernel_name(kernel));
+                runs.push(measure_stream(frames, &cfg, label));
+            }
+        }
+    }
+    // Least-loaded dispatch at the fastest batch/kernel point.
+    for workers in [2usize, 3, 6] {
+        let cfg = MjpegAppConfig {
+            idct_count: workers,
+            blocks_per_msg: 72,
+            kernel: DctKind::FastSimd,
+            dispatch: DispatchPolicy::LeastLoaded,
+            payload_pool: true,
+            ..Default::default()
+        };
+        runs.push(measure_stream(frames, &cfg, format!("w{workers}_b72_fast_simd_ll")));
+    }
+    for r in &runs {
+        println!(
+            "{:<22} workers={} batch={:<3} kernel={:<15} dispatch={:<12} {:>10.0} blocks/s  ({:.4} s)",
+            r.label, r.workers, r.blocks_per_msg, r.kernel, r.dispatch, r.blocks_per_s, r.wall_s
+        );
+    }
+    let best = runs
+        .iter()
+        .max_by(|a, b| a.blocks_per_s.total_cmp(&b.blocks_per_s))
+        .expect("nonempty sweep");
+    println!("best: {} at {:.0} blocks/s", best.label, best.blocks_per_s);
+
+    // Allocation proof at a representative pooled cell.
+    let alloc_cfg = MjpegAppConfig {
+        blocks_per_msg: 72,
+        kernel: DctKind::FastSimd,
+        payload_pool: false, // the harness owns the pool below
+        ..Default::default()
+    };
+    let (marginal, per_frame, stats) = marginal_allocs(frames, &alloc_cfg, true);
+    let stats = stats.expect("pooled run returns pool stats");
+    println!(
+        "steady-state marginal allocations: {marginal:+} ({per_frame:+.2}/frame), pool grown {}",
+        stats.grown
+    );
+
+    let pr1 = pr1_optimized_blocks_per_s();
+    if let Some(pr1) = pr1 {
+        println!(
+            "vs BENCH_pr1.json optimized ({:.0} blocks/s): {:.2}x",
+            pr1,
+            best.blocks_per_s / pr1
+        );
+    }
+    let (sse2, avx2) = cpu_features();
+    let runs_json = runs.iter().map(sweep_run_json).collect::<Vec<_>>().join(",\n    ");
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"benchmark\": \"smp_mjpeg_scaling_sweep\",\n",
+            "  \"workload\": \"table1\",\n",
+            "  \"frames\": {},\n",
+            "  \"git_rev\": \"{}\",\n",
+            "  \"host_cores\": {},\n",
+            "  \"cpu_features\": {{ \"simd_level\": \"{}\", \"sse2\": {}, \"avx2\": {} }},\n",
+            "  \"observer_attached\": false,\n",
+            "  \"steady_state_marginal_allocs\": {},\n",
+            "  \"steady_state_allocs_per_frame\": {:.4},\n",
+            "  \"pool\": {{ \"grown\": {}, \"recycled\": {}, \"dropped\": {} }},\n",
+            "  \"runs\": [\n    {}\n  ],\n",
+            "  \"best\": \"{}\",\n",
+            "  \"best_blocks_per_s\": {:.1},\n",
+            "  \"pr1_optimized_blocks_per_s\": {},\n",
+            "  \"speedup_vs_pr1_optimized\": {}\n",
+            "}}\n"
+        ),
+        frames,
+        git_rev(),
+        cores,
+        mjpeg::active_level().name(),
+        sse2,
+        avx2,
+        marginal,
+        per_frame,
+        stats.grown,
+        stats.recycled,
+        stats.dropped,
+        runs_json,
+        best.label,
+        best.blocks_per_s,
+        pr1.map_or("null".into(), |v| format!("{v:.1}")),
+        pr1.map_or("null".into(), |v| format!("{:.3}", best.blocks_per_s / v)),
+    );
+    std::fs::write(out_path, json).expect("write sweep json");
+    println!("wrote {out_path}");
+    println!();
 }
 
 /// `bench-json` — machine-readable before/after throughput of the SMP

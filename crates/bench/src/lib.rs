@@ -53,6 +53,35 @@ pub fn run_smp_mjpeg_with(frames: usize, seed: u64, cfg: &MjpegAppConfig) -> (Ap
     (report, done)
 }
 
+/// Run the SMP MJPEG pipeline on a pre-synthesized stream with **no
+/// observer attached** and, optionally, a caller-owned payload pool.
+///
+/// This is the throughput-measurement entry point: synthesizing the
+/// stream outside the timed (or allocation-counted) region isolates
+/// the pipeline's own cost, and handing in the pool lets the caller
+/// inspect [`embera::PoolStats`] after the run (e.g. to assert the
+/// pool never grew mid-flight). Returns the report plus the number of
+/// frames the probe saw completed.
+pub fn run_smp_mjpeg_stream(
+    stream: MjpegStream,
+    cfg: &MjpegAppConfig,
+    pool: Option<embera::BufferPool>,
+) -> (AppReport, u64) {
+    let (mut app, probe) = build_smp_app(stream, cfg);
+    if let Some(pool) = pool {
+        app.with_buffer_pool(pool);
+    }
+    let report = SmpPlatform::new()
+        .deploy(app.build().expect("valid app"))
+        .expect("deploy")
+        .wait()
+        .expect("run");
+    let done = probe
+        .frames_completed
+        .load(std::sync::atomic::Ordering::SeqCst);
+    (report, done)
+}
+
 /// Run the MPSoC MJPEG pipeline on the simulated three-CPU STi7200.
 pub fn run_mpsoc_mjpeg(frames: usize, seed: u64) -> AppReport {
     let cfg = MjpegAppConfig {

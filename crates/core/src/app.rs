@@ -58,6 +58,11 @@ pub struct AppSpec {
     /// component runtime on every backend (reproducible bit-for-bit on
     /// `embera-inproc`).
     pub faults: Option<FaultPlan>,
+    /// Shared payload buffer pool for zero-allocation steady-state
+    /// messaging ([`AppBuilder::with_buffer_pool`]). Backends that
+    /// support it draw their send-side payload copies from the pool and
+    /// expose it to behaviors through `Ctx::payload_pool`.
+    pub pool: Option<crate::pool::BufferPool>,
 }
 
 impl AppSpec {
@@ -135,6 +140,7 @@ pub struct AppBuilder {
     observer: Option<ObserverConfig>,
     trace: Option<TraceConfig>,
     faults: Option<FaultPlan>,
+    pool: Option<crate::pool::BufferPool>,
 }
 
 impl AppBuilder {
@@ -147,6 +153,7 @@ impl AppBuilder {
             observer: None,
             trace: None,
             faults: None,
+            pool: None,
         }
     }
 
@@ -190,6 +197,16 @@ impl AppBuilder {
     /// plans are discarded.
     pub fn with_faults(&mut self, plan: FaultPlan) -> &mut Self {
         self.faults = (!plan.is_empty()).then_some(plan);
+        self
+    }
+
+    /// Attach a shared payload buffer pool. Backends that support it
+    /// (currently `embera-smp`) serve their send-primitive payload
+    /// copies from the pool and hand it to behaviors through
+    /// `Ctx::payload_pool`, making steady-state messaging allocation
+    /// free once the pool is warm.
+    pub fn with_buffer_pool(&mut self, pool: crate::pool::BufferPool) -> &mut Self {
+        self.pool = Some(pool);
         self
     }
 
@@ -249,6 +266,7 @@ impl AppBuilder {
             has_observer,
             trace: self.trace,
             faults: self.faults,
+            pool: self.pool,
         })
     }
 

@@ -85,6 +85,22 @@ pub trait Ctx {
     /// behaviors (e.g. the observer) use it to exit their loops.
     fn should_stop(&self) -> bool;
 
+    /// The application's shared payload buffer pool, when one is
+    /// attached and the backend supports it (clones share the free
+    /// list). Behaviors that serialize messages query this once at
+    /// start-up; `None` (the default) means plain allocation.
+    fn payload_pool(&self) -> Option<crate::pool::BufferPool> {
+        None
+    }
+
+    /// Queue depth at the far end of required interface `required`
+    /// (messages waiting in the peer's mailbox), when the backend can
+    /// observe it cheaply. Load-aware senders use it to pick the
+    /// least-loaded lane; `None` means the information is unavailable.
+    fn route_depth(&self, _required: &str) -> Option<u64> {
+        None
+    }
+
     /// Send a data payload on a required interface (the paper's `send`
     /// primitive — counted by application-level observation and timed by
     /// middleware-level observation).

@@ -64,6 +64,7 @@ pub mod message;
 pub mod observe;
 pub mod observer;
 pub mod platform;
+pub mod pool;
 pub mod runtime;
 pub mod supervise;
 
@@ -81,5 +82,6 @@ pub use observe::report::{
 pub use observe::stats::ComponentStats;
 pub use observer::{ObservationLog, ObserverBehavior, ObserverConfig, StallRecord, OBSERVER_NAME};
 pub use platform::{AppReport, Platform, RunningApp};
+pub use pool::{BufferPool, PoolStats};
 pub use runtime::{ComponentRuntime, TraceConfig, TraceEventKind, TraceSink};
 pub use supervise::{Escalation, FaultAction, FaultPlan, FaultReport, RestartPolicy};

@@ -153,6 +153,23 @@ pub trait Transport {
     /// only the platform knows (e.g. RTOS per-task CPU time).
     fn refine_reply(&mut self, _reply: &mut ObsReply) {}
 
+    /// The application's shared payload [`BufferPool`], when one was
+    /// attached ([`crate::AppBuilder::with_buffer_pool`]) and this
+    /// backend threads it through. Behaviors draw serialization buffers
+    /// from it and recycle consumed payloads into it; `None` (the
+    /// default) means plain allocation everywhere.
+    fn payload_pool(&self) -> Option<&crate::pool::BufferPool> {
+        None
+    }
+
+    /// Messages currently queued at the *far end* of required interface
+    /// `required` — the peer mailbox's depth, used by load-aware
+    /// dispatchers to pick the least-loaded lane. `None` (the default)
+    /// means the backend cannot observe peer queues cheaply.
+    fn route_depth(&self, _required: &str) -> Option<u64> {
+        None
+    }
+
     /// The component's execution flow is about to end (behavior done and
     /// quiescent service finished).
     fn on_exit(&mut self) {}
@@ -586,6 +603,14 @@ impl<T: Transport> Ctx for RuntimeCtx<'_, T> {
 
     fn should_stop(&self) -> bool {
         self.rt.transport.is_shutdown()
+    }
+
+    fn payload_pool(&self) -> Option<crate::pool::BufferPool> {
+        self.rt.transport.payload_pool().cloned()
+    }
+
+    fn route_depth(&self, required: &str) -> Option<u64> {
+        self.rt.transport.route_depth(required)
     }
 }
 

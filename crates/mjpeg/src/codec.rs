@@ -170,7 +170,7 @@ impl BlockEncoder {
             ac_enc: HuffEncoder::new(&HuffSpec::luma_ac()),
             fast_divisors: match kind {
                 DctKind::ReferenceFloat => None,
-                DctKind::FastAan => Some(fast_quant_divisors(&qtable)),
+                DctKind::FastAan | DctKind::FastSimd => Some(fast_quant_divisors(&qtable)),
             },
             qtable,
             dc_pred: 0,
@@ -209,8 +209,8 @@ impl BlockEncoder {
 /// quantized coefficient blocks. This plus dequantize/reorder is the
 /// paper's Fetch stage.
 pub struct EntropyDecoder<'a> {
-    dc_dec: HuffDecoder,
-    ac_dec: HuffDecoder,
+    dc_dec: &'static HuffDecoder,
+    ac_dec: &'static HuffDecoder,
     reader: BitReader<'a>,
     dc_pred: i32,
     fast: bool,
@@ -230,8 +230,10 @@ impl<'a> EntropyDecoder<'a> {
 
     fn with_mode(data: &'a [u8], fast: bool) -> Self {
         EntropyDecoder {
-            dc_dec: HuffDecoder::new(&HuffSpec::luma_dc()),
-            ac_dec: HuffDecoder::new(&HuffSpec::luma_ac()),
+            // Shared static tables: constructing a decoder is free, so a
+            // per-frame EntropyDecoder costs no allocation.
+            dc_dec: crate::huffman::luma_dc_decoder(),
+            ac_dec: crate::huffman::luma_ac_decoder(),
             reader: BitReader::new(data),
             dc_pred: 0,
             fast,
@@ -242,8 +244,8 @@ impl<'a> EntropyDecoder<'a> {
     pub fn next_block(&mut self) -> Result<[i16; BLOCK_SIZE], OutOfBits> {
         let (zz, dc) = decode_block_mode(
             &mut self.reader,
-            &self.dc_dec,
-            &self.ac_dec,
+            self.dc_dec,
+            self.ac_dec,
             self.dc_pred,
             self.fast,
         )?;
@@ -345,12 +347,17 @@ pub fn decode_frame_with(
                 place_block(&mut frame, width, bi, &px);
             }
         }
-        DctKind::FastAan => {
+        DctKind::FastAan | DctKind::FastSimd => {
             let ftable = fast_dequant_table(&qtable);
+            let idct: fn(&[i32; BLOCK_SIZE]) -> [u8; BLOCK_SIZE] = if kind == DctKind::FastSimd {
+                crate::simd::idct_scaled_to_pixels_simd
+            } else {
+                crate::dct::idct_scaled_to_pixels
+            };
             for bi in 0..nblocks {
                 let zz = dec.next_block()?;
                 let coeffs = dequantize_reorder_scaled(&zz, &ftable);
-                let px = crate::dct::idct_scaled_to_pixels(&coeffs);
+                let px = idct(&coeffs);
                 place_block(&mut frame, width, bi, &px);
             }
         }

@@ -139,6 +139,10 @@ pub enum DctKind {
     ReferenceFloat,
     /// Fixed-point AAN butterflies with scales folded into quantization.
     FastAan,
+    /// The AAN butterflies vectorized over i64 SIMD lanes
+    /// ([`crate::simd`]); bit-exact with [`DctKind::FastAan`], falling
+    /// back to it where no vector unit is available.
+    FastSimd,
 }
 
 /// AAN per-frequency scale factors: `aan[0] = 1`, `aan[k] =

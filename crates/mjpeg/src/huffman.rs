@@ -229,6 +229,23 @@ impl HuffDecoder {
     }
 }
 
+/// Process-wide luminance DC decoder (Annex K.3.3.1). The table is
+/// immutable, so hot paths that build an [`crate::codec::EntropyDecoder`]
+/// per frame share one instance instead of re-deriving the canonical
+/// codes and the LUT on every frame — a per-frame allocation the
+/// zero-allocation pipeline cannot afford.
+pub fn luma_dc_decoder() -> &'static HuffDecoder {
+    static DEC: std::sync::OnceLock<HuffDecoder> = std::sync::OnceLock::new();
+    DEC.get_or_init(|| HuffDecoder::new(&HuffSpec::luma_dc()))
+}
+
+/// Process-wide luminance AC decoder (Annex K.3.3.2); see
+/// [`luma_dc_decoder`].
+pub fn luma_ac_decoder() -> &'static HuffDecoder {
+    static DEC: std::sync::OnceLock<HuffDecoder> = std::sync::OnceLock::new();
+    DEC.get_or_init(|| HuffDecoder::new(&HuffSpec::luma_ac()))
+}
+
 /// JPEG magnitude category of a value (number of bits to encode it).
 pub fn category(v: i32) -> u8 {
     let mut m = v.unsigned_abs();

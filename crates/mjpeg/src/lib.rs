@@ -35,6 +35,7 @@ pub mod huffman;
 pub mod jfif;
 pub mod pipeline;
 pub mod quant;
+pub mod simd;
 pub mod workload;
 
 pub use codec::{decode_frame, decode_frame_with, encode_frame, encode_frame_with};
@@ -42,7 +43,8 @@ pub use dct::DctKind;
 pub use jfif::{decode_jfif, encode_jfif_gray, encode_jfif_rgb, JfifImage, JfifPixels};
 pub use frame::{FrameHeader, MjpegStream};
 pub use pipeline::{
-    build_mpsoc_app, build_smp_app, BatchView, FetchBehavior, FetchReorderBehavior, IdctBehavior,
-    MjpegAppConfig, ReorderBehavior, WorkProfile,
+    build_mpsoc_app, build_smp_app, pipeline_pool, BatchView, DispatchPolicy, FetchBehavior,
+    FetchReorderBehavior, IdctBehavior, MjpegAppConfig, ReorderBehavior, WorkProfile,
 };
+pub use simd::{active_level, SimdLevel};
 pub use workload::synthesize_stream;

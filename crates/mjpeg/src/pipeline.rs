@@ -15,13 +15,13 @@
 //! component knows its message budget from the stream length, so the
 //! communication counters contain data messages only.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use bytes::Bytes;
 
-use embera::{AppBuilder, Behavior, ComponentSpec, Ctx, EmberaError, Work, WorkClass};
+use embera::{AppBuilder, Behavior, BufferPool, ComponentSpec, Ctx, EmberaError, Work, WorkClass};
 
 use crate::codec::{place_block, EntropyDecoder};
 use crate::dct::{idct_scaled_to_pixels, idct_to_pixels, DctKind, BLOCK_SIZE};
@@ -62,14 +62,32 @@ impl Default for WorkProfile {
     }
 }
 
-/// Wire format of a coefficient block: frame u32 | block u32 | 64 × i32.
-pub fn encode_coeff_msg(frame: u32, block: u32, coeffs: &[i32; BLOCK_SIZE]) -> Bytes {
-    let mut v = Vec::with_capacity(8 + BLOCK_SIZE * 4);
+/// Stage a coefficient body (64 × i32 LE) in a fixed array: one bulk
+/// append instead of 64 four-byte appends. The fixed-bound staging loop
+/// lowers to straight vector stores on little-endian targets.
+fn coeff_bytes(coeffs: &[i32; BLOCK_SIZE]) -> [u8; BLOCK_SIZE * 4] {
+    let mut raw = [0u8; BLOCK_SIZE * 4];
+    for (i, c) in coeffs.iter().enumerate() {
+        raw[i * 4..(i + 1) * 4].copy_from_slice(&c.to_le_bytes());
+    }
+    raw
+}
+
+/// Serialize a coefficient block into a caller-owned scratch buffer
+/// (cleared first). The hot path reuses one scratch `Vec` per component
+/// so steady-state serialization never allocates.
+fn encode_coeff_into(v: &mut Vec<u8>, frame: u32, block: u32, coeffs: &[i32; BLOCK_SIZE]) {
+    v.clear();
+    v.reserve(8 + BLOCK_SIZE * 4);
     v.extend_from_slice(&frame.to_le_bytes());
     v.extend_from_slice(&block.to_le_bytes());
-    for c in coeffs {
-        v.extend_from_slice(&c.to_le_bytes());
-    }
+    v.extend_from_slice(&coeff_bytes(coeffs));
+}
+
+/// Wire format of a coefficient block: frame u32 | block u32 | 64 × i32.
+pub fn encode_coeff_msg(frame: u32, block: u32, coeffs: &[i32; BLOCK_SIZE]) -> Bytes {
+    let mut v = Vec::new();
+    encode_coeff_into(&mut v, frame, block, coeffs);
     Bytes::from(v)
 }
 
@@ -91,12 +109,19 @@ pub fn decode_coeff_msg(b: &[u8]) -> Result<(u32, u32, [i32; BLOCK_SIZE]), Ember
     Ok((frame, block, coeffs))
 }
 
-/// Wire format of a pixel block: frame u32 | block u32 | 64 × u8.
-pub fn encode_pixel_msg(frame: u32, block: u32, pixels: &[u8; BLOCK_SIZE]) -> Bytes {
-    let mut v = Vec::with_capacity(8 + BLOCK_SIZE);
+/// Serialize a pixel block into a caller-owned scratch buffer.
+fn encode_pixel_into(v: &mut Vec<u8>, frame: u32, block: u32, pixels: &[u8; BLOCK_SIZE]) {
+    v.clear();
+    v.reserve(8 + BLOCK_SIZE);
     v.extend_from_slice(&frame.to_le_bytes());
     v.extend_from_slice(&block.to_le_bytes());
     v.extend_from_slice(pixels);
+}
+
+/// Wire format of a pixel block: frame u32 | block u32 | 64 × u8.
+pub fn encode_pixel_msg(frame: u32, block: u32, pixels: &[u8; BLOCK_SIZE]) -> Bytes {
+    let mut v = Vec::new();
+    encode_pixel_into(&mut v, frame, block, pixels);
     Bytes::from(v)
 }
 
@@ -138,29 +163,90 @@ const TOLERANT_IDLE_NS: u64 = 500_000_000;
 /// boundaries — the SMP Fetch flushes a lane only when it is full,
 /// which is what lets one thread wake-up amortize over many frames.
 pub fn encode_coeff_batch(blocks: &[(u32, u32, [i32; BLOCK_SIZE])]) -> Bytes {
-    let mut v = Vec::with_capacity(4 + blocks.len() * COEFF_REC);
+    let mut v = Vec::new();
+    encode_coeff_batch_into(&mut v, blocks);
+    Bytes::from(v)
+}
+
+/// Serialize a coefficient batch into a caller-owned scratch buffer.
+fn encode_coeff_batch_into(v: &mut Vec<u8>, blocks: &[(u32, u32, [i32; BLOCK_SIZE])]) {
+    v.clear();
+    v.reserve(4 + blocks.len() * COEFF_REC);
     v.extend_from_slice(&(blocks.len() as u32).to_le_bytes());
     for (frame, bi, coeffs) in blocks {
         v.extend_from_slice(&frame.to_le_bytes());
         v.extend_from_slice(&bi.to_le_bytes());
-        for c in coeffs {
-            v.extend_from_slice(&c.to_le_bytes());
-        }
+        v.extend_from_slice(&coeff_bytes(coeffs));
     }
-    Bytes::from(v)
 }
 
 /// Wire format of a pixel **batch**: `count u32 | count ×
 /// (frame u32 | block u32 | 64 × u8)`.
 pub fn encode_pixel_batch(blocks: &[(u32, u32, [u8; BLOCK_SIZE])]) -> Bytes {
-    let mut v = Vec::with_capacity(4 + blocks.len() * PIXEL_REC);
+    let mut v = Vec::new();
+    encode_pixel_batch_into(&mut v, blocks);
+    Bytes::from(v)
+}
+
+/// Serialize a pixel batch into a caller-owned scratch buffer.
+fn encode_pixel_batch_into(v: &mut Vec<u8>, blocks: &[(u32, u32, [u8; BLOCK_SIZE])]) {
+    v.clear();
+    v.reserve(4 + blocks.len() * PIXEL_REC);
     v.extend_from_slice(&(blocks.len() as u32).to_le_bytes());
     for (frame, bi, px) in blocks {
         v.extend_from_slice(&frame.to_le_bytes());
         v.extend_from_slice(&bi.to_le_bytes());
         v.extend_from_slice(px);
     }
-    Bytes::from(v)
+}
+
+// ---------------------------------------------------------------------
+// Exact-size slice writers: the pooled senders serialize directly into
+// a pool-owned window ([`BufferPool::take_with`]) instead of staging
+// through a scratch `Vec` and copying — same wire formats as the Vec
+// serializers above (the pooled-vs-unpooled checksum tests pin the two
+// paths to identical bytes), one full memcpy pass fewer per message.
+// ---------------------------------------------------------------------
+
+/// Write a single-block coefficient message into `dst` (`COEFF_REC` bytes).
+fn write_coeff_msg(dst: &mut [u8], frame: u32, block: u32, coeffs: &[i32; BLOCK_SIZE]) {
+    dst[0..4].copy_from_slice(&frame.to_le_bytes());
+    dst[4..8].copy_from_slice(&block.to_le_bytes());
+    dst[8..COEFF_REC].copy_from_slice(&coeff_bytes(coeffs));
+}
+
+/// Write a coefficient batch into `dst` (`4 + n * COEFF_REC` bytes).
+fn write_coeff_batch(dst: &mut [u8], blocks: &[(u32, u32, [i32; BLOCK_SIZE])]) {
+    dst[0..4].copy_from_slice(&(blocks.len() as u32).to_le_bytes());
+    for (i, (frame, bi, coeffs)) in blocks.iter().enumerate() {
+        let rec = &mut dst[4 + i * COEFF_REC..4 + (i + 1) * COEFF_REC];
+        write_coeff_msg(rec, *frame, *bi, coeffs);
+    }
+}
+
+/// Write a single-block pixel message into `dst` (`PIXEL_REC` bytes).
+fn write_pixel_msg(dst: &mut [u8], frame: u32, block: u32, pixels: &[u8; BLOCK_SIZE]) {
+    dst[0..4].copy_from_slice(&frame.to_le_bytes());
+    dst[4..8].copy_from_slice(&block.to_le_bytes());
+    dst[8..PIXEL_REC].copy_from_slice(pixels);
+}
+
+/// Write a pixel batch into `dst` (`4 + n * PIXEL_REC` bytes).
+fn write_pixel_batch(dst: &mut [u8], blocks: &[(u32, u32, [u8; BLOCK_SIZE])]) {
+    dst[0..4].copy_from_slice(&(blocks.len() as u32).to_le_bytes());
+    for (i, (frame, bi, px)) in blocks.iter().enumerate() {
+        let rec = &mut dst[4 + i * PIXEL_REC..4 + (i + 1) * PIXEL_REC];
+        write_pixel_msg(rec, *frame, *bi, px);
+    }
+}
+
+/// Give a fully consumed message buffer back to the pool (no-op without
+/// one). Callers must drop any [`BatchView`] over the message first, or
+/// the pool will refuse the still-shared buffer.
+fn recycle_msg(pool: Option<&BufferPool>, msg: Bytes) {
+    if let Some(p) = pool {
+        p.recycle(msg);
+    }
 }
 
 /// A parsed batch header over a refcounted message payload. Per-block
@@ -310,6 +396,7 @@ pub struct FetchBehavior {
     profile: WorkProfile,
     blocks_per_msg: usize,
     kernel: DctKind,
+    dispatch: DispatchPolicy,
     /// Tolerant mode: a corrupt frame is decoded in full *before* any of
     /// its blocks is sent, so a mid-frame decode error drops the whole
     /// frame atomically (counted on the probe) instead of failing the
@@ -329,7 +416,7 @@ enum DequantTables {
 fn entropy_decoder(kernel: DctKind, data: &[u8]) -> EntropyDecoder<'_> {
     match kernel {
         DctKind::ReferenceFloat => EntropyDecoder::reference(data),
-        DctKind::FastAan => EntropyDecoder::new(data),
+        DctKind::FastAan | DctKind::FastSimd => EntropyDecoder::new(data),
     }
 }
 
@@ -338,7 +425,9 @@ impl DequantTables {
         let qtable = scaled_qtable(quality);
         match kernel {
             DctKind::ReferenceFloat => DequantTables::Reference(qtable),
-            DctKind::FastAan => DequantTables::Fast(fast_dequant_table(&qtable)),
+            DctKind::FastAan | DctKind::FastSimd => {
+                DequantTables::Fast(fast_dequant_table(&qtable))
+            }
         }
     }
 
@@ -350,24 +439,57 @@ impl DequantTables {
     }
 }
 
+/// How the Fetch side assigns coefficient blocks to IDCT lanes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DispatchPolicy {
+    /// Strict round-robin by block index — the paper's schedule. Every
+    /// lane's message budget is computable from the stream length, which
+    /// is what keeps the Table 2 communication counts exact.
+    #[default]
+    RoundRobin,
+    /// Queue-depth credit: each block goes to the lane with the fewest
+    /// outstanding blocks (transport-reported mailbox depth × batch size
+    /// plus locally buffered blocks, ties broken rotating). Per-lane
+    /// budgets become data-dependent, so the pipeline switches to
+    /// dynamic termination: Fetch ends each lane with an empty sentinel
+    /// message and Reorder drains by total block count. The sentinels
+    /// add one send per lane to the Fetch counters — Table 2 exactness
+    /// is a [`DispatchPolicy::RoundRobin`] property.
+    LeastLoaded,
+}
+
 /// Per-lane coefficient batch buffers for the Fetch side. A lane is
 /// flushed when it holds `blocks_per_msg` blocks; batch size 1
 /// degenerates to the paper's one-message-per-block schedule
 /// (single-block wire format). The free-running SMP Fetch lets batches
-/// span frame boundaries and flushes remainders once at stream end
-/// ([`BatchSender::finish`]); the MPSoC merged component round-trips
-/// every frame and therefore flushes at each frame end
-/// ([`BatchSender::flush_all`]).
+/// span frame boundaries and flushes remainders once at stream end;
+/// the MPSoC merged component round-trips every frame and therefore
+/// flushes at each frame end ([`BatchSender::flush_all`]).
 struct BatchSender {
     batch: usize,
     lanes: Vec<Vec<(u32, u32, [i32; BLOCK_SIZE])>>,
+    dispatch: DispatchPolicy,
+    /// Rotating tie-break start for least-loaded lane picks, so an idle
+    /// pipeline does not funnel every block into lane 0.
+    next_lane: usize,
+    scratch: Vec<u8>,
+    pool: Option<BufferPool>,
 }
 
 impl BatchSender {
-    fn new(n_lanes: usize, batch: usize) -> Self {
+    fn new(
+        n_lanes: usize,
+        batch: usize,
+        dispatch: DispatchPolicy,
+        pool: Option<BufferPool>,
+    ) -> Self {
         BatchSender {
             batch: batch.max(1),
             lanes: vec![Vec::with_capacity(batch.max(1)); n_lanes],
+            dispatch,
+            next_lane: 0,
+            scratch: Vec::new(),
+            pool,
         }
     }
 
@@ -380,14 +502,56 @@ impl BatchSender {
         if self.lanes[lane].is_empty() {
             return Ok(());
         }
-        let msg = if self.batch == 1 {
-            let (frame, bi, coeffs) = self.lanes[lane][0];
-            encode_coeff_msg(frame, bi, &coeffs)
+        let msg = if let Some(pool) = self.pool.as_ref() {
+            // Pooled path serializes straight into the pool-owned buffer:
+            // no scratch staging, no extra memcpy pass.
+            let blocks = &self.lanes[lane];
+            if self.batch == 1 {
+                let (frame, bi, coeffs) = &blocks[0];
+                pool.take_with(COEFF_REC, |dst| write_coeff_msg(dst, *frame, *bi, coeffs))
+            } else {
+                pool.take_with(4 + blocks.len() * COEFF_REC, |dst| {
+                    write_coeff_batch(dst, blocks)
+                })
+            }
         } else {
-            encode_coeff_batch(&self.lanes[lane])
+            if self.batch == 1 {
+                let (frame, bi, coeffs) = self.lanes[lane][0];
+                encode_coeff_into(&mut self.scratch, frame, bi, &coeffs);
+            } else {
+                encode_coeff_batch_into(&mut self.scratch, &self.lanes[lane]);
+            }
+            Bytes::copy_from_slice(&self.scratch)
         };
         self.lanes[lane].clear();
         ctx.send(&ifaces[lane], msg)
+    }
+
+    /// Lane choice for one block, per the dispatch policy. Least-loaded
+    /// weighs the transport's queue depth (in messages, scaled by the
+    /// batch size) plus blocks buffered locally; backends that cannot
+    /// report depth (no [`Ctx::route_depth`]) degrade to the local
+    /// buffer counts, which rotation then keeps balanced.
+    fn pick_lane(&mut self, ctx: &mut dyn Ctx, ifaces: &[String], bi: u32) -> usize {
+        let n = self.lanes.len();
+        match self.dispatch {
+            DispatchPolicy::RoundRobin => bi as usize % n,
+            DispatchPolicy::LeastLoaded => {
+                let mut best = self.next_lane % n;
+                let mut best_load = u64::MAX;
+                for off in 0..n {
+                    let lane = (self.next_lane + off) % n;
+                    let queued = ctx.route_depth(&ifaces[lane]).unwrap_or(0);
+                    let load = queued * self.batch as u64 + self.lanes[lane].len() as u64;
+                    if load < best_load {
+                        best_load = load;
+                        best = lane;
+                    }
+                }
+                self.next_lane = (best + 1) % n;
+                best
+            }
+        }
     }
 
     fn push(
@@ -398,7 +562,7 @@ impl BatchSender {
         bi: u32,
         coeffs: [i32; BLOCK_SIZE],
     ) -> Result<(), EmberaError> {
-        let lane = bi as usize % self.lanes.len();
+        let lane = self.pick_lane(ctx, ifaces, bi);
         self.lanes[lane].push((frame, bi, coeffs));
         if self.lanes[lane].len() >= self.batch {
             self.flush_lane(ctx, ifaces, lane)?;
@@ -411,6 +575,15 @@ impl BatchSender {
     fn flush_all(&mut self, ctx: &mut dyn Ctx, ifaces: &[String]) -> Result<(), EmberaError> {
         for lane in 0..self.lanes.len() {
             self.flush_lane(ctx, ifaces, lane)?;
+        }
+        Ok(())
+    }
+
+    /// End-of-stream sentinels for dynamic termination: one empty
+    /// message per lane, telling each IDCT its input is exhausted.
+    fn send_sentinels(&mut self, ctx: &mut dyn Ctx, ifaces: &[String]) -> Result<(), EmberaError> {
+        for iface in ifaces {
+            ctx.send(iface, Bytes::new())?;
         }
         Ok(())
     }
@@ -437,6 +610,7 @@ impl FetchBehavior {
             profile,
             blocks_per_msg: blocks_per_msg.max(1),
             kernel,
+            dispatch: DispatchPolicy::RoundRobin,
             tolerant: None,
         }
     }
@@ -446,6 +620,14 @@ impl FetchBehavior {
     /// of aborting the component.
     pub fn tolerant(mut self, probe: PipelineProbe) -> Self {
         self.tolerant = Some(probe);
+        self
+    }
+
+    /// Select the lane dispatch policy (default strict round-robin).
+    /// Least-loaded dispatch appends one empty sentinel message per lane
+    /// at stream end so dynamically terminated IDCTs know to stop.
+    pub fn dispatch(mut self, policy: DispatchPolicy) -> Self {
+        self.dispatch = policy;
         self
     }
 
@@ -463,7 +645,12 @@ impl FetchBehavior {
             self.profile.file_mgmt_ops_per_frame,
         ));
 
-        let mut sender = BatchSender::new(n_idct, self.blocks_per_msg);
+        let mut sender = BatchSender::new(
+            n_idct,
+            self.blocks_per_msg,
+            self.dispatch,
+            ctx.payload_pool(),
+        );
         for (t, frame) in self.stream.frames.iter().enumerate().skip(1) {
             ctx.compute(Work::ops(
                 WorkClass::Control,
@@ -520,6 +707,9 @@ impl FetchBehavior {
         // Stream end: flush partially filled lanes. Batches span frame
         // boundaries, so this is the only remainder flush of the run.
         sender.flush_all(ctx, &self.out_ifaces)?;
+        if self.dispatch == DispatchPolicy::LeastLoaded {
+            sender.send_sentinels(ctx, &self.out_ifaces)?;
+        }
         Ok(())
     }
 }
@@ -545,6 +735,10 @@ pub struct IdctBehavior {
     /// mid-stream without deadlocking on messages its first incarnation
     /// already consumed.
     tolerant: bool,
+    /// Dynamic termination (least-loaded dispatch): the per-lane message
+    /// budget is data-dependent, so ignore `expected` and drain until
+    /// the sender's empty sentinel message arrives.
+    dynamic: bool,
 }
 
 impl IdctBehavior {
@@ -577,6 +771,7 @@ impl IdctBehavior {
             blocks_per_msg: blocks_per_msg.max(1),
             kernel,
             tolerant: false,
+            dynamic: false,
         }
     }
 
@@ -587,10 +782,19 @@ impl IdctBehavior {
         self
     }
 
+    /// Enable dynamic termination (for least-loaded dispatch): drain the
+    /// input until the sender's empty sentinel message instead of
+    /// expecting a fixed message count.
+    pub fn dynamic(mut self) -> Self {
+        self.dynamic = true;
+        self
+    }
+
     fn transform(&self, coeffs: &[i32; BLOCK_SIZE]) -> [u8; BLOCK_SIZE] {
         match self.kernel {
             DctKind::ReferenceFloat => idct_to_pixels(coeffs),
             DctKind::FastAan => idct_scaled_to_pixels(coeffs),
+            DctKind::FastSimd => crate::simd::idct_scaled_to_pixels_simd(coeffs),
         }
     }
 
@@ -599,6 +803,8 @@ impl IdctBehavior {
         ctx: &mut dyn Ctx,
         msg: &Bytes,
         out: &mut Vec<(u32, u32, [u8; BLOCK_SIZE])>,
+        scratch: &mut Vec<u8>,
+        pool: Option<&BufferPool>,
     ) -> Result<(), EmberaError> {
         if self.blocks_per_msg == 1 {
             let (frame, block, coeffs) = decode_coeff_msg(msg)?;
@@ -607,7 +813,16 @@ impl IdctBehavior {
                 Work::ops(WorkClass::Dsp, self.profile.idct_ops_per_block)
                     .with_mem(BLOCK_SIZE as u64 * 5),
             );
-            return ctx.send(&self.out_iface, encode_pixel_msg(frame, block, &pixels));
+            let msg = match pool {
+                Some(p) => {
+                    p.take_with(PIXEL_REC, |dst| write_pixel_msg(dst, frame, block, &pixels))
+                }
+                None => {
+                    encode_pixel_into(scratch, frame, block, &pixels);
+                    Bytes::copy_from_slice(scratch)
+                }
+            };
+            return ctx.send(&self.out_iface, msg);
         }
         // Batched path: split the batch into zero-copy block views,
         // transform each, and answer with one pixel batch carrying
@@ -626,13 +841,24 @@ impl IdctBehavior {
             )
             .with_mem(BLOCK_SIZE as u64 * 5 * view.len() as u64),
         );
-        ctx.send(&self.out_iface, encode_pixel_batch(out))
+        let msg = match pool {
+            Some(p) => {
+                p.take_with(4 + out.len() * PIXEL_REC, |dst| write_pixel_batch(dst, out))
+            }
+            None => {
+                encode_pixel_batch_into(scratch, out);
+                Bytes::copy_from_slice(scratch)
+            }
+        };
+        ctx.send(&self.out_iface, msg)
     }
 }
 
 impl Behavior for IdctBehavior {
     fn run(&mut self, ctx: &mut dyn Ctx) -> Result<(), EmberaError> {
         let mut out = Vec::with_capacity(self.blocks_per_msg);
+        let mut scratch = Vec::new();
+        let pool = ctx.payload_pool();
         if self.tolerant {
             loop {
                 let msg = match ctx.recv_timeout(&self.in_iface, TOLERANT_IDLE_NS) {
@@ -640,25 +866,57 @@ impl Behavior for IdctBehavior {
                     Ok(None) | Err(EmberaError::Terminated) => return Ok(()),
                     Err(e) => return Err(e),
                 };
-                self.process_message(ctx, &msg, &mut out)?;
+                if msg.is_empty() {
+                    // Stream-end sentinel (tolerant + least-loaded runs).
+                    recycle_msg(pool.as_ref(), msg);
+                    return Ok(());
+                }
+                self.process_message(ctx, &msg, &mut out, &mut scratch, pool.as_ref())?;
+                recycle_msg(pool.as_ref(), msg);
+            }
+        }
+        if self.dynamic {
+            loop {
+                let msg = ctx.recv(&self.in_iface)?;
+                if msg.is_empty() {
+                    // Stream-end sentinel from the dispatching sender.
+                    recycle_msg(pool.as_ref(), msg);
+                    return Ok(());
+                }
+                self.process_message(ctx, &msg, &mut out, &mut scratch, pool.as_ref())?;
+                recycle_msg(pool.as_ref(), msg);
             }
         }
         for _ in 0..self.expected {
             let msg = ctx.recv(&self.in_iface)?;
-            self.process_message(ctx, &msg, &mut out)?;
+            self.process_message(ctx, &msg, &mut out, &mut scratch, pool.as_ref())?;
+            recycle_msg(pool.as_ref(), msg);
         }
         Ok(())
     }
 }
 
 /// Frame reassembly state shared by Reorder and Fetch-Reorder.
+///
+/// Frames fold into the checksum strictly in frame order via the
+/// `next_out` watermark: under round-robin dispatch frames complete in
+/// order anyway, and under least-loaded dispatch (where lanes drift) a
+/// completed frame parks in `pending` until its predecessors fold — so
+/// the checksum is identical across dispatch policies. Retired frame
+/// buffers go on a free list and are reused, so steady-state reassembly
+/// allocates nothing: every block of a frame is written exactly once
+/// before the frame folds, which is what makes the unzeroed reuse safe.
 struct Assembler {
     width: usize,
     height: usize,
     blocks: usize,
     partial: HashMap<u32, (Vec<u8>, usize)>,
+    /// Completed frames waiting on a slower predecessor, keyed by frame
+    /// index. Empty for the whole run under round-robin dispatch.
+    pending: BTreeMap<u32, Vec<u8>>,
+    /// Retired frame buffers for reuse.
+    free: Vec<Vec<u8>>,
     next_out: u32,
-    done: Vec<u32>,
     probe: PipelineProbe,
 }
 
@@ -669,28 +927,53 @@ impl Assembler {
             height,
             blocks: (width / 8) * (height / 8),
             partial: HashMap::new(),
+            pending: BTreeMap::new(),
+            free: Vec::new(),
             next_out: 1,
-            done: Vec::new(),
             probe,
         }
     }
 
+    /// Fold one completed frame and retire its buffer to the free list.
+    fn fold(&mut self, pixels: Vec<u8>) {
+        self.probe.fold_frame(&pixels);
+        self.free.push(pixels);
+        self.next_out += 1;
+    }
+
     fn add(&mut self, frame: u32, block: u32, pixels: &[u8; BLOCK_SIZE]) {
-        let entry = self
-            .partial
-            .entry(frame)
-            .or_insert_with(|| (vec![0u8; self.width * self.height], 0));
+        if !self.partial.contains_key(&frame) {
+            let buf = self
+                .free
+                .pop()
+                .unwrap_or_else(|| vec![0u8; self.width * self.height]);
+            self.partial.insert(frame, (buf, 0));
+        }
+        let entry = self.partial.get_mut(&frame).unwrap();
         place_block(&mut entry.0, self.width, block as usize, pixels);
         entry.1 += 1;
         if entry.1 == self.blocks {
             let (pixels, _) = self.partial.remove(&frame).unwrap();
-            self.probe.fold_frame(&pixels);
-            self.done.push(frame);
-            // Frames complete in order because blocks are delivered
-            // round-robin in order; track the watermark anyway.
-            while self.done.contains(&self.next_out) {
-                self.next_out += 1;
+            if frame == self.next_out {
+                self.fold(pixels);
+                // A completed frame may have unblocked its successors.
+                while let Some(parked) = self.pending.remove(&self.next_out) {
+                    self.fold(parked);
+                }
+            } else {
+                self.pending.insert(frame, pixels);
             }
+        }
+    }
+
+    /// Fold every parked frame in frame order, skipping over gaps. Used
+    /// at end of a tolerant run: a frame dropped upstream leaves a hole
+    /// the watermark would otherwise wait on forever.
+    fn flush(&mut self) {
+        while let Some((&frame, _)) = self.pending.iter().next() {
+            self.next_out = frame;
+            let pixels = self.pending.remove(&frame).unwrap();
+            self.fold(pixels);
         }
     }
 }
@@ -710,7 +993,15 @@ pub struct ReorderBehavior {
     /// expecting `total_blocks`; frames still incomplete at exit are
     /// counted on `probe.dropped_frames` rather than deadlocking.
     tolerant: bool,
+    /// Dynamic termination (least-loaded dispatch): per-lane message
+    /// budgets are data-dependent, so poll lanes round-robin and stop
+    /// once `total_blocks` blocks have arrived.
+    dynamic: bool,
 }
+
+/// Lane poll slice for dynamically terminated Reorder: long enough to
+/// park rather than spin, short enough to hop to a busier lane quickly.
+const DYNAMIC_POLL_NS: u64 = 200_000;
 
 impl ReorderBehavior {
     /// Reorder expecting `total_blocks` pixel blocks distributed
@@ -746,6 +1037,7 @@ impl ReorderBehavior {
             probe,
             blocks_per_msg: blocks_per_msg.max(1),
             tolerant: false,
+            dynamic: false,
         }
     }
 
@@ -757,15 +1049,31 @@ impl ReorderBehavior {
         self
     }
 
+    /// Enable dynamic termination (for least-loaded dispatch): poll
+    /// lanes and stop after `total_blocks` blocks instead of following
+    /// the round-robin quota schedule.
+    pub fn dynamic(mut self) -> Self {
+        self.dynamic = true;
+        self
+    }
+
     /// Fold one pixel message (single block or batch, per the configured
-    /// wire format) into the assembler, charging reorder work.
-    fn absorb(&self, ctx: &mut dyn Ctx, asm: &mut Assembler, msg: &Bytes) -> Result<(), EmberaError> {
+    /// wire format) into the assembler, charging reorder work. Consumes
+    /// the message and gives its buffer back to the pool; returns the
+    /// number of blocks it carried.
+    fn absorb(
+        &self,
+        ctx: &mut dyn Ctx,
+        asm: &mut Assembler,
+        msg: Bytes,
+        pool: Option<&BufferPool>,
+    ) -> Result<u64, EmberaError> {
         let blocks = if self.blocks_per_msg == 1 {
-            let (frame, block, pixels) = decode_pixel_msg(msg)?;
+            let (frame, block, pixels) = decode_pixel_msg(&msg)?;
             asm.add(frame, block, &pixels);
             1u64
         } else {
-            let view = BatchView::pixels(msg)?;
+            let view = BatchView::pixels(&msg)?;
             for i in 0..view.len() {
                 let (frame, bi, payload) = view.block(i);
                 let mut px = [0u8; BLOCK_SIZE];
@@ -774,6 +1082,7 @@ impl ReorderBehavior {
             }
             view.len() as u64
         };
+        recycle_msg(pool, msg);
         ctx.compute(
             Work::ops(
                 WorkClass::MemCopy,
@@ -781,20 +1090,21 @@ impl ReorderBehavior {
             )
             .with_mem(BLOCK_SIZE as u64 * 2 * blocks),
         );
-        Ok(())
+        Ok(blocks)
     }
 
     /// Tolerant drain: poll lanes round-robin with an idle deadline and
     /// stop after one full round of silence (or shutdown). Whatever is
     /// still partially assembled then was lost upstream — count it.
     fn run_tolerant(&mut self, ctx: &mut dyn Ctx, asm: &mut Assembler) -> Result<(), EmberaError> {
+        let pool = ctx.payload_pool();
         'drain: loop {
             let mut got_any = false;
             for lane in 0..self.in_ifaces.len() {
                 match ctx.recv_timeout(&self.in_ifaces[lane], TOLERANT_IDLE_NS) {
                     Ok(Some(msg)) => {
                         got_any = true;
-                        self.absorb(ctx, asm, &msg)?;
+                        self.absorb(ctx, asm, msg, pool.as_ref())?;
                     }
                     Ok(None) => {}
                     Err(EmberaError::Terminated) => break 'drain,
@@ -805,9 +1115,37 @@ impl ReorderBehavior {
                 break;
             }
         }
+        // A frame dropped upstream leaves a hole in the frame sequence;
+        // fold the completed frames parked behind it before counting
+        // what is still partial.
+        asm.flush();
         let leftover = asm.partial.len() as u64;
         if leftover > 0 {
             self.probe.dropped_frames.fetch_add(leftover, Ordering::AcqRel);
+        }
+        Ok(())
+    }
+
+    /// Dynamic drain (least-loaded dispatch): lanes owe no fixed quota,
+    /// so poll them round-robin with a short slice until the stream's
+    /// full block count has arrived.
+    fn run_dynamic(&mut self, ctx: &mut dyn Ctx, asm: &mut Assembler) -> Result<(), EmberaError> {
+        let pool = ctx.payload_pool();
+        let mut received = 0u64;
+        'drain: while received < self.total_blocks {
+            for lane in 0..self.in_ifaces.len() {
+                match ctx.recv_timeout(&self.in_ifaces[lane], DYNAMIC_POLL_NS) {
+                    Ok(Some(msg)) => {
+                        received += self.absorb(ctx, asm, msg, pool.as_ref())?;
+                        if received >= self.total_blocks {
+                            break 'drain;
+                        }
+                    }
+                    Ok(None) => {}
+                    Err(EmberaError::Terminated) => break 'drain,
+                    Err(e) => return Err(e),
+                }
+            }
         }
         Ok(())
     }
@@ -821,20 +1159,16 @@ impl Behavior for ReorderBehavior {
         if self.tolerant {
             return self.run_tolerant(ctx, &mut asm);
         }
+        if self.dynamic {
+            return self.run_dynamic(ctx, &mut asm);
+        }
+        let pool = ctx.payload_pool();
         if self.blocks_per_msg == 1 {
             for i in 0..self.total_blocks {
                 // Global block index within its frame selects the lane.
                 let lane = (i as usize % per_frame) % n;
                 let msg = ctx.recv(&self.in_ifaces[lane])?;
-                let (frame, block, pixels) = decode_pixel_msg(&msg)?;
-                ctx.compute(
-                    Work::ops(
-                        WorkClass::MemCopy,
-                        BLOCK_SIZE as u64 * self.profile.reorder_ops_per_pixel,
-                    )
-                    .with_mem(BLOCK_SIZE as u64 * 2),
-                );
-                asm.add(frame, block, &pixels);
+                self.absorb(ctx, &mut asm, msg, pool.as_ref())?;
             }
             return Ok(());
         }
@@ -864,22 +1198,7 @@ impl Behavior for ReorderBehavior {
                     continue;
                 }
                 let msg = ctx.recv(&self.in_ifaces[lane])?;
-                let view = BatchView::pixels(&msg)?;
-                for i in 0..view.len() {
-                    let (frame, bi, payload) = view.block(i);
-                    let mut px = [0u8; BLOCK_SIZE];
-                    px.copy_from_slice(&payload);
-                    asm.add(frame, bi, &px);
-                }
-                ctx.compute(
-                    Work::ops(
-                        WorkClass::MemCopy,
-                        BLOCK_SIZE as u64
-                            * self.profile.reorder_ops_per_pixel
-                            * view.len() as u64,
-                    )
-                    .with_mem(BLOCK_SIZE as u64 * 2 * view.len() as u64),
-                );
+                self.absorb(ctx, &mut asm, msg, pool.as_ref())?;
             }
         }
         Ok(())
@@ -954,7 +1273,11 @@ impl Behavior for FetchReorderBehavior {
             WorkClass::Control,
             self.profile.file_mgmt_ops_per_frame,
         ));
-        let mut sender = BatchSender::new(n, batch);
+        let pool = ctx.payload_pool();
+        // The merged component's per-frame round trip is inherently a
+        // full-barrier schedule; least-loaded dispatch is an SMP-builder
+        // feature, so the sender always deals round-robin here.
+        let mut sender = BatchSender::new(n, batch, DispatchPolicy::RoundRobin, pool.clone());
         for (t, frame) in self.stream.frames.iter().enumerate().skip(1) {
             ctx.compute(Work::ops(
                 WorkClass::Control,
@@ -992,6 +1315,7 @@ impl Behavior for FetchReorderBehavior {
                     let lane = bi % n;
                     let msg = ctx.recv(&self.in_ifaces[lane])?;
                     let (f, b, pixels) = decode_pixel_msg(&msg)?;
+                    recycle_msg(pool.as_ref(), msg);
                     ctx.compute(
                         Work::ops(
                             WorkClass::MemCopy,
@@ -1006,21 +1330,23 @@ impl Behavior for FetchReorderBehavior {
                     let msgs = lane_msgs_per_frame(lane_share(blocks as u64, n, lane), batch);
                     for _ in 0..msgs {
                         let msg = ctx.recv(in_iface)?;
-                        let view = BatchView::pixels(&msg)?;
-                        for i in 0..view.len() {
-                            let (f, bi, payload) = view.block(i);
-                            let mut px = [0u8; BLOCK_SIZE];
-                            px.copy_from_slice(&payload);
-                            asm.add(f, bi, &px);
-                        }
+                        let count = {
+                            let view = BatchView::pixels(&msg)?;
+                            for i in 0..view.len() {
+                                let (f, bi, payload) = view.block(i);
+                                let mut px = [0u8; BLOCK_SIZE];
+                                px.copy_from_slice(&payload);
+                                asm.add(f, bi, &px);
+                            }
+                            view.len() as u64
+                        };
+                        recycle_msg(pool.as_ref(), msg);
                         ctx.compute(
                             Work::ops(
                                 WorkClass::MemCopy,
-                                BLOCK_SIZE as u64
-                                    * self.profile.reorder_ops_per_pixel
-                                    * view.len() as u64,
+                                BLOCK_SIZE as u64 * self.profile.reorder_ops_per_pixel * count,
                             )
-                            .with_mem(BLOCK_SIZE as u64 * 2 * view.len() as u64),
+                            .with_mem(BLOCK_SIZE as u64 * 2 * count),
                         );
                     }
                 }
@@ -1046,8 +1372,22 @@ pub struct MjpegAppConfig {
     pub blocks_per_msg: usize,
     /// Which (I)DCT kernel the pipeline runs. The reference float kernel
     /// is the default; [`DctKind::FastAan`] selects the fixed-point AAN
-    /// fast path with dequantization folded into prescaled tables.
+    /// fast path with dequantization folded into prescaled tables;
+    /// [`DctKind::FastSimd`] adds runtime-detected SSE2/AVX2 vectors on
+    /// top of the same arithmetic.
     pub kernel: DctKind,
+    /// How Fetch deals blocks over the IDCT lanes. The round-robin
+    /// default is the paper's schedule with exact Table 2 counts;
+    /// [`DispatchPolicy::LeastLoaded`] balances by queue depth and
+    /// switches the SMP pipeline to dynamic (sentinel / block-count)
+    /// termination. The MPSoC merged builder ignores this (its
+    /// per-frame round trip is already a barrier schedule).
+    pub dispatch: DispatchPolicy,
+    /// Attach a shared payload [`BufferPool`] sized to the configured
+    /// batch so steady-state messaging allocates nothing on backends
+    /// that support pooling (the threaded SMP transport). Default off:
+    /// identical behavior, one heap allocation per serialized message.
+    pub payload_pool: bool,
     /// Graceful degradation for the SMP pipeline: a corrupt frame is
     /// skipped by Fetch (counted on [`PipelineProbe::dropped_frames`]),
     /// IDCTs drain their input until idle instead of expecting a fixed
@@ -1068,9 +1408,22 @@ impl Default for MjpegAppConfig {
             stack_bytes: 8_392_000,
             blocks_per_msg: 1,
             kernel: DctKind::ReferenceFloat,
+            dispatch: DispatchPolicy::default(),
+            payload_pool: false,
             tolerate_corrupt_frames: false,
         }
     }
+}
+
+/// Buffer pool sized for a pipeline configuration: one size class that
+/// fits the largest message (a full coefficient batch; single-block and
+/// pixel messages are smaller and ride in the same buffers).
+pub fn pipeline_pool(cfg: &MjpegAppConfig) -> BufferPool {
+    let pool = BufferPool::new(4 + cfg.blocks_per_msg.max(1) * COEFF_REC);
+    // Enough buffers for the in-flight window of every lane plus slack;
+    // the pool grows on demand if a queue builds deeper.
+    pool.prewarm(16 * (cfg.idct_count + 2));
+    pool
 }
 
 /// Build the SMP application (paper Figures 1 & 3): Fetch, `idct_count`
@@ -1085,6 +1438,9 @@ pub fn build_smp_app(stream: MjpegStream, cfg: &MjpegAppConfig) -> (AppBuilder, 
     let total_blocks = frames_forwarded * blocks;
 
     let mut app = AppBuilder::new("MJPEG");
+    if cfg.payload_pool {
+        app.with_buffer_pool(pipeline_pool(cfg));
+    }
     let fetch_outs: Vec<String> = (1..=cfg.idct_count)
         .map(|k| format!("fetchIdct{k}"))
         .collect();
@@ -1094,7 +1450,8 @@ pub fn build_smp_app(stream: MjpegStream, cfg: &MjpegAppConfig) -> (AppBuilder, 
         cfg.profile,
         cfg.blocks_per_msg,
         cfg.kernel,
-    );
+    )
+    .dispatch(cfg.dispatch);
     if cfg.tolerate_corrupt_frames {
         fetch_behavior = fetch_behavior.tolerant(probe.clone());
     }
@@ -1120,6 +1477,9 @@ pub fn build_smp_app(stream: MjpegStream, cfg: &MjpegAppConfig) -> (AppBuilder, 
             cfg.blocks_per_msg,
             cfg.kernel,
         );
+        if cfg.dispatch == DispatchPolicy::LeastLoaded {
+            idct = idct.dynamic();
+        }
         if cfg.tolerate_corrupt_frames {
             idct = idct.tolerant();
         }
@@ -1149,6 +1509,9 @@ pub fn build_smp_app(stream: MjpegStream, cfg: &MjpegAppConfig) -> (AppBuilder, 
         probe.clone(),
         cfg.blocks_per_msg,
     );
+    if cfg.dispatch == DispatchPolicy::LeastLoaded {
+        reorder_behavior = reorder_behavior.dynamic();
+    }
     if cfg.tolerate_corrupt_frames {
         reorder_behavior = reorder_behavior.tolerant();
     }
@@ -1180,6 +1543,9 @@ pub fn build_mpsoc_app(stream: MjpegStream, cfg: &MjpegAppConfig) -> (AppBuilder
     let frames_forwarded = stream.len().saturating_sub(1) as u64;
 
     let mut app = AppBuilder::new("MJPEG-MPSoC");
+    if cfg.payload_pool {
+        app.with_buffer_pool(pipeline_pool(cfg));
+    }
     let outs: Vec<String> = (1..=cfg.idct_count)
         .map(|k| format!("fetchIdct{k}"))
         .collect();
@@ -1470,6 +1836,82 @@ mod tests {
             let r = report.component(&format!("IDCT_{k}")).unwrap();
             assert_eq!(r.app.total_receives, 6);
             assert_eq!(r.app.total_sends, 6);
+        }
+    }
+
+    #[test]
+    fn pooled_pipeline_is_invisible_to_output_and_counters() {
+        // Attaching the payload pool must change nothing observable:
+        // same checksum, same Table 2 message counts at batch size 1.
+        let stream = small_stream(11);
+        let (ref_app, ref_probe) = build_smp_app(stream.clone(), &MjpegAppConfig::default());
+        SmpPlatform::new().deploy(ref_app.build().unwrap()).unwrap().wait().unwrap();
+
+        let cfg = MjpegAppConfig {
+            payload_pool: true,
+            ..MjpegAppConfig::default()
+        };
+        let (app, probe) = build_smp_app(stream, &cfg);
+        let report = SmpPlatform::new().deploy(app.build().unwrap()).unwrap().wait().unwrap();
+        assert_eq!(probe.frames_completed.load(Ordering::SeqCst), 10);
+        assert_eq!(
+            probe.checksum.load(Ordering::SeqCst),
+            ref_probe.checksum.load(Ordering::SeqCst),
+            "pooling changed the decoded pixels"
+        );
+        assert_eq!(report.component("Fetch").unwrap().app.total_sends, 180);
+        assert_eq!(report.component("Reorder").unwrap().app.total_receives, 180);
+    }
+
+    #[test]
+    fn least_loaded_dispatch_same_checksum_as_round_robin() {
+        // Least-loaded dispatch reshuffles which lane carries which
+        // block, but every block is position-tagged and the assembler
+        // folds frames in frame order — the checksum must be identical.
+        let stream = small_stream(9);
+        let (ref_app, ref_probe) = build_smp_app(stream.clone(), &MjpegAppConfig::default());
+        SmpPlatform::new().deploy(ref_app.build().unwrap()).unwrap().wait().unwrap();
+
+        for batch in [1usize, 5] {
+            let cfg = MjpegAppConfig {
+                dispatch: DispatchPolicy::LeastLoaded,
+                blocks_per_msg: batch,
+                payload_pool: true,
+                ..MjpegAppConfig::default()
+            };
+            let (app, probe) = build_smp_app(stream.clone(), &cfg);
+            SmpPlatform::new().deploy(app.build().unwrap()).unwrap().wait().unwrap();
+            assert_eq!(
+                probe.frames_completed.load(Ordering::SeqCst),
+                8,
+                "batch {batch}: least-loaded run lost frames"
+            );
+            assert_eq!(
+                probe.checksum.load(Ordering::SeqCst),
+                ref_probe.checksum.load(Ordering::SeqCst),
+                "batch {batch}: least-loaded dispatch changed the decoded pixels"
+            );
+        }
+    }
+
+    #[test]
+    fn worker_counts_1_and_6_same_checksum() {
+        let stream = small_stream(7);
+        let (ref_app, ref_probe) = build_smp_app(stream.clone(), &MjpegAppConfig::default());
+        SmpPlatform::new().deploy(ref_app.build().unwrap()).unwrap().wait().unwrap();
+        for n in [1usize, 6] {
+            let cfg = MjpegAppConfig {
+                idct_count: n,
+                ..MjpegAppConfig::default()
+            };
+            let (app, probe) = build_smp_app(stream.clone(), &cfg);
+            SmpPlatform::new().deploy(app.build().unwrap()).unwrap().wait().unwrap();
+            assert_eq!(probe.frames_completed.load(Ordering::SeqCst), 6);
+            assert_eq!(
+                probe.checksum.load(Ordering::SeqCst),
+                ref_probe.checksum.load(Ordering::SeqCst),
+                "{n}-worker topology changed the decoded pixels"
+            );
         }
     }
 

@@ -168,6 +168,47 @@ proptest! {
         }
     }
 
+    /// The runtime-dispatched SIMD IDCT must be **byte-identical** to
+    /// the scalar fixed-point AAN kernel on arbitrary prescaled
+    /// coefficients — vectorization is a pure implementation detail.
+    /// The input range covers well beyond anything dequantization can
+    /// produce, so the saturating store path is exercised too.
+    #[test]
+    fn simd_idct_is_byte_identical_to_scalar(
+        coeffs in prop::collection::vec(-(1i32 << 22)..=(1 << 22), BLOCK_SIZE)
+    ) {
+        let mut c = [0i32; BLOCK_SIZE];
+        c.copy_from_slice(&coeffs);
+        let scalar = mjpeg::dct::idct_scaled_to_pixels(&c);
+        let simd = mjpeg::simd::idct_scaled_to_pixels_simd(&c);
+        prop_assert_eq!(
+            &scalar[..], &simd[..],
+            "SIMD level {:?} diverged from scalar", mjpeg::active_level()
+        );
+    }
+
+    /// The bulk YCbCr→RGB conversion (vectorized where the host allows)
+    /// must be byte-identical to the per-pixel scalar formula for any
+    /// plane contents, including the clamp edges at 0 and 255.
+    #[test]
+    fn simd_color_conversion_is_byte_identical_to_scalar(
+        px in prop::collection::vec((0u8..=255, 0u8..=255, 0u8..=255), 1..100)
+    ) {
+        let y: Vec<u8> = px.iter().map(|p| p.0).collect();
+        let cb: Vec<u8> = px.iter().map(|p| p.1).collect();
+        let cr: Vec<u8> = px.iter().map(|p| p.2).collect();
+        let mut out = vec![0u8; px.len() * 3];
+        mjpeg::color::ycbcr_to_rgb_slice(&y, &cb, &cr, &mut out);
+        for (i, &(yy, cbb, crr)) in px.iter().enumerate() {
+            let (r, g, b) = mjpeg::color::ycbcr_to_rgb(yy, cbb, crr);
+            prop_assert_eq!(
+                (out[i * 3], out[i * 3 + 1], out[i * 3 + 2]),
+                (r, g, b),
+                "pixel {} differs (SIMD level {:?})", i, mjpeg::active_level()
+            );
+        }
+    }
+
     /// The two-level LUT Huffman decoder produces exactly the same
     /// quantized blocks — and consumes exactly the same bits — as the
     /// bit-serial reference decoder on any encodable image.
@@ -192,5 +233,22 @@ proptest! {
             prop_assert_eq!(&a[..], &b[..], "block {} differs", block);
             prop_assert_eq!(lut.bits_consumed(), bitwise.bits_consumed());
         }
+    }
+}
+
+/// Deterministic saturation edges the random sampler might miss: a DC
+/// coefficient at either extreme with all-zero AC drives every output
+/// pixel to the clamp rails, where scalar and SIMD must still agree.
+#[test]
+fn simd_idct_saturation_edges_match_scalar() {
+    use mjpeg::dct::BLOCK_SIZE;
+    for dc in [i32::MIN / 2, -(1 << 24), -8192, 0, 8192, 1 << 24, i32::MAX / 2] {
+        let mut c = [0i32; BLOCK_SIZE];
+        c[0] = dc;
+        assert_eq!(
+            mjpeg::dct::idct_scaled_to_pixels(&c)[..],
+            mjpeg::simd::idct_scaled_to_pixels_simd(&c)[..],
+            "dc {dc}: SIMD diverged at saturation edge"
+        );
     }
 }

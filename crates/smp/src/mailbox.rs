@@ -89,7 +89,12 @@ impl Mailbox {
     pub fn new(name: impl Into<String>, kind: MailboxKind) -> Self {
         let imp = match kind {
             MailboxKind::MutexCondvar => Impl::Mutex {
-                queue: Mutex::new(VecDeque::new()),
+                // Pre-size the ring: queue depth past 64 means the
+                // receiver is already far behind, and the up-front
+                // capacity keeps the steady-state hot path free of
+                // reallocation (the bench crate's zero-allocation
+                // check counts on it).
+                queue: Mutex::new(VecDeque::with_capacity(64)),
                 nonempty: Condvar::new(),
             },
             MailboxKind::SegQueue => Impl::Seg {

@@ -167,6 +167,7 @@ impl Platform for SmpPlatform {
                 observe: self.config.observe,
                 finish: Arc::clone(&finish),
                 is_app_component: c.name != OBSERVER_NAME,
+                pool: spec.pool.clone(),
             };
             let mut runtime = ComponentRuntime::new(
                 c.name.clone(),

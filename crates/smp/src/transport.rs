@@ -93,6 +93,10 @@ pub(crate) struct SmpTransport {
     pub(crate) observe: bool,
     pub(crate) finish: Arc<(Mutex<FinishState>, Condvar)>,
     pub(crate) is_app_component: bool,
+    /// Application-wide payload pool ([`embera::AppSpec::pool`]): the
+    /// send-primitive copy is drawn from it and the sender's original
+    /// buffer recycled into it, so warm steady state allocates nothing.
+    pub(crate) pool: Option<embera::BufferPool>,
 }
 
 impl Transport for SmpTransport {
@@ -118,9 +122,18 @@ impl Transport for SmpTransport {
         // The paper's mailbox send copies the message into the FIFO —
         // that copy is what makes Figure 4 linear in message size. A
         // refcounted clone would hide it, so materialize a real copy of
-        // data payloads inside the timed region.
+        // data payloads inside the timed region. With a pool attached
+        // the copy lands in a recycled buffer and the sender's original
+        // goes back on the free list — same copy, no allocation.
         let msg = match msg {
-            Message::Data(payload) => Message::Data(bytes::Bytes::from(payload.as_ref().to_vec())),
+            Message::Data(payload) => Message::Data(match &self.pool {
+                Some(pool) => {
+                    let copied = pool.take_from(payload.as_ref());
+                    pool.recycle(payload);
+                    copied
+                }
+                None => bytes::Bytes::from(payload.as_ref().to_vec()),
+            }),
             other => other,
         };
         route.push(msg);
@@ -256,6 +269,14 @@ impl Transport for SmpTransport {
 
     fn delay(&mut self, ns: u64) {
         std::thread::sleep(Duration::from_nanos(ns));
+    }
+
+    fn payload_pool(&self) -> Option<&embera::BufferPool> {
+        self.pool.as_ref()
+    }
+
+    fn route_depth(&self, required: &str) -> Option<u64> {
+        self.routes.get(required).map(|mb| mb.len() as u64)
     }
 
     fn drain_inboxes(&mut self) {

@@ -286,6 +286,7 @@ fn error_contract_is_identical_on_every_backend() {
             has_observer: false,
             trace: None,
             faults: None,
+            pool: None,
         };
         run(spec).unwrap_or_else(|e| panic!("[{backend}] {e}"));
     }
@@ -315,4 +316,73 @@ fn unmodified_mjpeg_behaviors_deploy_on_inproc() {
     let inp = run(|spec| InprocPlatform::new().deploy(spec)?.wait());
     assert!(smp.0 > 0, "pipeline decoded no frames");
     assert_eq!(smp, inp, "(frames, checksum, sends, receives) must match");
+}
+
+#[test]
+fn mjpeg_worker_counts_agree_across_backends() {
+    // The N-worker generalization must be invisible to everything but
+    // the per-lane split: for N ∈ {1, 3, 6} IDCT workers, every backend
+    // must decode the same frames to the same checksum, the Table-2
+    // count structure (Fetch sends 18·(F−1), each IDCT k handles its
+    // round-robin share, Reorder receives 18·(F−1)) must hold exactly,
+    // and the three backends must agree bit-for-bit per N.
+    const FRAMES: usize = 4;
+    let fwd = (FRAMES - 1) as u64;
+    let mut checksums = Vec::new();
+    for n in [1usize, 3, 6] {
+        let cfg = mjpeg::MjpegAppConfig {
+            idct_count: n,
+            ..mjpeg::MjpegAppConfig::default()
+        };
+        let run = |platform_run: &dyn Fn(AppSpec) -> Result<AppReport, EmberaError>| {
+            let stream = mjpeg::synthesize_stream(FRAMES, 48, 24, 75, 9);
+            let (app, probe) = mjpeg::build_smp_app(stream, &cfg);
+            let report = platform_run(app.build().unwrap()).unwrap();
+            assert_eq!(
+                report.component("Fetch").unwrap().app.total_sends,
+                18 * fwd,
+                "{n} workers: Fetch send count"
+            );
+            for k in 1..=n {
+                let share = ((k - 1) as u64..18).step_by(n).count() as u64 * fwd;
+                let r = report.component(&format!("IDCT_{k}")).unwrap();
+                assert_eq!(r.app.total_receives, share, "{n} workers: IDCT_{k} receives");
+                assert_eq!(r.app.total_sends, share, "{n} workers: IDCT_{k} sends");
+            }
+            assert_eq!(
+                report.component("Reorder").unwrap().app.total_receives,
+                18 * fwd,
+                "{n} workers: Reorder receive count"
+            );
+            (
+                probe
+                    .frames_completed
+                    .load(std::sync::atomic::Ordering::Acquire),
+                probe.checksum.load(std::sync::atomic::Ordering::Acquire),
+                report.total_sends(),
+                report.total_receives(),
+            )
+        };
+        let smp = run(&|spec| SmpPlatform::new().deploy(spec)?.wait());
+        // The 3-worker SMP topology needs CPUs 0..=3; give the simulated
+        // MPSoC one ST231 accelerator per IDCT worker.
+        let os21 = run(&|spec| {
+            Os21Platform::with_machine(
+                mpsoc_sim::Machine::with_accelerators(n),
+                embera_os21::Os21Config::default(),
+            )
+            .deploy(spec)?
+            .wait()
+        });
+        let inp = run(&|spec| InprocPlatform::new().deploy(spec)?.wait());
+        assert_eq!(smp.0, fwd, "{n} workers: frames completed");
+        assert_eq!(smp, os21, "{n} workers: smp vs os21");
+        assert_eq!(smp, inp, "{n} workers: smp vs inproc");
+        checksums.push(smp.1);
+    }
+    // Same pixels regardless of how many workers split the IDCT load.
+    assert!(
+        checksums.windows(2).all(|w| w[0] == w[1]),
+        "checksum varies with worker count: {checksums:?}"
+    );
 }

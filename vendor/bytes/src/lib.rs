@@ -48,6 +48,38 @@ impl Bytes {
         self.len() == 0
     }
 
+    /// Length of the backing allocation (which the view may only cover
+    /// part of after [`Bytes::slice`]).
+    pub fn storage_len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when this handle is the only reference to the backing
+    /// allocation — no clones or slices outlive it, so the storage can
+    /// be reused.
+    pub fn is_unique(&self) -> bool {
+        Arc::strong_count(&self.data) == 1
+    }
+
+    /// Mutable access to the *entire* backing allocation, available only
+    /// when this handle is unique ([`Bytes::is_unique`]). Buffer pools
+    /// use this to refill a reclaimed buffer in place.
+    pub fn try_mut(&mut self) -> Option<&mut [u8]> {
+        Arc::get_mut(&mut self.data)
+    }
+
+    /// Reset the view to cover the first `len` bytes of the backing
+    /// allocation (undoing any slicing). Used together with
+    /// [`Bytes::try_mut`] when recycling a buffer.
+    ///
+    /// # Panics
+    /// Panics if `len` exceeds the storage length.
+    pub fn reset_view(&mut self, len: usize) {
+        assert!(len <= self.data.len(), "view {len} exceeds storage {}", self.data.len());
+        self.start = 0;
+        self.end = len;
+    }
+
     /// Zero-copy sub-slice sharing the same backing allocation.
     ///
     /// # Panics
@@ -168,5 +200,22 @@ mod tests {
     fn out_of_bounds_slice_panics() {
         let b = Bytes::from(vec![1u8, 2, 3]);
         let _ = b.slice(1..7);
+    }
+
+    #[test]
+    fn uniqueness_tracks_clones_and_slices() {
+        let mut b = Bytes::from(vec![0u8; 8]);
+        assert!(b.is_unique());
+        assert_eq!(b.storage_len(), 8);
+        let view = b.slice(2..5);
+        assert!(!b.is_unique(), "live slice shares the storage");
+        assert!(b.try_mut().is_none());
+        drop(view);
+        assert!(b.is_unique());
+        // Reclaim: rewrite the storage in place and re-view a prefix.
+        b.try_mut().unwrap()[..3].copy_from_slice(b"abc");
+        b.reset_view(3);
+        assert_eq!(&b[..], b"abc");
+        assert_eq!(b.storage_len(), 8);
     }
 }
