@@ -7,7 +7,8 @@
 //! cargo run --release -p embera-bench --bin repro -- cache|memseries|trace    # paper future work
 //! cargo run --release -p embera-bench --bin repro -- scaling|dot              # scaling study, graphs
 //! cargo run --release -p embera-bench --bin repro -- bench-sweep              # workers x batch x kernel -> BENCH_pr5.json
-//! cargo run --release -p embera-bench --bin repro -- alloc-check --assert-zero  # steady-state allocation proof
+//! cargo run --release -p embera-bench --bin repro -- bench-sweep --backend exec  # component-count scaling -> BENCH_pr6.json
+//! cargo run --release -p embera-bench --bin repro -- alloc-check --assert-zero [--backend smp|exec]  # steady-state allocation proof
 //! ```
 //!
 //! Reduced scale keeps the default run under a minute; `--paper` uses
@@ -15,8 +16,8 @@
 
 use embera::{ObserverConfig, Platform, RunningApp};
 use embera_bench::{
-    run_mpsoc_mjpeg, run_smp_mjpeg, run_smp_mjpeg_stream, run_smp_mjpeg_with, stream,
-    FIGURE4_SIZES_KB, FIGURE8_SIZES_KB,
+    fanio, run_mjpeg_stream_on, run_mpsoc_mjpeg, run_smp_mjpeg, run_smp_mjpeg_with, stream,
+    BenchBackend, FIGURE4_SIZES_KB, FIGURE8_SIZES_KB,
 };
 use embera_os21::Os21Platform;
 use embera_repro::stats::linear_fit;
@@ -399,6 +400,19 @@ fn arg_value<'a>(args: &'a [String], key: &str) -> Option<&'a str> {
         .map(String::as_str)
 }
 
+fn bad_backend(s: &str) -> ! {
+    eprintln!("unknown --backend '{s}' (available: smp exec)");
+    std::process::exit(2)
+}
+
+/// JSON value for the worker-pool provenance field: the pool size on
+/// the executor, `null` on thread-per-component (pool = component count).
+fn worker_pool_json(backend: BenchBackend, pool_workers: usize) -> String {
+    backend
+        .worker_pool(pool_workers)
+        .map_or("null".into(), |n| n.to_string())
+}
+
 /// One measured pipeline configuration for `bench-json` / `bench-sweep`.
 struct BenchRun {
     label: String,
@@ -460,13 +474,26 @@ fn measure_pipeline(frames: usize, cfg: &MjpegAppConfig, label: &str) -> BenchRu
 /// protocol: stream synthesis and observation stay out of the timed
 /// region, so the number is the pipeline's own throughput).
 fn measure_stream(frames: usize, cfg: &MjpegAppConfig, label: String) -> BenchRun {
+    measure_stream_on(BenchBackend::Smp, 0, frames, cfg, label)
+}
+
+/// Backend-generic `measure_stream`: identical protocol, selectable
+/// execution backend. `pool_workers` sizes the executor worker pool
+/// (`0` = auto) and is ignored by the thread-per-component backend.
+fn measure_stream_on(
+    backend: BenchBackend,
+    pool_workers: usize,
+    frames: usize,
+    cfg: &MjpegAppConfig,
+    label: String,
+) -> BenchRun {
     // Synthesize the workload once and clone it per repetition: every
     // rep decodes identical bytes, so best-of-N isolates run-to-run
     // scheduling noise instead of workload variation.
     let base = stream(frames, 0x578);
     let mut best: Option<(u64, embera::AppReport)> = None;
     for _ in 0..5 {
-        let (report, done) = run_smp_mjpeg_stream(base.clone(), cfg, None);
+        let (report, done) = run_mjpeg_stream_on(backend, pool_workers, base.clone(), cfg, None);
         assert_eq!(done, frames as u64 - 1, "pipeline dropped frames");
         if best.as_ref().map(|(t, _)| report.wall_time_ns < *t).unwrap_or(true) {
             best = Some((report.wall_time_ns, report));
@@ -570,6 +597,8 @@ fn pr1_optimized_blocks_per_s() -> Option<f64> {
 /// Returns the total marginal count, the per-frame rate, and the pool
 /// stats of the long run (pooled mode only).
 fn marginal_allocs(
+    backend: BenchBackend,
+    pool_workers: usize,
     frames: usize,
     cfg: &MjpegAppConfig,
     pooled: bool,
@@ -582,7 +611,7 @@ fn marginal_allocs(
             p
         });
         let before = allocs_now();
-        let (_report, done) = run_smp_mjpeg_stream(s, cfg, pool.clone());
+        let (_report, done) = run_mjpeg_stream_on(backend, pool_workers, s, cfg, pool.clone());
         let after = allocs_now();
         assert_eq!(done, n as u64 - 1, "pipeline dropped frames");
         (after - before, pool.map(|p| p.stats()))
@@ -602,9 +631,17 @@ fn marginal_allocs(
 /// `alloc-check` — prove the pooled pipeline decodes in steady state
 /// with **zero** heap allocations, via the counting global allocator.
 /// `--assert-zero` exits nonzero on failure (the CI smoke gate);
-/// `--frames N` overrides the base stream length.
+/// `--frames N` overrides the base stream length; `--backend smp|exec`
+/// selects the execution backend (`--workers N` sizes the executor
+/// pool, `0` = auto).
 fn alloc_check(scale: &Scale, args: &[String]) {
     let assert_zero = args.iter().any(|a| a == "--assert-zero");
+    let backend = arg_value(args, "--backend")
+        .map(|s| BenchBackend::parse(s).unwrap_or_else(|| bad_backend(s)))
+        .unwrap_or(BenchBackend::Smp);
+    let pool_workers = arg_value(args, "--workers")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0usize);
     let frames = arg_value(args, "--frames")
         .and_then(|s| s.parse().ok())
         .unwrap_or(scale.small)
@@ -615,11 +652,15 @@ fn alloc_check(scale: &Scale, args: &[String]) {
         ..Default::default()
     };
     println!(
-        "=== alloc-check — marginal heap allocations, {frames}- vs {}-frame runs ===",
+        "=== alloc-check — marginal heap allocations on {}, {frames}- vs {}-frame runs ===",
+        backend.name(),
         2 * frames
     );
-    let (plain, plain_pf, _) = marginal_allocs(frames, &cfg, false);
-    let (pooled, pooled_pf, stats) = marginal_allocs(frames, &cfg, true);
+    if let Some(pool) = backend.worker_pool(pool_workers) {
+        println!("executor worker pool: {pool}");
+    }
+    let (plain, plain_pf, _) = marginal_allocs(backend, pool_workers, frames, &cfg, false);
+    let (pooled, pooled_pf, stats) = marginal_allocs(backend, pool_workers, frames, &cfg, true);
     let stats = stats.expect("pooled run returns pool stats");
     println!("unpooled: {plain:+} marginal allocations ({plain_pf:+.2} per extra frame)");
     println!("pooled:   {pooled:+} marginal allocations ({pooled_pf:+.2} per extra frame)");
@@ -646,6 +687,13 @@ fn alloc_check(scale: &Scale, args: &[String]) {
 /// revision, detected CPU features, host core count, dispatch policy,
 /// and the steady-state allocation proof.
 fn bench_sweep(scale: &Scale, args: &[String]) {
+    let backend = arg_value(args, "--backend")
+        .map(|s| BenchBackend::parse(s).unwrap_or_else(|| bad_backend(s)))
+        .unwrap_or(BenchBackend::Smp);
+    if backend == BenchBackend::Exec {
+        bench_sweep_exec(scale, args);
+        return;
+    }
     let out_path = arg_value(args, "--out").unwrap_or("BENCH_pr5.json");
     let frames = arg_value(args, "--frames")
         .and_then(|s| s.parse().ok())
@@ -709,7 +757,8 @@ fn bench_sweep(scale: &Scale, args: &[String]) {
         payload_pool: false, // the harness owns the pool below
         ..Default::default()
     };
-    let (marginal, per_frame, stats) = marginal_allocs(frames, &alloc_cfg, true);
+    let (marginal, per_frame, stats) =
+        marginal_allocs(BenchBackend::Smp, 0, frames, &alloc_cfg, true);
     let stats = stats.expect("pooled run returns pool stats");
     println!(
         "steady-state marginal allocations: {marginal:+} ({per_frame:+.2}/frame), pool grown {}",
@@ -731,6 +780,8 @@ fn bench_sweep(scale: &Scale, args: &[String]) {
             "{{\n",
             "  \"benchmark\": \"smp_mjpeg_scaling_sweep\",\n",
             "  \"workload\": \"table1\",\n",
+            "  \"backend\": \"smp\",\n",
+            "  \"worker_pool\": null,\n",
             "  \"frames\": {},\n",
             "  \"git_rev\": \"{}\",\n",
             "  \"host_cores\": {},\n",
@@ -764,6 +815,183 @@ fn bench_sweep(scale: &Scale, args: &[String]) {
         pr1.map_or("null".into(), |v| format!("{:.3}", best.blocks_per_s / v)),
     );
     std::fs::write(out_path, json).expect("write sweep json");
+    println!("wrote {out_path}");
+    println!();
+}
+
+fn fanio_run_json(r: &fanio::FanioRun) -> String {
+    format!(
+        concat!(
+            "{{\n",
+            "      \"components\": {},\n",
+            "      \"workers\": {},\n",
+            "      \"messages\": {},\n",
+            "      \"wall_s\": {:.6},\n",
+            "      \"msgs_per_s\": {:.1}\n",
+            "    }}"
+        ),
+        r.components,
+        r.workers,
+        r.messages,
+        r.wall_ns as f64 / 1e9,
+        r.msgs_per_s,
+    )
+}
+
+/// `bench-sweep --backend exec` — the PR 6 component-count scaling
+/// sweep on the M:N executor, written to `BENCH_pr6.json` (or
+/// `--out <path>`). Two experiments:
+///
+/// 1. **Table-1 parity** — the standard 3-IDCT-worker MJPEG pipeline
+///    on the executor vs thread-per-component, same stream. The
+///    executor must stay within ~10% of SMP blocks/s at this small
+///    component count (its payoff is scale, not small-N speed).
+/// 2. **Fan-in/fan-out scaling** — 100 / 1 000 / 10 000 relay
+///    components between one source and one fan-in sink, at a fixed
+///    per-cell message total so cells compare scheduler overhead per
+///    message, not workload size. Thread-per-component cannot run the
+///    10 002-component cell (10k stacks + 10k kernel threads); the
+///    executor runs it on a fixed worker pool.
+///
+/// `--workers N` sizes the executor pool (default 3, the paper's
+/// pipeline parallelism), `--fanio-total M` overrides the per-cell
+/// message budget (CI smoke uses a small one).
+fn bench_sweep_exec(scale: &Scale, args: &[String]) {
+    let out_path = arg_value(args, "--out").unwrap_or("BENCH_pr6.json");
+    let frames = arg_value(args, "--frames")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(scale.small)
+        .max(4);
+    let pool_workers: usize = arg_value(args, "--workers")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(3)
+        .max(1);
+    // Per-cell message budget: equal across component counts, so the
+    // msgs/s column isolates scheduler cost per message as N grows.
+    let fanio_total: usize = arg_value(args, "--fanio-total")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(scale.sweep_iters as usize * 3200);
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!(
+        "=== bench-sweep (exec) — component-count scaling, {pool_workers}-worker pool, {cores} core(s) ==="
+    );
+
+    // Experiment 1: Table-1 pipeline, executor vs thread-per-component.
+    let table1_cfg = MjpegAppConfig {
+        idct_count: 3,
+        blocks_per_msg: 72,
+        kernel: DctKind::FastSimd,
+        payload_pool: true,
+        ..Default::default()
+    };
+    let smp = measure_stream_on(BenchBackend::Smp, 0, frames, &table1_cfg, "table1_smp".into());
+    let exec = measure_stream_on(
+        BenchBackend::Exec,
+        pool_workers,
+        frames,
+        &table1_cfg,
+        "table1_exec".into(),
+    );
+    let parity = exec.blocks_per_s / smp.blocks_per_s;
+    for r in [&smp, &exec] {
+        println!(
+            "{:<12} {:>10.0} blocks/s  ({:.4} s)",
+            r.label, r.blocks_per_s, r.wall_s
+        );
+    }
+    println!(
+        "exec/smp parity at the {frames}-frame Table-1 workload: {parity:.3}x{}",
+        if parity < 0.9 { "  (below the 0.9 budget!)" } else { "" }
+    );
+
+    // Experiment 2: fan-in/fan-out component-count scaling.
+    let mut fanio_runs = Vec::new();
+    let worker_cells: Vec<usize> = if pool_workers == 1 {
+        vec![1]
+    } else {
+        vec![1, pool_workers]
+    };
+    for n in [100usize, 1_000, 10_000] {
+        let m = (fanio_total / n).max(2);
+        for &workers in &worker_cells {
+            let run = fanio::run_fanio_exec(n, m, 256, workers);
+            println!(
+                "fanio n={n:<6} workers={workers} messages={:>8} {:>12.0} msgs/s  ({:.4} s)",
+                run.messages,
+                run.msgs_per_s,
+                run.wall_ns as f64 / 1e9
+            );
+            fanio_runs.push(run);
+        }
+    }
+    let max_components = fanio_runs.iter().map(|r| r.components).max().unwrap_or(0);
+
+    // Steady-state allocation proof on the executor hot path.
+    let alloc_cfg = MjpegAppConfig {
+        blocks_per_msg: 72,
+        kernel: DctKind::FastSimd,
+        payload_pool: false, // the harness owns the pool below
+        ..Default::default()
+    };
+    let (marginal, per_frame, stats) =
+        marginal_allocs(BenchBackend::Exec, pool_workers, frames, &alloc_cfg, true);
+    let stats = stats.expect("pooled run returns pool stats");
+    println!(
+        "steady-state marginal allocations (exec): {marginal:+} ({per_frame:+.2}/frame), pool grown {}",
+        stats.grown
+    );
+
+    let (sse2, avx2) = cpu_features();
+    let fanio_json = fanio_runs
+        .iter()
+        .map(fanio_run_json)
+        .collect::<Vec<_>>()
+        .join(",\n    ");
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"benchmark\": \"exec_component_scaling_sweep\",\n",
+            "  \"workload\": \"table1+fanio\",\n",
+            "  \"backend\": \"exec\",\n",
+            "  \"worker_pool\": {},\n",
+            "  \"frames\": {},\n",
+            "  \"fanio_message_budget\": {},\n",
+            "  \"git_rev\": \"{}\",\n",
+            "  \"host_cores\": {},\n",
+            "  \"cpu_features\": {{ \"simd_level\": \"{}\", \"sse2\": {}, \"avx2\": {} }},\n",
+            "  \"observer_attached\": false,\n",
+            "  \"steady_state_marginal_allocs\": {},\n",
+            "  \"steady_state_allocs_per_frame\": {:.4},\n",
+            "  \"pool\": {{ \"grown\": {}, \"recycled\": {}, \"dropped\": {} }},\n",
+            "  \"table1_compare\": {{\n",
+            "    \"smp\": {},\n",
+            "    \"exec\": {},\n",
+            "    \"exec_over_smp\": {:.3}\n",
+            "  }},\n",
+            "  \"max_components\": {},\n",
+            "  \"fanio_runs\": [\n    {}\n  ]\n",
+            "}}\n"
+        ),
+        worker_pool_json(BenchBackend::Exec, pool_workers),
+        frames,
+        fanio_total,
+        git_rev(),
+        cores,
+        mjpeg::active_level().name(),
+        sse2,
+        avx2,
+        marginal,
+        per_frame,
+        stats.grown,
+        stats.recycled,
+        stats.dropped,
+        bench_run_json(&smp),
+        bench_run_json(&exec),
+        parity,
+        max_components,
+        fanio_json,
+    );
+    std::fs::write(out_path, json).expect("write exec sweep json");
     println!("wrote {out_path}");
     println!();
 }
@@ -810,6 +1038,8 @@ fn bench_json(scale: &Scale, args: &[String]) {
             "{{\n",
             "  \"benchmark\": \"smp_mjpeg_pipeline\",\n",
             "  \"workload\": \"table1\",\n",
+            "  \"backend\": \"smp\",\n",
+            "  \"worker_pool\": null,\n",
             "  \"frames\": {},\n",
             "  \"blocks_per_frame\": 18,\n",
             "  \"baseline\": {},\n",

@@ -3,9 +3,69 @@
 //! binary that regenerates every table and figure of the paper.
 
 use embera::{AppReport, ObserverConfig, Platform, RunningApp};
+use embera_exec::ExecPlatform;
 use embera_os21::Os21Platform;
 use embera_smp::SmpPlatform;
 use mjpeg::{build_mpsoc_app, build_smp_app, synthesize_stream, MjpegAppConfig, MjpegStream};
+
+pub mod fanio;
+
+/// Host backend selected for a throughput or allocation measurement.
+/// (`os21`/`inproc` have their own dedicated experiment entry points —
+/// this enum covers the backends that compete on wall-clock numbers.)
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BenchBackend {
+    /// One OS thread per component (`embera-smp`).
+    Smp,
+    /// M:N fiber executor on a fixed worker pool (`embera-exec`).
+    Exec,
+}
+
+impl BenchBackend {
+    /// Parse a `--backend` CLI value.
+    pub fn parse(s: &str) -> Option<BenchBackend> {
+        match s {
+            "smp" => Some(BenchBackend::Smp),
+            "exec" => Some(BenchBackend::Exec),
+            _ => None,
+        }
+    }
+
+    /// Provenance name stamped into `BENCH_*.json` headers.
+    pub fn name(self) -> &'static str {
+        match self {
+            BenchBackend::Smp => "smp",
+            BenchBackend::Exec => "exec",
+        }
+    }
+
+    /// Worker-pool size this backend runs on, for provenance.
+    /// `None` for thread-per-component (the pool is the component count).
+    pub fn worker_pool(self, workers: usize) -> Option<usize> {
+        match self {
+            BenchBackend::Smp => None,
+            BenchBackend::Exec => Some(resolve_exec_workers(workers)),
+        }
+    }
+}
+
+/// Resolve the executor pool size the same way `ExecConfig` does, so
+/// provenance matches what actually ran.
+pub fn resolve_exec_workers(workers: usize) -> usize {
+    if workers > 0 {
+        return workers;
+    }
+    if let Ok(v) = std::env::var("EMBERA_EXEC_WORKERS") {
+        if let Ok(n) = v.parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
 
 /// Frame geometry of every experiment stream (18 blocks per image).
 pub const WIDTH: usize = 48;
@@ -76,6 +136,39 @@ pub fn run_smp_mjpeg_stream(
         .expect("deploy")
         .wait()
         .expect("run");
+    let done = probe
+        .frames_completed
+        .load(std::sync::atomic::Ordering::SeqCst);
+    (report, done)
+}
+
+/// Backend-generic variant of [`run_smp_mjpeg_stream`]: the identical
+/// observer-free pipeline on the selected backend. `workers` sizes the
+/// executor pool (`0` = auto) and is ignored by the thread backend.
+pub fn run_mjpeg_stream_on(
+    backend: BenchBackend,
+    workers: usize,
+    stream: MjpegStream,
+    cfg: &MjpegAppConfig,
+    pool: Option<embera::BufferPool>,
+) -> (AppReport, u64) {
+    let (mut app, probe) = build_smp_app(stream, cfg);
+    if let Some(pool) = pool {
+        app.with_buffer_pool(pool);
+    }
+    let spec = app.build().expect("valid app");
+    let report = match backend {
+        BenchBackend::Smp => SmpPlatform::new()
+            .deploy(spec)
+            .expect("deploy")
+            .wait()
+            .expect("run"),
+        BenchBackend::Exec => ExecPlatform::with_workers(resolve_exec_workers(workers))
+            .deploy(spec)
+            .expect("deploy")
+            .wait()
+            .expect("run"),
+    };
     let done = probe
         .frames_completed
         .load(std::sync::atomic::Ordering::SeqCst);

@@ -153,7 +153,7 @@ pub trait Transport {
     /// only the platform knows (e.g. RTOS per-task CPU time).
     fn refine_reply(&mut self, _reply: &mut ObsReply) {}
 
-    /// The application's shared payload [`BufferPool`], when one was
+    /// The application's shared payload [`crate::BufferPool`], when one was
     /// attached ([`crate::AppBuilder::with_buffer_pool`]) and this
     /// backend threads it through. Behaviors draw serialization buffers
     /// from it and recycle consumed payloads into it; `None` (the

@@ -1,0 +1,283 @@
+//! The executor [`Transport`]: same message-moving contract as the SMP
+//! backend, but every blocking point parks the component's *fiber*
+//! instead of an OS thread.
+//!
+//! All observation and `Ctx` logic lives in
+//! [`embera::runtime::ComponentRuntime`], which runs unmodified on top
+//! of this transport — including PR-3 supervision
+//! (`behavior_finished_contained` keeps OneForOne containment working).
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+use std::time::Instant;
+
+use parking_lot::{Condvar, Mutex};
+
+use embera::runtime::Transport;
+use embera::{EmberaError, Message, Work, INTROSPECTION};
+
+use crate::executor::ExecShared;
+use crate::mailbox::ExecMailbox;
+
+/// How many messages a single `recv` may drain ahead of the behavior
+/// (same batching constant as the thread backend).
+const DRAIN_BATCH: usize = 16;
+
+/// Cooperative fairness: after this many consecutive sends the sender's
+/// fiber yields (staying runnable) so receivers get scheduled. This is
+/// what bounds mailbox depth — and therefore keeps the pre-sized deques
+/// from regrowing — when a burst-producer shares a worker with its
+/// consumers (the thread backend gets the same effect from kernel
+/// preemption).
+const SEND_YIELD_BUDGET: u32 = 32;
+
+/// Shared completion accounting for [`crate::platform::ExecRunning`].
+pub(crate) struct FinishState {
+    pub(crate) finished: usize,
+    pub(crate) errors: Vec<(String, EmberaError)>,
+}
+
+pub(crate) struct ExecTransport {
+    pub(crate) name: String,
+    /// This component's task id in the executor.
+    pub(crate) task: usize,
+    pub(crate) shared: Arc<ExecShared>,
+    /// Mailboxes of this component's provided interfaces (data +
+    /// introspection).
+    pub(crate) provided: HashMap<String, ExecMailbox>,
+    /// Required-interface routes to other components' mailboxes.
+    pub(crate) routes: HashMap<String, ExecMailbox>,
+    /// Messages bulk-drained but not yet handed to the behavior.
+    /// Pre-populated with every provided interface at deploy time.
+    pub(crate) pending: HashMap<String, VecDeque<Message>>,
+    /// Reusable bulk-drain buffer (allocation-free steady state).
+    pub(crate) scratch: Vec<Message>,
+    pub(crate) finish: Arc<(Mutex<FinishState>, Condvar)>,
+    pub(crate) is_app_component: bool,
+    /// Application-wide payload pool: the send-primitive copy is drawn
+    /// from it and the sender's original recycled, so warm steady state
+    /// allocates nothing.
+    pub(crate) pool: Option<embera::BufferPool>,
+    /// Consecutive sends since the last cooperative yield.
+    send_streak: u32,
+}
+
+impl ExecTransport {
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn new(
+        name: String,
+        task: usize,
+        shared: Arc<ExecShared>,
+        provided: HashMap<String, ExecMailbox>,
+        routes: HashMap<String, ExecMailbox>,
+        finish: Arc<(Mutex<FinishState>, Condvar)>,
+        is_app_component: bool,
+        pool: Option<embera::BufferPool>,
+    ) -> ExecTransport {
+        let pending = provided.keys().map(|k| (k.clone(), VecDeque::new())).collect();
+        ExecTransport {
+            name,
+            task,
+            shared,
+            provided,
+            routes,
+            pending,
+            scratch: Vec::with_capacity(DRAIN_BATCH),
+            finish,
+            is_app_component,
+            pool,
+            send_streak: 0,
+        }
+    }
+}
+
+impl Transport for ExecTransport {
+    fn now_ns(&self) -> u64 {
+        self.shared.now_ns()
+    }
+
+    fn is_shutdown(&self) -> bool {
+        self.shared.is_shutdown()
+    }
+
+    fn has_route(&self, required: &str) -> bool {
+        self.routes.contains_key(required)
+    }
+
+    fn has_inbox(&self, provided: &str) -> bool {
+        self.provided.contains_key(provided)
+    }
+
+    fn push(&mut self, required: &str, msg: Message) -> u64 {
+        let route = &self.routes[required];
+        let t0 = Instant::now();
+        // Same copy semantics as the thread backend: the mailbox send
+        // materializes a real copy of data payloads (pool-recycled when
+        // a pool is attached, so the warm path allocates nothing).
+        let msg = match msg {
+            Message::Data(payload) => Message::Data(match &self.pool {
+                Some(pool) => {
+                    let copied = pool.take_from(payload.as_ref());
+                    pool.recycle(payload);
+                    copied
+                }
+                None => bytes::Bytes::from(payload.as_ref().to_vec()),
+            }),
+            other => other,
+        };
+        route.push(msg);
+        let cost = t0.elapsed().as_nanos() as u64;
+        // The push must be visible before the receiver is scheduled.
+        self.shared.wake(route.owner());
+        self.send_streak += 1;
+        if self.send_streak >= SEND_YIELD_BUDGET {
+            self.send_streak = 0;
+            self.shared.yield_coop(self.task);
+        }
+        cost
+    }
+
+    fn try_pop(&mut self, provided: &str) -> Option<(Message, u64)> {
+        self.send_streak = 0;
+        let mb = self.provided.get(provided)?;
+        let buf = self.pending.get_mut(provided)?;
+        let t0 = Instant::now();
+        if let Some(m) = buf.pop_front() {
+            return Some((m, t0.elapsed().as_nanos() as u64));
+        }
+        self.scratch.clear();
+        if mb.pop_many(&mut self.scratch, DRAIN_BATCH) == 0 {
+            return None;
+        }
+        let mut drained = self.scratch.drain(..);
+        let first = drained.next().expect("pop_many reported non-zero drain");
+        buf.extend(drained);
+        Some((first, t0.elapsed().as_nanos() as u64))
+    }
+
+    fn poll_obs(&mut self) -> Option<Message> {
+        if let Some(buf) = self.pending.get_mut(INTROSPECTION) {
+            if let Some(m) = buf.pop_front() {
+                return Some(m);
+            }
+        }
+        self.provided.get(INTROSPECTION)?.try_pop()
+    }
+
+    fn queued_bytes(&self) -> u64 {
+        let in_flight: u64 = self
+            .pending
+            .values()
+            .flat_map(|q| q.iter())
+            .map(|m| m.data_len() as u64)
+            .sum();
+        let resident: u64 = self.provided.values().map(|m| m.queued_bytes()).sum();
+        resident + in_flight
+    }
+
+    fn park_recv(&mut self, provided: &str, deadline_ns: Option<u64>) {
+        if !self.provided.contains_key(provided) {
+            return;
+        }
+        if let Some(d) = deadline_ns {
+            if self.shared.now_ns() >= d {
+                // Already timed out: let the runtime observe the
+                // deadline instead of parking for a wake that may be a
+                // while away on a busy pool.
+                return;
+            }
+            self.shared.arm_timer(self.task, d);
+        }
+        // A send racing with this park is resolved by the executor's
+        // RUNNING→NOTIFIED / PARKED→QUEUED protocol; worst case the park
+        // returns immediately and the runtime re-checks the mailbox.
+        self.shared.park(self.task);
+    }
+
+    fn park_quiescent(&mut self) -> bool {
+        // Whether or not introspection traffic is possible, the fiber
+        // parks for free — any push to the introspection mailbox (or
+        // shutdown) wakes it, so there is no poll interval to tune and
+        // the A1 ablation needs no special case.
+        self.shared.park(self.task);
+        true
+    }
+
+    fn compute(&mut self, _work: Work) {
+        // Real code on real silicon, like the thread backend; the
+        // annotation drives the simulated backend only.
+    }
+
+    fn behavior_finished(&mut self, error: Option<EmberaError>) {
+        let (lock, cvar) = &*self.finish;
+        if let Some(e) = error {
+            lock.lock().errors.push((self.name.clone(), e));
+            // Fail fast: peers blocked in recv drain out with
+            // `Terminated` instead of hanging.
+            self.shared.signal_shutdown();
+        }
+        if self.is_app_component {
+            let mut st = lock.lock();
+            st.finished += 1;
+            cvar.notify_all();
+        }
+    }
+
+    fn behavior_finished_contained(&mut self, error: EmberaError) {
+        // OneForOne containment: record the failure but skip the
+        // fail-fast shutdown so the rest of the application runs on.
+        let (lock, cvar) = &*self.finish;
+        let mut st = lock.lock();
+        st.errors.push((self.name.clone(), error));
+        if self.is_app_component {
+            st.finished += 1;
+            cvar.notify_all();
+        }
+    }
+
+    fn queued_messages(&self) -> u64 {
+        let in_flight: u64 = self
+            .pending
+            .iter()
+            .filter(|(iface, _)| iface.as_str() != INTROSPECTION)
+            .map(|(_, q)| q.len() as u64)
+            .sum();
+        let resident: u64 = self
+            .provided
+            .iter()
+            .filter(|(iface, _)| iface.as_str() != INTROSPECTION)
+            .map(|(_, mb)| mb.len() as u64)
+            .sum();
+        in_flight + resident
+    }
+
+    fn delay(&mut self, ns: u64) {
+        let target = self.shared.now_ns().saturating_add(ns);
+        // Park on the timer rather than blocking the worker; spurious
+        // wakes (e.g. a message arriving mid-backoff) just re-park.
+        while self.shared.now_ns() < target && !self.is_shutdown() {
+            self.shared.arm_timer(self.task, target);
+            self.shared.park(self.task);
+        }
+    }
+
+    fn payload_pool(&self) -> Option<&embera::BufferPool> {
+        self.pool.as_ref()
+    }
+
+    fn route_depth(&self, required: &str) -> Option<u64> {
+        self.routes.get(required).map(|mb| mb.len() as u64)
+    }
+
+    fn drain_inboxes(&mut self) {
+        for (iface, mb) in &self.provided {
+            if iface == INTROSPECTION {
+                continue;
+            }
+            if let Some(buf) = self.pending.get_mut(iface) {
+                buf.clear();
+            }
+            while mb.try_pop().is_some() {}
+        }
+    }
+}

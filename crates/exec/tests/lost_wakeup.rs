@@ -1,0 +1,227 @@
+//! Lost-wakeup regression stress: the classic M:N executor bug is a
+//! `send` racing with the receiver's empty-mailbox park — if the wake is
+//! consumed before the task is actually parked (or the parked flag is
+//! published before the context is saved), the component strands forever.
+//!
+//! The executor's defense is the `RUNNING → NOTIFIED` / `PARKED →
+//! QUEUED` state machine in which the *worker* completes the park
+//! transition only after the fiber context is saved. These tests hammer
+//! exactly that window from every angle — ping-pong round trips (each
+//! round is a park racing a send), many-to-one bursts, and timer wakes
+//! racing message wakes — under a watchdog, so a stranded component
+//! fails the test instead of hanging the suite. Iteration counts scale
+//! up under `--release` (the CI stress configuration).
+
+use std::sync::mpsc;
+use std::time::Duration;
+
+use bytes::Bytes;
+use embera::behavior::behavior_fn;
+use embera::{AppBuilder, ComponentSpec, Platform, RunningApp};
+use embera_exec::ExecPlatform;
+
+/// Round trips per ping-pong app. Every round parks both components
+/// once, so this is also the number of race windows exercised.
+const ROUNDS: u32 = if cfg!(debug_assertions) { 2_000 } else { 20_000 };
+
+/// Fresh-deploy repetitions (the deploy/teardown edges have their own
+/// races: initial QUEUED wakes, shutdown wake-all).
+const DEPLOYS: usize = if cfg!(debug_assertions) { 3 } else { 10 };
+
+/// Run `f` to completion or fail the test after `secs`: a lost wakeup
+/// manifests as a hang, which must become a red test, not a stuck CI job.
+fn with_watchdog<F>(name: &str, secs: u64, f: F)
+where
+    F: FnOnce() + Send + 'static,
+{
+    let (tx, rx) = mpsc::channel();
+    let handle = std::thread::spawn(move || {
+        f();
+        let _ = tx.send(());
+    });
+    match rx.recv_timeout(Duration::from_secs(secs)) {
+        Ok(()) => handle.join().expect("stress body panicked"),
+        Err(_) => panic!("{name}: hang — a component was stranded (lost wakeup)"),
+    }
+}
+
+fn ping_pong_app(rounds: u32) -> embera::AppSpec {
+    let mut app = AppBuilder::new("ping-pong");
+    app.add(
+        ComponentSpec::new(
+            "ping",
+            behavior_fn(move |ctx| {
+                for i in 0..rounds {
+                    ctx.send("out", Bytes::copy_from_slice(&i.to_le_bytes()))?;
+                    let echo = ctx.recv("in")?;
+                    assert_eq!(echo.as_ref(), i.to_le_bytes());
+                }
+                Ok(())
+            }),
+        )
+        .with_provided("in")
+        .with_required("out")
+        .with_stack_bytes(256 * 1024),
+    );
+    app.add(
+        ComponentSpec::new(
+            "pong",
+            behavior_fn(move |ctx| {
+                for _ in 0..rounds {
+                    let m = ctx.recv("in")?;
+                    ctx.send("out", m)?;
+                }
+                Ok(())
+            }),
+        )
+        .with_provided("in")
+        .with_required("out")
+        .with_stack_bytes(256 * 1024),
+    );
+    app.connect(("ping", "out"), ("pong", "in"));
+    app.connect(("pong", "out"), ("ping", "in"));
+    app.build().unwrap()
+}
+
+/// One message per round trip: every single receive parks (no batching
+/// headroom), so each of the `ROUNDS` iterations races a park against a
+/// send. Two workers put sender and receiver on different threads.
+#[test]
+fn ping_pong_never_strands_across_workers() {
+    with_watchdog("ping_pong_2_workers", 120, || {
+        for _ in 0..DEPLOYS {
+            let report = ExecPlatform::with_workers(2)
+                .deploy(ping_pong_app(ROUNDS))
+                .unwrap()
+                .wait()
+                .unwrap();
+            assert_eq!(
+                report.component("pong").unwrap().app.total_receives,
+                ROUNDS as u64
+            );
+        }
+    });
+}
+
+/// Same protocol on a single worker: the park/wake handoff must also be
+/// correct when both fibers share one carrier thread (a wake that is
+/// dropped instead of flipping RUNNING→NOTIFIED deadlocks immediately).
+#[test]
+fn ping_pong_never_strands_on_one_worker() {
+    with_watchdog("ping_pong_1_worker", 120, || {
+        for _ in 0..DEPLOYS {
+            let report = ExecPlatform::with_workers(1)
+                .deploy(ping_pong_app(ROUNDS))
+                .unwrap()
+                .wait()
+                .unwrap();
+            assert_eq!(
+                report.component("ping").unwrap().app.total_sends,
+                ROUNDS as u64
+            );
+        }
+    });
+}
+
+/// Many producers bursting into one consumer: the consumer's park races
+/// several concurrent sends at once, and consecutive wakes must coalesce
+/// (NOTIFIED/QUEUED are no-ops) without ever losing the last one.
+#[test]
+fn fan_in_burst_never_strands_the_consumer() {
+    const PRODUCERS: usize = 8;
+    let msgs: u32 = if cfg!(debug_assertions) { 2_000 } else { 10_000 };
+    with_watchdog("fan_in_burst", 120, move || {
+        let mut app = AppBuilder::new("burst");
+        for p in 0..PRODUCERS {
+            app.add(
+                ComponentSpec::new(
+                    format!("prod{p}"),
+                    behavior_fn(move |ctx| {
+                        for i in 0..msgs {
+                            ctx.send("out", Bytes::copy_from_slice(&i.to_le_bytes()))?;
+                        }
+                        Ok(())
+                    }),
+                )
+                .with_required("out")
+                .with_stack_bytes(256 * 1024),
+            );
+            app.connect((format!("prod{p}").as_str(), "out"), ("sink", "in"));
+        }
+        let total = PRODUCERS as u64 * msgs as u64;
+        app.add(
+            ComponentSpec::new(
+                "sink",
+                behavior_fn(move |ctx| {
+                    for _ in 0..total {
+                        ctx.recv("in")?;
+                    }
+                    Ok(())
+                }),
+            )
+            .with_provided("in")
+            .with_stack_bytes(256 * 1024),
+        );
+        let report = ExecPlatform::with_workers(3)
+            .deploy(app.build().unwrap())
+            .unwrap()
+            .wait()
+            .unwrap();
+        assert_eq!(report.component("sink").unwrap().app.total_receives, total);
+    });
+}
+
+/// Timer wakes racing message wakes: the consumer polls with short timed
+/// receives while the producer sends at full speed. A timeout expiring at
+/// the same instant a message lands must neither strand the consumer nor
+/// lose the message (timeouts are spurious wakes from the mailbox's point
+/// of view).
+#[test]
+fn timer_and_send_wakes_compose() {
+    let msgs: u32 = if cfg!(debug_assertions) { 1_000 } else { 5_000 };
+    with_watchdog("timer_vs_send", 120, move || {
+        let mut app = AppBuilder::new("timer-race");
+        app.add(
+            ComponentSpec::new(
+                "prod",
+                behavior_fn(move |ctx| {
+                    for i in 0..msgs {
+                        ctx.send("out", Bytes::copy_from_slice(&i.to_le_bytes()))?;
+                    }
+                    Ok(())
+                }),
+            )
+            .with_required("out")
+            .with_stack_bytes(256 * 1024),
+        );
+        app.add(
+            ComponentSpec::new(
+                "cons",
+                behavior_fn(move |ctx| {
+                    let mut got = 0u32;
+                    while got < msgs {
+                        // 50 µs deadline: expires constantly while the
+                        // producer is still warming up, so timer wakes
+                        // and send wakes interleave heavily.
+                        if ctx.recv_timeout("in", 50_000)?.is_some() {
+                            got += 1;
+                        }
+                    }
+                    Ok(())
+                }),
+            )
+            .with_provided("in")
+            .with_stack_bytes(256 * 1024),
+        );
+        app.connect(("prod", "out"), ("cons", "in"));
+        let report = ExecPlatform::with_workers(2)
+            .deploy(app.build().unwrap())
+            .unwrap()
+            .wait()
+            .unwrap();
+        assert_eq!(
+            report.component("cons").unwrap().app.total_receives,
+            msgs as u64
+        );
+    });
+}

@@ -1,10 +1,10 @@
-//! Backend conformance suite: the three platforms (SMP threads,
-//! simulated MPSoC, in-process deterministic) must be indistinguishable
-//! through the `Ctx` API and the observation reports. Every test here
-//! runs the *same* application description on all three and pins the
-//! shared-runtime guarantees: FIFO delivery, the error contract,
-//! introspection service while blocked, termination semantics, and
-//! counter conservation.
+//! Backend conformance suite: the four platforms (SMP threads,
+//! simulated MPSoC, in-process deterministic, M:N executor) must be
+//! indistinguishable through the `Ctx` API and the observation reports.
+//! Every test here runs the *same* application description on all four
+//! and pins the shared-runtime guarantees: FIFO delivery, the error
+//! contract, introspection service while blocked, termination
+//! semantics, and counter conservation.
 
 use bytes::Bytes;
 use embera::behavior::behavior_fn;
@@ -12,6 +12,7 @@ use embera::{
     AppBuilder, AppReport, AppSpec, ComponentSpec, EmberaError, Message, ObsRequest, Platform,
     RunningApp, INTROSPECTION,
 };
+use embera_exec::ExecPlatform;
 use embera_inproc::InprocPlatform;
 use embera_os21::Os21Platform;
 use embera_smp::SmpPlatform;
@@ -28,7 +29,18 @@ fn backends() -> Vec<(&'static str, RunFn)> {
     fn inproc(spec: AppSpec) -> Result<AppReport, EmberaError> {
         InprocPlatform::new().deploy(spec)?.wait()
     }
-    vec![("smp", smp), ("os21", os21), ("inproc", inproc)]
+    fn exec(spec: AppSpec) -> Result<AppReport, EmberaError> {
+        // Two workers regardless of host cores: the conformance matrix
+        // must exercise real cross-worker scheduling even on small CI
+        // machines.
+        ExecPlatform::with_workers(2).deploy(spec)?.wait()
+    }
+    vec![
+        ("smp", smp),
+        ("os21", os21),
+        ("inproc", inproc),
+        ("exec", exec),
+    ]
 }
 
 #[test]
@@ -314,8 +326,10 @@ fn unmodified_mjpeg_behaviors_deploy_on_inproc() {
     };
     let smp = run(|spec| SmpPlatform::new().deploy(spec)?.wait());
     let inp = run(|spec| InprocPlatform::new().deploy(spec)?.wait());
+    let exe = run(|spec| ExecPlatform::with_workers(2).deploy(spec)?.wait());
     assert!(smp.0 > 0, "pipeline decoded no frames");
     assert_eq!(smp, inp, "(frames, checksum, sends, receives) must match");
+    assert_eq!(smp, exe, "smp vs exec: counts and checksum must match");
 }
 
 #[test]
@@ -375,9 +389,13 @@ fn mjpeg_worker_counts_agree_across_backends() {
             .wait()
         });
         let inp = run(&|spec| InprocPlatform::new().deploy(spec)?.wait());
+        // A 3-worker executor pool multiplexes the 5-component pipeline
+        // onto fewer carriers than components — the counts must not care.
+        let exe = run(&|spec| ExecPlatform::with_workers(3).deploy(spec)?.wait());
         assert_eq!(smp.0, fwd, "{n} workers: frames completed");
         assert_eq!(smp, os21, "{n} workers: smp vs os21");
         assert_eq!(smp, inp, "{n} workers: smp vs inproc");
+        assert_eq!(smp, exe, "{n} workers: smp vs exec");
         checksums.push(smp.1);
     }
     // Same pixels regardless of how many workers split the IDCT load.

@@ -12,6 +12,7 @@ use embera::{
     AppBuilder, AppReport, AppSpec, ComponentSpec, EmberaError, Escalation, FaultPlan,
     ObserverConfig, Platform, RestartPolicy, RunningApp,
 };
+use embera_exec::ExecPlatform;
 use embera_inproc::InprocPlatform;
 use embera_os21::Os21Platform;
 use embera_smp::SmpPlatform;
@@ -29,7 +30,18 @@ fn backends() -> Vec<(&'static str, RunFn)> {
     fn inproc(spec: AppSpec) -> Result<AppReport, EmberaError> {
         InprocPlatform::new().deploy(spec)?.wait()
     }
-    vec![("smp", smp), ("os21", os21), ("inproc", inproc)]
+    fn exec(spec: AppSpec) -> Result<AppReport, EmberaError> {
+        // Panic containment and restarts must survive fibers sharing
+        // carrier threads: two workers for fewer carriers than
+        // components in every scenario here.
+        ExecPlatform::with_workers(2).deploy(spec)?.wait()
+    }
+    vec![
+        ("smp", smp),
+        ("os21", os21),
+        ("inproc", inproc),
+        ("exec", exec),
+    ]
 }
 
 #[test]
@@ -263,6 +275,68 @@ fn watchdog_flags_component_without_progress() {
     assert!(!log.stalls().is_empty());
 }
 
+#[test]
+fn watchdog_flags_component_without_progress_on_exec() {
+    // Same stall scenario on the executor: `stuck` is a parked fiber
+    // rather than a parked thread, and the observer (itself a fiber on
+    // the same 2-worker pool) must still see its progress counter frozen
+    // while `ticker` stays healthy.
+    let mut app = AppBuilder::new("stalled-exec");
+    app.add(
+        ComponentSpec::new(
+            "stuck",
+            behavior_fn(|ctx| {
+                let _ = ctx.recv_timeout("in", 200_000_000)?;
+                Ok(())
+            }),
+        )
+        .with_provided("in")
+        .with_stack_bytes(1 << 20),
+    );
+    app.add(
+        ComponentSpec::new(
+            "ticker",
+            behavior_fn(|ctx| {
+                for i in 0..40u32 {
+                    std::thread::sleep(std::time::Duration::from_millis(2));
+                    ctx.send("out", Bytes::copy_from_slice(&i.to_le_bytes()))?;
+                }
+                Ok(())
+            }),
+        )
+        .with_required("out")
+        .with_stack_bytes(1 << 20),
+    );
+    app.add(
+        ComponentSpec::new(
+            "pump",
+            behavior_fn(|ctx| {
+                for _ in 0..40u32 {
+                    ctx.recv("in")?;
+                }
+                Ok(())
+            }),
+        )
+        .with_provided("in")
+        .with_stack_bytes(1 << 20),
+    );
+    app.connect(("ticker", "out"), ("pump", "in"));
+    let log = app.with_observer(
+        ObserverConfig::default()
+            .interval_ns(5_000_000)
+            .watchdog_ns(30_000_000),
+    );
+    ExecPlatform::with_workers(2)
+        .deploy(app.build().unwrap())
+        .unwrap()
+        .wait()
+        .unwrap();
+    let stalled = log.stalled_components();
+    assert!(stalled.contains(&"stuck".to_string()), "{stalled:?}");
+    assert!(!stalled.contains(&"ticker".to_string()), "{stalled:?}");
+    assert!(!log.stalls().is_empty());
+}
+
 /// Pipeline used by the message-fault tests: src sends 5 tagged
 /// messages, dst drains with a deadline and records what arrived.
 fn fault_pipeline(received: Arc<Mutex<Vec<Vec<u8>>>>) -> AppBuilder {
@@ -367,7 +441,7 @@ fn injected_faults_behave_identically_on_smp() {
 fn injected_panic_fires_at_exact_receive_iteration() {
     // dst panics on its third data receive; with no restart policy the
     // run fails with an attributed BehaviorPanic.
-    for (backend, run) in [backends()[0], backends()[2]] {
+    for (backend, run) in [backends()[0], backends()[2], backends()[3]] {
         let received = Arc::new(Mutex::new(Vec::new()));
         let mut app = fault_pipeline(Arc::clone(&received));
         app.with_faults(FaultPlan::new().panic_on_iteration("dst", 2));
@@ -424,6 +498,18 @@ fn idct_panic_run(run: RunFn) -> (u64, u64, u64, u64, u64) {
 fn mjpeg_survives_midstream_idct_panic_with_one_restart_on_smp() {
     let (completed, dropped, _checksum, restarts, _receives) =
         idct_panic_run(|spec| SmpPlatform::new().deploy(spec)?.wait());
+    assert_eq!(restarts, 1, "exactly one restart");
+    assert_eq!(dropped, 1, "exactly one frame lost to the panic");
+    assert_eq!(completed, 7 - dropped, "completed = forwarded - dropped");
+}
+
+#[test]
+fn mjpeg_survives_midstream_idct_panic_with_one_restart_on_exec() {
+    // The full acceptance scenario on the M:N executor: the panicking
+    // IDCT fiber is caught on its own stack, restarted in place on the
+    // 3-worker pool, and the tolerant pipeline completes.
+    let (completed, dropped, _checksum, restarts, _receives) =
+        idct_panic_run(|spec| ExecPlatform::with_workers(3).deploy(spec)?.wait());
     assert_eq!(restarts, 1, "exactly one restart");
     assert_eq!(dropped, 1, "exactly one frame lost to the panic");
     assert_eq!(completed, 7 - dropped, "completed = forwarded - dropped");
