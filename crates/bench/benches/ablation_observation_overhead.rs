@@ -1,33 +1,38 @@
 //! Ablation A1: what does the observation machinery cost? Runs the same
-//! SMP MJPEG pipeline with observation enabled and disabled.
+//! MJPEG pipeline under every [`ObsMode`] — unobserved, the paper's
+//! flat single observer, the two-level hierarchy, and the hierarchy
+//! with adaptive sampling — on both wall-clock backends (SMP threads
+//! and the M:N executor).
+//!
+//! This is the local, statistically careful companion to the CI gate
+//! (`repro obs-budget --assert`): criterion gives distributions, the
+//! gate gives a single pass/fail ratio.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use embera::{Platform, RunningApp};
-use embera_bench::stream;
-use embera_smp::{SmpConfig, SmpPlatform};
-use mjpeg::{build_smp_app, MjpegAppConfig};
+use embera_bench::{run_mjpeg_stream_observed, stream, BenchBackend, ObsMode};
+use mjpeg::MjpegAppConfig;
 
-fn run(frames: usize, observe: bool) {
-    let (app, _probe) = build_smp_app(stream(frames, 0x578), &MjpegAppConfig::default());
-    let mut platform = SmpPlatform::with_config(SmpConfig {
-        observe,
-        ..Default::default()
-    });
-    platform
-        .deploy(app.build().expect("valid app"))
-        .expect("deploy")
-        .wait()
-        .expect("run");
+/// Polling cadence for every observed mode: the Table-1 default.
+const INTERVAL_NS: u64 = 20_000_000;
+
+fn run(backend: BenchBackend, frames: usize, mode: ObsMode) {
+    let cfg = MjpegAppConfig::default();
+    let (_report, done) =
+        run_mjpeg_stream_observed(backend, 0, stream(frames, 0x578), &cfg, mode, INTERVAL_NS);
+    assert_eq!(done, frames as u64 - 1, "pipeline dropped frames");
 }
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation_observation_overhead");
     group.sample_size(10);
     let frames = 31usize;
-    for (label, observe) in [("observed", true), ("unobserved", false)] {
-        group.bench_with_input(BenchmarkId::from_parameter(label), &observe, |b, &o| {
-            b.iter(|| run(frames, o));
-        });
+    for backend in [BenchBackend::Smp, BenchBackend::Exec] {
+        for mode in ObsMode::ALL {
+            let label = format!("{}/{}", backend.name(), mode.name());
+            group.bench_with_input(BenchmarkId::from_parameter(label), &mode, |b, &m| {
+                b.iter(|| run(backend, frames, m));
+            });
+        }
     }
     group.finish();
 }

@@ -9,6 +9,7 @@
 //! cargo run --release -p embera-bench --bin repro -- bench-sweep              # workers x batch x kernel -> BENCH_pr5.json
 //! cargo run --release -p embera-bench --bin repro -- bench-sweep --backend exec  # component-count scaling -> BENCH_pr6.json
 //! cargo run --release -p embera-bench --bin repro -- alloc-check --assert-zero [--backend smp|exec]  # steady-state allocation proof
+//! cargo run --release -p embera-bench --bin repro -- obs-budget [--assert]    # observation overhead gate -> BENCH_pr7.json
 //! ```
 //!
 //! Reduced scale keeps the default run under a minute; `--paper` uses
@@ -16,8 +17,8 @@
 
 use embera::{ObserverConfig, Platform, RunningApp};
 use embera_bench::{
-    fanio, run_mjpeg_stream_on, run_mpsoc_mjpeg, run_smp_mjpeg, run_smp_mjpeg_with, stream,
-    BenchBackend, FIGURE4_SIZES_KB, FIGURE8_SIZES_KB,
+    fanio, run_mjpeg_stream_observed, run_mjpeg_stream_on, run_mpsoc_mjpeg, run_smp_mjpeg,
+    run_smp_mjpeg_with, stream, BenchBackend, ObsMode, FIGURE4_SIZES_KB, FIGURE8_SIZES_KB,
 };
 use embera_os21::Os21Platform;
 use embera_repro::stats::linear_fit;
@@ -116,6 +117,7 @@ fn main() {
         "bench-json" => bench_json(&scale, &args),
         "bench-sweep" => bench_sweep(&scale, &args),
         "alloc-check" => alloc_check(&scale, &args),
+        "obs-budget" => obs_budget(&scale, &args),
         "all" => {
             table1_and_2(&scale, true, true);
             figure4(&scale);
@@ -130,7 +132,7 @@ fn main() {
         other => {
             eprintln!("unknown experiment '{other}'");
             eprintln!(
-                "available: table1 table2 figure4 figure5 table3 figure8 cache memseries trace scaling dot bench-json bench-sweep alloc-check all"
+                "available: table1 table2 figure4 figure5 table3 figure8 cache memseries trace scaling dot bench-json bench-sweep alloc-check obs-budget all"
             );
             std::process::exit(2);
         }
@@ -503,6 +505,37 @@ fn measure_stream_on(
     bench_run_from(frames, cfg, label, wall_ns, &report)
 }
 
+/// `measure_stream_on` with an [`ObsMode`]-selected observer attached:
+/// identical best-of-5 protocol, the only variable is observation.
+fn measure_stream_observed(
+    backend: BenchBackend,
+    pool_workers: usize,
+    frames: usize,
+    cfg: &MjpegAppConfig,
+    mode: ObsMode,
+    interval_ns: u64,
+    label: String,
+) -> BenchRun {
+    let base = stream(frames, 0x578);
+    let mut best: Option<(u64, embera::AppReport)> = None;
+    for _ in 0..5 {
+        let (report, done) = run_mjpeg_stream_observed(
+            backend,
+            pool_workers,
+            base.clone(),
+            cfg,
+            mode,
+            interval_ns,
+        );
+        assert_eq!(done, frames as u64 - 1, "pipeline dropped frames");
+        if best.as_ref().map(|(t, _)| report.wall_time_ns < *t).unwrap_or(true) {
+            best = Some((report.wall_time_ns, report));
+        }
+    }
+    let (wall_ns, report) = best.unwrap();
+    bench_run_from(frames, cfg, label, wall_ns, &report)
+}
+
 fn bench_run_json(r: &BenchRun) -> String {
     format!(
         concat!(
@@ -737,6 +770,29 @@ fn bench_sweep(scale: &Scale, args: &[String]) {
             ..Default::default()
         };
         runs.push(measure_stream(frames, &cfg, format!("w{workers}_b72_fast_simd_ll")));
+    }
+    // Observation axis (opt-in): the fastest cell re-measured under
+    // every observer arrangement, so the sweep records what observation
+    // costs at the throughput-optimal configuration.
+    if args.iter().any(|a| a == "--obs") {
+        let cfg = MjpegAppConfig {
+            idct_count: 3,
+            blocks_per_msg: 72,
+            kernel: DctKind::FastSimd,
+            payload_pool: true,
+            ..Default::default()
+        };
+        for mode in ObsMode::ALL {
+            runs.push(measure_stream_observed(
+                BenchBackend::Smp,
+                0,
+                frames,
+                &cfg,
+                mode,
+                20_000_000,
+                format!("w3_b72_fast_simd_obs_{}", mode.name()),
+            ));
+        }
     }
     for r in &runs {
         println!(
@@ -1108,4 +1164,261 @@ fn trace_demo() {
         "{}",
         TimelineStats::from_events(&trace).format_table(&collector.names())
     );
+}
+
+/// One measured cell of the observation-overhead budget: best-of-N wall
+/// time per [`ObsMode`], interleaved so drift hits every mode equally.
+struct ObsCell {
+    name: &'static str,
+    modes: Vec<ObsMode>,
+    /// Best wall time per mode, ns (same order as `modes`).
+    best_ns: Vec<u64>,
+}
+
+impl ObsCell {
+    fn ratio(&self, mode: ObsMode) -> f64 {
+        let off = self.best_ns[0] as f64;
+        let i = self
+            .modes
+            .iter()
+            .position(|&m| m == mode)
+            .expect("mode measured");
+        self.best_ns[i] as f64 / off
+    }
+
+    fn print(&self) {
+        for (i, mode) in self.modes.iter().enumerate() {
+            let wall_s = self.best_ns[i] as f64 / 1e9;
+            println!(
+                "{:<10} obs={:<14} {:>9.4} s   x{:.4} vs unobserved",
+                self.name,
+                mode.name(),
+                wall_s,
+                self.ratio(*mode)
+            );
+        }
+    }
+
+    fn json(&self) -> String {
+        let runs = self
+            .modes
+            .iter()
+            .enumerate()
+            .map(|(i, mode)| {
+                format!(
+                    concat!(
+                        "{{ \"obs\": \"{}\", \"wall_s\": {:.6}, ",
+                        "\"ratio_vs_unobserved\": {:.4} }}"
+                    ),
+                    mode.name(),
+                    self.best_ns[i] as f64 / 1e9,
+                    self.ratio(*mode)
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(",\n      ");
+        format!(
+            concat!(
+                "{{\n",
+                "    \"cell\": \"{}\",\n",
+                "    \"runs\": [\n      {}\n    ],\n",
+                "    \"hier_adaptive_overhead\": {:.4}\n",
+                "  }}"
+            ),
+            self.name,
+            runs,
+            self.ratio(ObsMode::HierAdaptive) - 1.0
+        )
+    }
+}
+
+/// `obs-budget` — the CI-enforced observation overhead gate. Measures
+/// observed-vs-unobserved wall time on two cells:
+///
+/// * the Table-1 SMP MJPEG pipeline (`--frames`, paper cell at 578), and
+/// * the 10k-component executor fan-in/fan-out topology,
+///
+/// each under every applicable [`ObsMode`], interleaved best-of-N, and
+/// writes `BENCH_pr7.json`. With `--assert`, exits nonzero if the
+/// hierarchical+adaptive overhead exceeds `--max-overhead` (default
+/// 0.05) on either cell.
+fn obs_budget(scale: &Scale, args: &[String]) {
+    let out_path = arg_value(args, "--out").unwrap_or("BENCH_pr7.json");
+    let assert_budget = args.iter().any(|a| a == "--assert");
+    let max_overhead: f64 = arg_value(args, "--max-overhead")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.05);
+    let frames = arg_value(args, "--frames")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(scale.small)
+        .max(4);
+    let reps: usize = arg_value(args, "--reps")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(20)
+        .max(1);
+    // The Table-1 runs are ~35 ms each, so reps are nearly free there;
+    // a fanio run is seconds, so its rep count is capped separately.
+    let fanio_reps: usize = arg_value(args, "--fanio-reps")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(reps.min(5))
+        .max(1);
+    // `--fanio-n 0` skips the fanio cell entirely: CI asserts the
+    // Table-1 cell (fast, low-variance); the 10k-component cell is
+    // measured at full scale when regenerating the committed JSON.
+    let fanio_n: usize = arg_value(args, "--fanio-n")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(10_000);
+    let fanio_m: usize = arg_value(args, "--fanio-m")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(100)
+        .max(2);
+    // 5 ms, not the Table-1 default 20 ms: observers notice that the
+    // app finished only at their next tick, so the poll interval
+    // quantizes observer shutdown. At 20 ms that tail is over half the
+    // ~30 ms 578-frame run and the cell measures phase alignment, not
+    // observation work; 5 ms polls 4x more often (a stricter budget)
+    // while keeping the tail small.
+    let interval_ns: u64 = arg_value(args, "--interval-ns")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(5_000_000);
+    // The fanio cell gets its own (longer) polling interval: a full
+    // sweep of 10k components costs ~2·n message-equivalents, so pacing
+    // rounds at the Table-1 cadence would measure the observer, not its
+    // overhead on the application.
+    let fanio_interval_ns: u64 = arg_value(args, "--fanio-interval-ns")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(500_000_000);
+    println!(
+        "=== obs-budget — observation overhead gate ({frames}-frame table1 cell, \
+         {fanio_n}x{fanio_m} fanio, interval {} ms, best of {reps}) ===",
+        interval_ns / 1_000_000
+    );
+
+    // Cell 1: the paper's Table-1 pipeline on SMP, all four modes.
+    let cfg = MjpegAppConfig::default();
+    let base = stream(frames, 0x578);
+    let modes = ObsMode::ALL.to_vec();
+    let mut best_ns = vec![u64::MAX; modes.len()];
+    for _ in 0..reps {
+        for (i, mode) in modes.iter().enumerate() {
+            let (report, done) = run_mjpeg_stream_observed(
+                BenchBackend::Smp,
+                0,
+                base.clone(),
+                &cfg,
+                *mode,
+                interval_ns,
+            );
+            assert_eq!(done, frames as u64 - 1, "pipeline dropped frames");
+            println!(
+                "  table1 rep: obs={:<14} {:.4} s",
+                mode.name(),
+                report.wall_time_ns as f64 / 1e9
+            );
+            best_ns[i] = best_ns[i].min(report.wall_time_ns);
+        }
+    }
+    let table1 = ObsCell {
+        name: "table1",
+        modes,
+        best_ns,
+    };
+    table1.print();
+
+    // Cell 2: the 10k-component fan-in/fan-out scheduler stress on the
+    // executor. Flat is excluded: one observer polling 10k components
+    // every round is the design the hierarchy replaces, and at this
+    // scale it multiplies the runtime rather than perturbing it.
+    let fanio_cell = (fanio_n > 0).then(|| {
+        let fanio_modes = vec![ObsMode::Off, ObsMode::Hier, ObsMode::HierAdaptive];
+        let mut fanio_best = vec![u64::MAX; fanio_modes.len()];
+        // Untimed warmup: the first 10k-fiber deployment pays one-time
+        // page-fault and mapping costs that would otherwise land on
+        // whichever mode happens to run first.
+        let _ = fanio::run_fanio_exec_observed(fanio_n, 2, 256, 0, ObsMode::Off, 0);
+        for _ in 0..fanio_reps {
+            for (i, mode) in fanio_modes.iter().enumerate() {
+                let run = fanio::run_fanio_exec_observed(
+                    fanio_n,
+                    fanio_m,
+                    256,
+                    0,
+                    *mode,
+                    fanio_interval_ns,
+                );
+                println!(
+                    "  fanio rep: obs={:<14} {:.4} s",
+                    mode.name(),
+                    run.wall_ns as f64 / 1e9
+                );
+                fanio_best[i] = fanio_best[i].min(run.wall_ns);
+            }
+        }
+        let cell = ObsCell {
+            name: "fanio_10k",
+            modes: fanio_modes,
+            best_ns: fanio_best,
+        };
+        cell.print();
+        cell
+    });
+
+    let mut cells = vec![&table1];
+    if let Some(cell) = fanio_cell.as_ref() {
+        cells.push(cell);
+    }
+    let worst = cells
+        .iter()
+        .map(|c| c.ratio(ObsMode::HierAdaptive) - 1.0)
+        .fold(f64::MIN, f64::max);
+    println!(
+        "hier+adaptive worst-case overhead: {:.2}% (budget {:.2}%)",
+        worst * 100.0,
+        max_overhead * 100.0
+    );
+
+    let cells_json = cells.iter().map(|c| c.json()).collect::<Vec<_>>().join(",\n  ");
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"benchmark\": \"observation_overhead_budget\",\n",
+            "  \"git_rev\": \"{}\",\n",
+            "  \"host_cores\": {},\n",
+            "  \"frames\": {},\n",
+            "  \"fanio\": {{ \"n\": {}, \"m\": {}, \"payload_bytes\": 256, ",
+            "\"interval_ms\": {} }},\n",
+            "  \"obs_interval_ms\": {},\n",
+            "  \"obs_request\": \"health\",\n",
+            "  \"reps\": {},\n",
+            "  \"max_overhead\": {:.4},\n",
+            "  \"worst_hier_adaptive_overhead\": {:.4},\n",
+            "  \"within_budget\": {},\n",
+            "  \"cells\": [\n  {}\n  ]\n",
+            "}}\n"
+        ),
+        git_rev(),
+        std::thread::available_parallelism().map_or(1, |n| n.get()),
+        frames,
+        fanio_n,
+        fanio_m,
+        fanio_interval_ns / 1_000_000,
+        interval_ns / 1_000_000,
+        reps,
+        max_overhead,
+        worst,
+        worst <= max_overhead,
+        cells_json,
+    );
+    std::fs::write(out_path, json).expect("write obs-budget json");
+    println!("wrote {out_path}");
+
+    if assert_budget && worst > max_overhead {
+        eprintln!(
+            "obs-budget: hierarchical+adaptive observation overhead {:.2}% exceeds the \
+             {:.2}% budget",
+            worst * 100.0,
+            max_overhead * 100.0
+        );
+        std::process::exit(1);
+    }
 }

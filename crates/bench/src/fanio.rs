@@ -111,10 +111,42 @@ pub struct FanioRun {
 /// workers (`0` = auto). Panics if any message goes missing — this
 /// doubles as the 10k-component completion check.
 pub fn run_fanio_exec(n: usize, m: usize, payload_bytes: usize, workers: usize) -> FanioRun {
+    run_fanio_exec_observed(n, m, payload_bytes, workers, crate::ObsMode::Off, 0)
+}
+
+/// [`run_fanio_exec`] with an [`ObsMode`](crate::ObsMode)-selected
+/// observer attached: the 10k-component cell of the observation
+/// overhead budget. The hierarchical modes shard the n+2 components
+/// over ~√(n+2) regional observers (≈100 regions of ≈100 components at
+/// n = 10 000); `interval_ns` paces the polling rounds.
+pub fn run_fanio_exec_observed(
+    n: usize,
+    m: usize,
+    payload_bytes: usize,
+    workers: usize,
+    mode: crate::ObsMode,
+    interval_ns: u64,
+) -> FanioRun {
     let (mut app, delivered) = build_fanio_app(n, m, payload_bytes);
     // Pooled payloads so relay forwarding stays allocation-free once the
     // pool is warm (scheduling cost, not allocator cost, is under test).
     app.with_buffer_pool(embera::BufferPool::new(payload_bytes.max(1)));
+    if let Some(mut config) = mode.observer_config(crate::obs_regions(n + 2), interval_ns) {
+        if mode == crate::ObsMode::HierAdaptive {
+            // Scale-tuned policy: at n = 10 000 every full sweep costs
+            // ~2·n message-equivalents, so the overhead budget is spent
+            // in whole sweeps. Start coarse (every 8th round) and let
+            // quiet relays back off to a 256-round stride so a run sees
+            // a logarithmic handful of sweeps, not one per round.
+            config = config.sampling(embera::SamplingPolicy {
+                base_stride: 8,
+                max_stride: 256,
+                quiet_after: 1,
+                hot_delta: 2,
+            });
+        }
+        let _log = app.with_observer(config);
+    }
     let workers = crate::resolve_exec_workers(workers);
     let report: AppReport = ExecPlatform::with_workers(workers)
         .deploy(app.build().expect("valid fanio app"))
@@ -146,5 +178,17 @@ mod tests {
         assert_eq!(run.components, 52);
         assert_eq!(run.messages, 2 * 50 * 4);
         assert!(run.msgs_per_s > 0.0);
+    }
+
+    #[test]
+    fn observed_fanio_delivers_every_message() {
+        // The hierarchical adaptive observer must never perturb the
+        // application's delivery guarantee (run_fanio_exec_observed
+        // asserts the sink count internally).
+        let run =
+            run_fanio_exec_observed(50, 4, 64, 2, crate::ObsMode::HierAdaptive, 1_000_000);
+        assert_eq!(run.messages, 2 * 50 * 4);
+        let flat = run_fanio_exec_observed(50, 4, 64, 2, crate::ObsMode::Flat, 1_000_000);
+        assert_eq!(flat.messages, 2 * 50 * 4);
     }
 }

@@ -2,13 +2,82 @@
 //! configurations used by both the criterion benches and the `repro`
 //! binary that regenerates every table and figure of the paper.
 
-use embera::{AppReport, ObserverConfig, Platform, RunningApp};
+use embera::{AppReport, ObsRequest, ObserverConfig, Platform, RunningApp};
 use embera_exec::ExecPlatform;
 use embera_os21::Os21Platform;
 use embera_smp::SmpPlatform;
 use mjpeg::{build_mpsoc_app, build_smp_app, synthesize_stream, MjpegAppConfig, MjpegStream};
 
 pub mod fanio;
+
+/// Observation arrangement for an overhead measurement — the `--obs`
+/// axis of `bench-sweep` and the cells of the `obs-budget` gate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ObsMode {
+    /// No observer attached.
+    Off,
+    /// The paper's flat topology: one observer polls every component.
+    Flat,
+    /// Two-level hierarchy: regional observers roll summaries up to a
+    /// root (poll-everything-every-round within each region).
+    Hier,
+    /// The hierarchy plus adaptive per-component sampling (quiet
+    /// components are polled exponentially less often).
+    HierAdaptive,
+}
+
+impl ObsMode {
+    /// All modes, in sweep order.
+    pub const ALL: [ObsMode; 4] = [
+        ObsMode::Off,
+        ObsMode::Flat,
+        ObsMode::Hier,
+        ObsMode::HierAdaptive,
+    ];
+
+    /// Parse a `--obs` CLI value.
+    pub fn parse(s: &str) -> Option<ObsMode> {
+        match s {
+            "off" => Some(ObsMode::Off),
+            "flat" => Some(ObsMode::Flat),
+            "hier" => Some(ObsMode::Hier),
+            "hier-adaptive" => Some(ObsMode::HierAdaptive),
+            _ => None,
+        }
+    }
+
+    /// Label stamped into run labels and `BENCH_*.json`.
+    pub fn name(self) -> &'static str {
+        match self {
+            ObsMode::Off => "off",
+            ObsMode::Flat => "flat",
+            ObsMode::Hier => "hier",
+            ObsMode::HierAdaptive => "hier_adaptive",
+        }
+    }
+
+    /// The observer configuration this mode attaches (`None` for
+    /// [`ObsMode::Off`]). Polls [`ObsRequest::Health`] — the narrow
+    /// request — every `interval_ns`, sharded over `regions` regional
+    /// observers in the hierarchical modes.
+    pub fn observer_config(self, regions: usize, interval_ns: u64) -> Option<ObserverConfig> {
+        let base = ObserverConfig::default()
+            .interval_ns(interval_ns)
+            .request(ObsRequest::Health);
+        match self {
+            ObsMode::Off => None,
+            ObsMode::Flat => Some(base),
+            ObsMode::Hier => Some(base.sharded(regions)),
+            ObsMode::HierAdaptive => Some(base.sharded(regions).adaptive()),
+        }
+    }
+}
+
+/// Region count for a hierarchy over `targets` components: ~√targets,
+/// balancing the root's fan-in against each regional's fan-out.
+pub fn obs_regions(targets: usize) -> usize {
+    (1..).find(|r| r * r >= targets).unwrap_or(1).max(1)
+}
 
 /// Host backend selected for a throughput or allocation measurement.
 /// (`os21`/`inproc` have their own dedicated experiment entry points —
@@ -155,6 +224,44 @@ pub fn run_mjpeg_stream_on(
     let (mut app, probe) = build_smp_app(stream, cfg);
     if let Some(pool) = pool {
         app.with_buffer_pool(pool);
+    }
+    let spec = app.build().expect("valid app");
+    let report = match backend {
+        BenchBackend::Smp => SmpPlatform::new()
+            .deploy(spec)
+            .expect("deploy")
+            .wait()
+            .expect("run"),
+        BenchBackend::Exec => ExecPlatform::with_workers(resolve_exec_workers(workers))
+            .deploy(spec)
+            .expect("deploy")
+            .wait()
+            .expect("run"),
+    };
+    let done = probe
+        .frames_completed
+        .load(std::sync::atomic::Ordering::SeqCst);
+    (report, done)
+}
+
+/// [`run_mjpeg_stream_on`] with an [`ObsMode`]-selected observer
+/// attached: the observed-vs-unobserved measurement entry point for the
+/// overhead budget. The hierarchical modes shard the pipeline's
+/// components over [`obs_regions`] regional observers.
+pub fn run_mjpeg_stream_observed(
+    backend: BenchBackend,
+    workers: usize,
+    stream: MjpegStream,
+    cfg: &MjpegAppConfig,
+    mode: ObsMode,
+    interval_ns: u64,
+) -> (AppReport, u64) {
+    let (mut app, probe) = build_smp_app(stream, cfg);
+    // Fetch + IDCT workers + Reorder (+ feeder/probe plumbing is
+    // builder-internal); √ of a small pipeline is 2–3 regions.
+    let targets = cfg.idct_count + 2;
+    if let Some(config) = mode.observer_config(obs_regions(targets), interval_ns) {
+        let _log = app.with_observer(config);
     }
     let spec = app.build().expect("valid app");
     let report = match backend {

@@ -5,7 +5,11 @@ use std::collections::{HashMap, HashSet};
 
 use crate::component::{ComponentSpec, INTROSPECTION};
 use crate::error::EmberaError;
-use crate::observer::{ObservationLog, ObserverBehavior, ObserverConfig, OBSERVER_NAME};
+use crate::observe::topology::ObserverTopology;
+use crate::observer::{
+    is_observer_component, ObservationLog, ObserverBehavior, ObserverConfig,
+    RegionObserverBehavior, RootObserverBehavior, OBSERVER_NAME, REGION_OBSERVER_PREFIX,
+};
 use crate::runtime::TraceConfig;
 use crate::supervise::FaultPlan;
 
@@ -98,7 +102,7 @@ impl AppSpec {
         use std::fmt::Write as _;
         let mut out = String::from("digraph embera {\n  rankdir=LR;\n  node [shape=box];\n");
         for c in &self.components {
-            let style = if c.name == OBSERVER_NAME {
+            let style = if is_observer_component(&c.name) {
                 ", style=dashed"
             } else {
                 ""
@@ -119,12 +123,12 @@ impl AppSpec {
         out
     }
 
-    /// Names of components excluding the observer.
+    /// Names of components excluding the observer tree.
     pub fn application_components(&self) -> Vec<&str> {
         self.components
             .iter()
             .map(|c| c.name.as_str())
-            .filter(|n| *n != OBSERVER_NAME)
+            .filter(|n| !is_observer_component(n))
             .collect()
     }
 }
@@ -234,29 +238,51 @@ impl AppBuilder {
         // checked like any other.
         let has_observer = self.observer.is_some();
         if let Some(config) = self.observer.take() {
+            // The observer tree owns "Observer" and every "Observer.*"
+            // name; a user component shadowing one would corrupt the
+            // backends' application-completion accounting.
+            for c in &self.components {
+                if c.name == OBSERVER_NAME || c.name.starts_with("Observer.") {
+                    return Err(EmberaError::Validation(format!(
+                        "component name '{}' is reserved for the auto-wired observer",
+                        c.name
+                    )));
+                }
+            }
             let targets: Vec<String> =
                 self.components.iter().map(|c| c.name.clone()).collect();
-            let mut observer = ComponentSpec::new(
-                OBSERVER_NAME,
-                ObserverBehavior::new(targets.clone(), config),
-            )
-            .with_provided("observations");
-            for t in &targets {
-                observer = observer.with_required(format!("obs_{t}"));
+            match config.topology.clone() {
+                ObserverTopology::Flat => self.wire_flat_observer(targets, config),
+                ObserverTopology::Sharded { regions } => {
+                    let r = regions.clamp(1, targets.len().max(1));
+                    let per = targets.len().div_ceil(r).max(1);
+                    let groups: Vec<(String, Vec<String>)> = targets
+                        .chunks(per)
+                        .enumerate()
+                        .map(|(i, chunk)| (format!("region{i}"), chunk.to_vec()))
+                        .collect();
+                    self.wire_hierarchical_observer(groups, config)?;
+                }
+                ObserverTopology::Grouped { groups } => {
+                    let known: HashSet<&str> = targets.iter().map(|t| t.as_str()).collect();
+                    let mut seen = HashSet::new();
+                    for (label, members) in &groups {
+                        for m in members {
+                            if !known.contains(m.as_str()) {
+                                return Err(EmberaError::Validation(format!(
+                                    "observer group '{label}' lists unknown component '{m}'"
+                                )));
+                            }
+                            if !seen.insert(m.as_str()) {
+                                return Err(EmberaError::Validation(format!(
+                                    "component '{m}' assigned to more than one observer group"
+                                )));
+                            }
+                        }
+                    }
+                    self.wire_hierarchical_observer(groups, config)?;
+                }
             }
-            for t in &targets {
-                // Observer asks through obs_<t> -> t.introspection, and t
-                // answers through t.introspection -> Observer.observations.
-                self.connections.push(Connection {
-                    from: Endpoint::new(OBSERVER_NAME, format!("obs_{t}")),
-                    to: Endpoint::new(t.clone(), INTROSPECTION),
-                });
-                self.connections.push(Connection {
-                    from: Endpoint::new(t.clone(), INTROSPECTION),
-                    to: Endpoint::new(OBSERVER_NAME, "observations"),
-                });
-            }
-            self.components.push(observer);
         }
         self.validate()?;
         Ok(AppSpec {
@@ -268,6 +294,94 @@ impl AppBuilder {
             faults: self.faults,
             pool: self.pool,
         })
+    }
+
+    /// The paper's flat topology: one observer component, wired to every
+    /// component. Byte-identical to the pre-hierarchy auto-wiring.
+    fn wire_flat_observer(&mut self, targets: Vec<String>, config: ObserverConfig) {
+        let mut observer = ComponentSpec::new(
+            OBSERVER_NAME,
+            ObserverBehavior::new(targets.clone(), config),
+        )
+        .with_provided("observations");
+        for t in &targets {
+            observer = observer.with_required(format!("obs_{t}"));
+        }
+        for t in &targets {
+            // Observer asks through obs_<t> -> t.introspection, and t
+            // answers through t.introspection -> Observer.observations.
+            self.connections.push(Connection {
+                from: Endpoint::new(OBSERVER_NAME, format!("obs_{t}")),
+                to: Endpoint::new(t.clone(), INTROSPECTION),
+            });
+            self.connections.push(Connection {
+                from: Endpoint::new(t.clone(), INTROSPECTION),
+                to: Endpoint::new(OBSERVER_NAME, "observations"),
+            });
+        }
+        self.components.push(observer);
+    }
+
+    /// Two-level hierarchy: one regional observer per group (each wired
+    /// to its members exactly like a flat observer), all rolling up to a
+    /// root observer appended last.
+    fn wire_hierarchical_observer(
+        &mut self,
+        groups: Vec<(String, Vec<String>)>,
+        config: ObserverConfig,
+    ) -> Result<(), EmberaError> {
+        if let Some((done_component, _)) = &config.notify_done {
+            let observed = groups
+                .iter()
+                .any(|(_, members)| members.iter().any(|m| m == done_component));
+            if observed {
+                return Err(EmberaError::Validation(format!(
+                    "notify_done target '{done_component}' must not itself be observed \
+                     (it can only finish after the observer tree does)"
+                )));
+            }
+        }
+        for (idx, (label, members)) in groups.iter().enumerate() {
+            let name = format!("{REGION_OBSERVER_PREFIX}{idx}");
+            let mut regional = ComponentSpec::new(
+                name.clone(),
+                RegionObserverBehavior::new(label.clone(), members.clone(), config.clone()),
+            )
+            .with_provided("observations")
+            .with_required("rollup");
+            for m in members {
+                regional = regional.with_required(format!("obs_{m}"));
+            }
+            for m in members {
+                self.connections.push(Connection {
+                    from: Endpoint::new(name.clone(), format!("obs_{m}")),
+                    to: Endpoint::new(m.clone(), INTROSPECTION),
+                });
+                self.connections.push(Connection {
+                    from: Endpoint::new(m.clone(), INTROSPECTION),
+                    to: Endpoint::new(name.clone(), "observations"),
+                });
+            }
+            self.connections.push(Connection {
+                from: Endpoint::new(name, "rollup"),
+                to: Endpoint::new(OBSERVER_NAME, "regions"),
+            });
+            self.components.push(regional);
+        }
+        let mut root = ComponentSpec::new(
+            OBSERVER_NAME,
+            RootObserverBehavior::new(groups.len(), config.clone()),
+        )
+        .with_provided("regions");
+        if let Some((done_component, done_iface)) = &config.notify_done {
+            root = root.with_required("done");
+            self.connections.push(Connection {
+                from: Endpoint::new(OBSERVER_NAME, "done"),
+                to: Endpoint::new(done_component.clone(), done_iface.clone()),
+            });
+        }
+        self.components.push(root);
+        Ok(())
     }
 
     fn validate(&self) -> Result<(), EmberaError> {
@@ -481,6 +595,107 @@ mod tests {
         let dot = b.build().unwrap().to_dot();
         assert!(dot.contains("style=dashed"), "observer node dashed");
         assert!(dot.contains("style=dotted"), "observation edges dotted");
+    }
+
+    #[test]
+    fn sharded_observer_wires_regionals_and_root() {
+        let mut b = AppBuilder::new("app");
+        for n in ["a", "b", "c", "d"] {
+            b.add(ComponentSpec::new(n, noop()));
+        }
+        let _log = b.with_observer(ObserverConfig::default().sharded(2));
+        let spec = b.build().unwrap();
+        assert!(spec.has_observer);
+        // 4 app components + 2 regionals + root.
+        assert_eq!(spec.components.len(), 7);
+        assert_eq!(spec.components[4].name, "Observer.region0");
+        assert_eq!(spec.components[5].name, "Observer.region1");
+        let root = &spec.components[6];
+        assert_eq!(root.name, OBSERVER_NAME);
+        assert_eq!(root.provided, vec!["regions"]);
+        assert!(root.required.is_empty());
+        let r0 = &spec.components[4];
+        assert_eq!(r0.provided, vec!["observations"]);
+        assert_eq!(r0.required, vec!["rollup", "obs_a", "obs_b"]);
+        // 2 per member (4 members) + 1 rollup per region (2 regions).
+        assert_eq!(spec.connections.len(), 4 * 2 + 2);
+        assert_eq!(spec.application_components(), vec!["a", "b", "c", "d"]);
+    }
+
+    #[test]
+    fn grouped_observer_validates_membership() {
+        let mk = || {
+            let mut b = AppBuilder::new("app");
+            b.add(ComponentSpec::new("a", noop()));
+            b.add(ComponentSpec::new("b", noop()));
+            b
+        };
+        let mut b = mk();
+        b.with_observer(ObserverConfig::default().grouped(vec![(
+            "g".into(),
+            vec!["a".into(), "nope".into()],
+        )]));
+        assert!(matches!(b.build(), Err(EmberaError::Validation(_))));
+
+        let mut b = mk();
+        b.with_observer(ObserverConfig::default().grouped(vec![
+            ("g1".into(), vec!["a".into()]),
+            ("g2".into(), vec!["a".into()]),
+        ]));
+        assert!(matches!(b.build(), Err(EmberaError::Validation(_))));
+
+        // Unlisted components are simply unobserved.
+        let mut b = mk();
+        b.with_observer(
+            ObserverConfig::default().grouped(vec![("g".into(), vec!["a".into()])]),
+        );
+        let spec = b.build().unwrap();
+        assert_eq!(spec.components.len(), 4); // a, b, regional, root
+    }
+
+    #[test]
+    fn observer_names_are_reserved() {
+        for bad in [OBSERVER_NAME, "Observer.region0", "Observer.custom"] {
+            let mut b = AppBuilder::new("app");
+            b.add(ComponentSpec::new(bad, noop()));
+            b.with_observer(ObserverConfig::default());
+            assert!(
+                matches!(b.build(), Err(EmberaError::Validation(_))),
+                "'{bad}' accepted"
+            );
+        }
+    }
+
+    #[test]
+    fn notify_done_target_must_be_unobserved() {
+        let mut b = AppBuilder::new("app");
+        b.add(ComponentSpec::new("a", noop()));
+        b.add(ComponentSpec::new("waiter", noop()).with_provided("done"));
+        b.with_observer(
+            ObserverConfig::default()
+                .sharded(1)
+                .notify_done("waiter", "done"),
+        );
+        // Sharded observes everything, including the waiter: rejected.
+        assert!(matches!(b.build(), Err(EmberaError::Validation(_))));
+
+        let mut b = AppBuilder::new("app");
+        b.add(ComponentSpec::new("a", noop()));
+        b.add(ComponentSpec::new("waiter", noop()).with_provided("done"));
+        b.with_observer(
+            ObserverConfig::default()
+                .grouped(vec![("g".into(), vec!["a".into()])])
+                .notify_done("waiter", "done"),
+        );
+        let spec = b.build().unwrap();
+        let root = spec.components.last().unwrap();
+        assert_eq!(root.required, vec!["done"]);
+        assert!(spec
+            .connections
+            .iter()
+            .any(|c| c.from.component == OBSERVER_NAME
+                && c.from.interface == "done"
+                && c.to.component == "waiter"));
     }
 
     #[test]

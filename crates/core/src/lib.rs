@@ -80,7 +80,12 @@ pub use observe::report::{
     OsStats, StructureInfo, TimingSnapshot,
 };
 pub use observe::stats::ComponentStats;
-pub use observer::{ObservationLog, ObserverBehavior, ObserverConfig, StallRecord, OBSERVER_NAME};
+pub use observe::topology::{ObserverTopology, RegionSummary, RollupTotals, SamplingPolicy};
+pub use observer::{
+    is_observer_component, ObservationLog, ObserverBehavior, ObserverConfig,
+    RegionObserverBehavior, RootObserverBehavior, StallRecord, OBSERVER_NAME,
+    REGION_OBSERVER_PREFIX, ROOT_REGION,
+};
 pub use platform::{AppReport, Platform, RunningApp};
 pub use pool::{BufferPool, PoolStats};
 pub use runtime::{ComponentRuntime, TraceConfig, TraceEventKind, TraceSink};

@@ -16,3 +16,4 @@ pub mod engine;
 pub mod protocol;
 pub mod report;
 pub mod stats;
+pub mod topology;

@@ -7,6 +7,7 @@ use crate::observe::custom::CustomMetric;
 use crate::observe::report::{
     AppStats, HealthInfo, MiddlewareStats, ObservationReport, OsStats, StructureInfo,
 };
+use crate::observe::topology::RegionSummary;
 
 /// What an observer asks of a component (paper §3.3: "The observation
 /// interface may provide functions related to each level such as memory
@@ -50,6 +51,11 @@ pub enum ObsReply {
     /// Answer to [`ObsRequest::Full`]. Boxed: the full report dwarfs
     /// every other variant, and replies are moved through mail queues.
     Full(Box<ObservationReport>),
+    /// Not a component's answer at all: a regional observer's rolled-up
+    /// summary, sent *up* the observer tree to the root. Reuses the
+    /// reply envelope so the hierarchy needs no new message kind and no
+    /// backend changes.
+    Region(RegionSummary),
 }
 
 impl ObsReply {

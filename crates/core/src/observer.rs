@@ -6,7 +6,17 @@
 //! The observer is an ordinary [`Behavior`]: it communicates exclusively
 //! through EMBera interfaces, so the same observer runs unchanged on the
 //! SMP backend and on the simulated MPSoC.
+//!
+//! Observation can be arranged in two topologies
+//! ([`ObserverTopology`]): the paper's *flat* design — one observer
+//! polling every component — and a two-level *hierarchy* in which
+//! regional observers each poll a subset of components and roll
+//! [`RegionSummary`] aggregates up to a root observer. The flat design
+//! stays the default and is wiring-identical to the seed implementation
+//! for paper-parity runs; the hierarchy is what keeps observation
+//! affordable at 10k-component scale.
 
+use std::collections::HashMap;
 use std::sync::Arc;
 
 use parking_lot::Mutex;
@@ -16,10 +26,29 @@ use crate::error::EmberaError;
 use crate::message::Message;
 use crate::observe::protocol::{ObsReply, ObsRequest};
 use crate::observe::report::{HealthState, ObservationReport};
+use crate::observe::topology::{
+    AdaptiveSampler, HealthSignature, ObserverTopology, RegionSummary, RollupTotals,
+    SamplingPolicy,
+};
 
-
-/// Reserved name of the auto-wired observer component.
+/// Reserved name of the auto-wired (root) observer component.
 pub const OBSERVER_NAME: &str = "Observer";
+
+/// Name prefix of auto-wired regional observer components
+/// (`Observer.region0`, `Observer.region1`, …).
+pub const REGION_OBSERVER_PREFIX: &str = "Observer.region";
+
+/// Region label used by the flat observer's records (there is only one
+/// poller, the root itself).
+pub const ROOT_REGION: &str = "root";
+
+/// True for any auto-wired observer component — the root observer or a
+/// regional observer. Backends use this (instead of comparing against
+/// [`OBSERVER_NAME`]) to keep observers out of application-completion
+/// accounting.
+pub fn is_observer_component(name: &str) -> bool {
+    name == OBSERVER_NAME || name.starts_with(REGION_OBSERVER_PREFIX)
+}
 
 /// One collected observation.
 #[derive(Debug, Clone)]
@@ -36,6 +65,11 @@ pub struct ObservationRecord {
 /// progress for longer than the observer's configured deadline.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct StallRecord {
+    /// Region whose observer detected the stall ([`ROOT_REGION`] for the
+    /// flat topology) — under the hierarchy, the poll timestamp that
+    /// tripped the watchdog is the *regional* observer's, so the stall
+    /// must stay attributable to the region that reported it.
+    pub region: String,
     /// The stalled component.
     pub component: String,
     /// Observer time when the stall was detected, ns.
@@ -51,6 +85,7 @@ pub struct StallRecord {
 pub struct ObservationLog {
     records: Arc<Mutex<Vec<ObservationRecord>>>,
     stalls: Arc<Mutex<Vec<StallRecord>>>,
+    summaries: Arc<Mutex<Vec<RegionSummary>>>,
 }
 
 impl ObservationLog {
@@ -116,6 +151,51 @@ impl ObservationLog {
         }
         order.into_iter().filter_map(|n| latest.remove(&n)).collect()
     }
+
+    /// Append a region summary received by the root observer.
+    pub(crate) fn push_summary(&self, summary: RegionSummary) {
+        self.summaries.lock().push(summary);
+    }
+
+    /// Every region summary the root observer received, arrival order.
+    pub fn summaries(&self) -> Vec<RegionSummary> {
+        self.summaries.lock().clone()
+    }
+
+    /// Aggregate of the *latest* summary from each region (`None` until
+    /// the root observer has received at least one summary). Under the
+    /// flat topology no summaries flow, so this stays `None`.
+    pub fn rollup(&self) -> Option<RollupTotals> {
+        let summaries = self.summaries.lock();
+        if summaries.is_empty() {
+            return None;
+        }
+        let mut latest: Vec<(&str, &RegionSummary)> = Vec::new();
+        for s in summaries.iter() {
+            if let Some(slot) = latest.iter_mut().find(|(n, _)| *n == s.region) {
+                slot.1 = s;
+            } else {
+                latest.push((s.region.as_str(), s));
+            }
+        }
+        let mut t = RollupTotals {
+            regions: latest.len() as u64,
+            all_terminal: true,
+            ..Default::default()
+        };
+        for (_, s) in &latest {
+            t.components += s.components;
+            t.finished += s.finished;
+            t.faulted += s.faulted;
+            t.polls += s.polls;
+            t.total_sends += s.total_sends;
+            t.total_receives += s.total_receives;
+            if !s.all_terminal() {
+                t.all_terminal = false;
+            }
+        }
+        Some(t)
+    }
 }
 
 /// Configuration of the observer's polling loop.
@@ -135,6 +215,21 @@ pub struct ObserverConfig {
     /// progress for longer than this, a [`StallRecord`] is logged.
     /// 0 (default) disables the watchdog.
     pub watchdog_ns: u64,
+    /// How observers are arranged over the application
+    /// (default: [`ObserverTopology::Flat`], the paper's design).
+    pub topology: ObserverTopology,
+    /// Adaptive per-component sampling (`None` = poll every target every
+    /// round, the seed behavior). Meaningful with health-carrying
+    /// requests ([`ObsRequest::Health`] / [`ObsRequest::Full`]); without
+    /// health data every component looks quiet and simply backs off.
+    pub sampling: Option<SamplingPolicy>,
+    /// Hierarchical topologies only: `(component, provided_interface)`
+    /// the root observer sends one data message to once every region has
+    /// reported all its members terminal. Lets an application component
+    /// block until observation of the whole run has converged. The
+    /// target component must not itself be observed (use
+    /// [`ObserverTopology::Grouped`] and leave it out of every group).
+    pub notify_done: Option<(String, String)>,
     pub(crate) log: ObservationLog,
 }
 
@@ -146,6 +241,9 @@ impl Default for ObserverConfig {
             reply_timeout_ns: 100_000_000, // 100 ms
             request: ObsRequest::Full,
             watchdog_ns: 0,
+            topology: ObserverTopology::Flat,
+            sampling: None,
+            notify_done: None,
             log: ObservationLog::new(),
         }
     }
@@ -176,14 +274,110 @@ impl ObserverConfig {
         self
     }
 
+    /// Choose the observer topology.
+    pub fn topology(mut self, topology: ObserverTopology) -> Self {
+        self.topology = topology;
+        self
+    }
+
+    /// Shorthand for a sharded two-level hierarchy with `regions`
+    /// regional observers.
+    pub fn sharded(self, regions: usize) -> Self {
+        self.topology(ObserverTopology::Sharded { regions })
+    }
+
+    /// Shorthand for an explicitly grouped two-level hierarchy.
+    pub fn grouped(self, groups: Vec<(String, Vec<String>)>) -> Self {
+        self.topology(ObserverTopology::Grouped { groups })
+    }
+
+    /// Set the adaptive sampling policy.
+    pub fn sampling(mut self, policy: SamplingPolicy) -> Self {
+        self.sampling = Some(policy);
+        self
+    }
+
+    /// Enable adaptive sampling with the default policy.
+    pub fn adaptive(self) -> Self {
+        self.sampling(SamplingPolicy::default())
+    }
+
+    /// Have the root observer send one data message to
+    /// `(component, interface)` once every region is all-terminal.
+    pub fn notify_done(
+        mut self,
+        component: impl Into<String>,
+        interface: impl Into<String>,
+    ) -> Self {
+        self.notify_done = Some((component.into(), interface.into()));
+        self
+    }
+
     pub(crate) fn with_log(mut self, log: ObservationLog) -> Self {
         self.log = log;
         self
     }
 }
 
-/// The observer behavior: each round, sends an [`ObsRequest::Full`] to
-/// every target's observation interface and logs the replies.
+/// Lift a (possibly partial) reply into a sparse report so every request
+/// kind lands in the same log. Region summaries are tree-internal
+/// traffic, not component reports.
+fn lift_reply(from: String, reply: ObsReply) -> Option<ObservationReport> {
+    match reply {
+        ObsReply::Full(report) => Some(*report),
+        ObsReply::Os(os) => Some(ObservationReport {
+            component: from,
+            os,
+            ..Default::default()
+        }),
+        ObsReply::Middleware(middleware) => Some(ObservationReport {
+            component: from,
+            middleware,
+            ..Default::default()
+        }),
+        ObsReply::App(app) => Some(ObservationReport {
+            component: from,
+            app,
+            ..Default::default()
+        }),
+        ObsReply::Structure(structure) => Some(ObservationReport {
+            component: from,
+            structure,
+            ..Default::default()
+        }),
+        ObsReply::Custom(custom) => Some(ObservationReport {
+            component: from,
+            custom,
+            ..Default::default()
+        }),
+        ObsReply::Health(health) => Some(ObservationReport {
+            component: from,
+            health: Some(health),
+            ..Default::default()
+        }),
+        ObsReply::Region(_) => None,
+    }
+}
+
+/// The sampler's view of a report.
+fn health_signature(report: &ObservationReport) -> HealthSignature {
+    match &report.health {
+        Some(h) => HealthSignature {
+            terminal: matches!(h.state, HealthState::Faulted | HealthState::Finished),
+            restarts: h.restarts,
+            queued_messages: h.queued_messages,
+        },
+        None => HealthSignature {
+            terminal: false,
+            restarts: 0,
+            queued_messages: 0,
+        },
+    }
+}
+
+/// The flat observer behavior: each round, sends the configured
+/// [`ObsRequest`] to every due target's observation interface and logs
+/// the replies.
 pub struct ObserverBehavior {
     targets: Vec<String>,
     config: ObserverConfig,
@@ -203,6 +397,13 @@ impl ObserverBehavior {
 
 impl Behavior for ObserverBehavior {
     fn run(&mut self, ctx: &mut dyn Ctx) -> Result<(), EmberaError> {
+        let index: HashMap<&str, usize> = self
+            .targets
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (n.as_str(), i))
+            .collect();
+        let mut sampler = AdaptiveSampler::new(self.targets.len(), self.config.sampling);
         let mut round: u64 = 0;
         loop {
             if ctx.should_stop() {
@@ -213,9 +414,10 @@ impl Behavior for ObserverBehavior {
                     return Ok(());
                 }
             }
-            // Fan the configured request out to every target.
-            for t in &self.targets {
-                let iface = format!("obs_{t}");
+            // Fan the configured request out to every due target.
+            let due = sampler.due(round);
+            for &i in &due {
+                let iface = format!("obs_{}", self.targets[i]);
                 ctx.send_message(
                     &iface,
                     Message::ObsRequest {
@@ -225,49 +427,14 @@ impl Behavior for ObserverBehavior {
                 )?;
             }
             // Collect the replies.
-            let mut pending = self.targets.len();
+            let mut pending = due.len();
             while pending > 0 {
                 if ctx.should_stop() {
                     return Ok(());
                 }
                 match ctx.recv_message_timeout("observations", self.config.reply_timeout_ns)? {
                     Some(Message::ObsReply { from, reply }) => {
-                        // Lift partial replies into a (sparse) report so
-                        // every request kind lands in the same log.
-                        let report = match *reply {
-                            ObsReply::Full(report) => Some(*report),
-                            ObsReply::Os(os) => Some(ObservationReport {
-                                component: from,
-                                os,
-                                ..Default::default()
-                            }),
-                            ObsReply::Middleware(middleware) => Some(ObservationReport {
-                                component: from,
-                                middleware,
-                                ..Default::default()
-                            }),
-                            ObsReply::App(app) => Some(ObservationReport {
-                                component: from,
-                                app,
-                                ..Default::default()
-                            }),
-                            ObsReply::Structure(structure) => Some(ObservationReport {
-                                component: from,
-                                structure,
-                                ..Default::default()
-                            }),
-                            ObsReply::Custom(custom) => Some(ObservationReport {
-                                component: from,
-                                custom,
-                                ..Default::default()
-                            }),
-                            ObsReply::Health(health) => Some(ObservationReport {
-                                component: from,
-                                health: Some(health),
-                                ..Default::default()
-                            }),
-                        };
-                        if let Some(report) = report {
+                        if let Some(report) = lift_reply(from, *reply) {
                             let at_ns = ctx.now_ns();
                             // Watchdog: any reply carrying health (Health
                             // or Full) is checked against the deadline.
@@ -275,6 +442,7 @@ impl Behavior for ObserverBehavior {
                                 if let Some(h) = &report.health {
                                     if h.is_stalled(at_ns, self.config.watchdog_ns) {
                                         self.config.log.push_stall(StallRecord {
+                                            region: ROOT_REGION.to_string(),
                                             component: report.component.clone(),
                                             at_ns,
                                             last_progress_ns: h.last_progress_ns,
@@ -282,6 +450,9 @@ impl Behavior for ObserverBehavior {
                                         });
                                     }
                                 }
+                            }
+                            if let Some(&i) = index.get(report.component.as_str()) {
+                                sampler.observe(i, round, health_signature(&report));
                             }
                             self.config.log.push(ObservationRecord {
                                 at_ns,
@@ -298,6 +469,201 @@ impl Behavior for ObserverBehavior {
             round += 1;
             // Pace the next round; the timeout doubles as a sleep.
             let _ = ctx.recv_message_timeout("observations", self.config.interval_ns)?;
+        }
+    }
+}
+
+/// A regional observer: polls only its region's members, logs their
+/// reports (exactly like the flat observer), and after every polling
+/// round sends a [`RegionSummary`] up its `rollup` interface to the
+/// root. Exits on its own once every member has reached a terminal
+/// state — final counters are safe to collect because the component
+/// runtime keeps answering introspection after a behavior finishes.
+pub struct RegionObserverBehavior {
+    region: String,
+    targets: Vec<String>,
+    config: ObserverConfig,
+}
+
+impl RegionObserverBehavior {
+    /// Regional observer labeled `region` over the given members.
+    pub fn new(region: impl Into<String>, targets: Vec<String>, config: ObserverConfig) -> Self {
+        RegionObserverBehavior {
+            region: region.into(),
+            targets,
+            config,
+        }
+    }
+}
+
+impl Behavior for RegionObserverBehavior {
+    fn run(&mut self, ctx: &mut dyn Ctx) -> Result<(), EmberaError> {
+        let n = self.targets.len();
+        let index: HashMap<&str, usize> = self
+            .targets
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (t.as_str(), i))
+            .collect();
+        let mut sampler = AdaptiveSampler::new(n, self.config.sampling);
+        let mut latest_health: Vec<Option<crate::observe::report::HealthInfo>> = vec![None; n];
+        let mut latest_counters: Vec<(u64, u64)> = vec![(0, 0); n];
+        let mut stalled: Vec<bool> = vec![false; n];
+        let mut polls: u64 = 0;
+        let mut round: u64 = 0;
+        loop {
+            if ctx.should_stop() {
+                return Ok(());
+            }
+            if let Some(max) = self.config.max_rounds {
+                if round >= max {
+                    return Ok(());
+                }
+            }
+            let due = sampler.due(round);
+            for &i in &due {
+                let iface = format!("obs_{}", self.targets[i]);
+                ctx.send_message(
+                    &iface,
+                    Message::ObsRequest {
+                        from: self.region.clone(),
+                        request: self.config.request,
+                    },
+                )?;
+            }
+            polls += due.len() as u64;
+            let mut pending = due.len();
+            while pending > 0 {
+                if ctx.should_stop() {
+                    return Ok(());
+                }
+                match ctx.recv_message_timeout("observations", self.config.reply_timeout_ns)? {
+                    Some(Message::ObsReply { from, reply }) => {
+                        if let Some(report) = lift_reply(from, *reply) {
+                            let at_ns = ctx.now_ns();
+                            if let Some(&i) = index.get(report.component.as_str()) {
+                                if let Some(h) = &report.health {
+                                    latest_health[i] = Some(*h);
+                                    if self.config.watchdog_ns > 0
+                                        && h.is_stalled(at_ns, self.config.watchdog_ns)
+                                    {
+                                        stalled[i] = true;
+                                        self.config.log.push_stall(StallRecord {
+                                            region: self.region.clone(),
+                                            component: report.component.clone(),
+                                            at_ns,
+                                            last_progress_ns: h.last_progress_ns,
+                                            state: h.state,
+                                        });
+                                    }
+                                }
+                                if report.app.total_sends > 0 || report.app.total_receives > 0 {
+                                    latest_counters[i] =
+                                        (report.app.total_sends, report.app.total_receives);
+                                }
+                                sampler.observe(i, round, health_signature(&report));
+                            }
+                            self.config.log.push(ObservationRecord {
+                                at_ns,
+                                round,
+                                report,
+                            });
+                        }
+                        pending -= 1;
+                    }
+                    Some(_) => {}
+                    None => break,
+                }
+            }
+            if !due.is_empty() {
+                // Roll the region's state up to the root.
+                let mut summary = RegionSummary {
+                    region: self.region.clone(),
+                    components: n as u64,
+                    round,
+                    polls,
+                    ..Default::default()
+                };
+                for (i, h) in latest_health.iter().enumerate() {
+                    if let Some(h) = h {
+                        match h.state {
+                            HealthState::Finished => summary.finished += 1,
+                            HealthState::Faulted => summary.faulted += 1,
+                            _ => {}
+                        }
+                        summary.queued_messages += h.queued_messages;
+                    }
+                    if stalled[i] {
+                        summary.stalled += 1;
+                    }
+                    summary.total_sends += latest_counters[i].0;
+                    summary.total_receives += latest_counters[i].1;
+                }
+                let complete = summary.all_terminal();
+                ctx.send_message(
+                    "rollup",
+                    Message::ObsReply {
+                        from: self.region.clone(),
+                        reply: Box::new(ObsReply::Region(summary)),
+                    },
+                )?;
+                if complete {
+                    return Ok(());
+                }
+            }
+            round += 1;
+            let _ = ctx.recv_message_timeout("observations", self.config.interval_ns)?;
+        }
+    }
+}
+
+/// The root observer of a hierarchical topology: receives
+/// [`RegionSummary`] messages on its `regions` interface, records them
+/// in the shared log (see [`ObservationLog::rollup`]), and — once every
+/// region has reported all its members terminal — optionally notifies a
+/// designated application component and exits.
+pub struct RootObserverBehavior {
+    regions: usize,
+    config: ObserverConfig,
+}
+
+impl RootObserverBehavior {
+    /// Root over `regions` regional observers.
+    pub fn new(regions: usize, config: ObserverConfig) -> Self {
+        RootObserverBehavior { regions, config }
+    }
+
+    /// The log this observer fills.
+    pub fn log(&self) -> ObservationLog {
+        self.config.log.clone()
+    }
+}
+
+impl Behavior for RootObserverBehavior {
+    fn run(&mut self, ctx: &mut dyn Ctx) -> Result<(), EmberaError> {
+        let mut latest: HashMap<String, RegionSummary> = HashMap::new();
+        loop {
+            if ctx.should_stop() {
+                return Ok(());
+            }
+            match ctx.recv_message_timeout("regions", self.config.reply_timeout_ns)? {
+                Some(Message::ObsReply { reply, .. }) => {
+                    if let ObsReply::Region(summary) = *reply {
+                        self.config.log.push_summary(summary.clone());
+                        latest.insert(summary.region.clone(), summary);
+                        if latest.len() >= self.regions
+                            && latest.values().all(|s| s.all_terminal())
+                        {
+                            if self.config.notify_done.is_some() {
+                                ctx.send("done", bytes::Bytes::from_static(&[1]))?;
+                            }
+                            return Ok(());
+                        }
+                    }
+                }
+                Some(_) => { /* ignore stray traffic */ }
+                None => { /* keep waiting; should_stop is checked above */ }
+            }
         }
     }
 }
@@ -336,10 +702,19 @@ mod tests {
         let c = ObserverConfig::default()
             .rounds(5)
             .interval_ns(42)
-            .watchdog_ns(7);
+            .watchdog_ns(7)
+            .sharded(4)
+            .adaptive()
+            .notify_done("waiter", "done");
         assert_eq!(c.max_rounds, Some(5));
         assert_eq!(c.interval_ns, 42);
         assert_eq!(c.watchdog_ns, 7);
+        assert_eq!(c.topology, ObserverTopology::Sharded { regions: 4 });
+        assert!(c.sampling.is_some());
+        assert_eq!(
+            c.notify_done,
+            Some(("waiter".to_string(), "done".to_string()))
+        );
     }
 
     #[test]
@@ -348,6 +723,7 @@ mod tests {
         assert!(log.stalls().is_empty());
         for at_ns in [10, 20] {
             log.push_stall(StallRecord {
+                region: ROOT_REGION.to_string(),
                 component: "IDCT_1".to_string(),
                 at_ns,
                 last_progress_ns: 1,
@@ -355,6 +731,7 @@ mod tests {
             });
         }
         log.push_stall(StallRecord {
+            region: "region1".to_string(),
             component: "Fetch".to_string(),
             at_ns: 30,
             last_progress_ns: 2,
@@ -362,5 +739,68 @@ mod tests {
         });
         assert_eq!(log.stalls().len(), 3);
         assert_eq!(log.stalled_components(), vec!["IDCT_1", "Fetch"]);
+        assert_eq!(log.stalls()[2].region, "region1");
+    }
+
+    #[test]
+    fn observer_name_classification() {
+        assert!(is_observer_component(OBSERVER_NAME));
+        assert!(is_observer_component("Observer.region0"));
+        assert!(is_observer_component("Observer.region17"));
+        assert!(!is_observer_component("Observe"));
+        assert!(!is_observer_component("Fetch"));
+        assert!(!is_observer_component("observer"));
+    }
+
+    #[test]
+    fn rollup_aggregates_latest_summary_per_region() {
+        let log = ObservationLog::new();
+        assert!(log.rollup().is_none());
+        log.push_summary(RegionSummary {
+            region: "region0".into(),
+            components: 2,
+            finished: 1,
+            total_sends: 10,
+            total_receives: 10,
+            polls: 4,
+            ..Default::default()
+        });
+        // A newer summary for region0 supersedes the first.
+        log.push_summary(RegionSummary {
+            region: "region0".into(),
+            components: 2,
+            finished: 2,
+            total_sends: 20,
+            total_receives: 20,
+            polls: 8,
+            ..Default::default()
+        });
+        log.push_summary(RegionSummary {
+            region: "region1".into(),
+            components: 1,
+            finished: 1,
+            total_sends: 5,
+            total_receives: 5,
+            polls: 3,
+            ..Default::default()
+        });
+        let t = log.rollup().unwrap();
+        assert_eq!(t.regions, 2);
+        assert_eq!(t.components, 3);
+        assert_eq!(t.finished, 3);
+        assert_eq!(t.total_sends, 25);
+        assert_eq!(t.total_receives, 25);
+        assert_eq!(t.polls, 11);
+        assert!(t.all_terminal);
+    }
+
+    #[test]
+    fn region_reply_is_not_a_component_report() {
+        assert!(lift_reply("region0".into(), ObsReply::Region(RegionSummary::default())).is_none());
+        assert!(lift_reply(
+            "a".into(),
+            ObsReply::Health(crate::observe::report::HealthInfo::default())
+        )
+        .is_some());
     }
 }

@@ -10,8 +10,8 @@ use parking_lot::{Condvar, Mutex};
 use embera::observe::engine::ObsEngine;
 use embera::runtime::ComponentRuntime;
 use embera::{
-    AppReport, AppSpec, ComponentStats, EmberaError, Platform, RunningApp, INTROSPECTION,
-    OBSERVER_NAME,
+    is_observer_component, AppReport, AppSpec, ComponentStats, EmberaError, Platform, RunningApp,
+    INTROSPECTION,
 };
 
 use crate::executor::{worker_loop, ExecShared};
@@ -171,7 +171,7 @@ impl Platform for ExecPlatform {
         let app_component_count = spec
             .components
             .iter()
-            .filter(|c| c.name != OBSERVER_NAME)
+            .filter(|c| !is_observer_component(&c.name))
             .count();
         for c in spec.components {
             let task = task_ids[&c.name];
@@ -207,7 +207,7 @@ impl Platform for ExecPlatform {
                 provided,
                 routes,
                 Arc::clone(&finish),
-                c.name != OBSERVER_NAME,
+                !is_observer_component(&c.name),
                 spec.pool.clone(),
             );
             let mut runtime = ComponentRuntime::new(

@@ -8,8 +8,8 @@ use std::sync::Arc;
 use embera::observe::engine::ObsEngine;
 use embera::runtime::ComponentRuntime;
 use embera::{
-    AppReport, AppSpec, ComponentStats, EmberaError, Platform, RunningApp, INTROSPECTION,
-    OBSERVER_NAME,
+    is_observer_component, AppReport, AppSpec, ComponentStats, EmberaError, Platform, RunningApp,
+    INTROSPECTION,
 };
 
 use crate::transport::{start_component, InprocTransport, Queue, Servicer, Shared, Slot};
@@ -99,8 +99,12 @@ impl Platform for InprocPlatform {
             }
         }
 
-        let observer_idx = spec.components.iter().position(|c| c.name == OBSERVER_NAME);
-        let remaining = spec.components.len() - usize::from(observer_idx.is_some());
+        let observers: Vec<bool> = spec
+            .components
+            .iter()
+            .map(|c| is_observer_component(&c.name))
+            .collect();
+        let remaining = observers.iter().filter(|o| !**o).count();
         let shared = Rc::new(Shared {
             clock: Cell::new(0),
             // With no application components there is nothing to wait
@@ -112,7 +116,7 @@ impl Platform for InprocPlatform {
             slots: RefCell::new(Vec::new()),
             servicers: RefCell::new(Vec::new()),
             producers,
-            observer_idx,
+            observers: observers.clone(),
             observe: self.config.observe,
         });
 
@@ -143,7 +147,7 @@ impl Platform for InprocPlatform {
                 .collect();
             let routes = routes_by_component.remove(&c.name).unwrap_or_default();
             let inbox = provided[INTROSPECTION].clone();
-            let is_observer = Some(idx) == observer_idx;
+            let is_observer = observers[idx];
 
             let main = InprocTransport {
                 idx,

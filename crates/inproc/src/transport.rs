@@ -70,9 +70,12 @@ pub(crate) struct Shared {
     /// `(consumer component, provided interface) -> producer slot
     /// indices`, from the connection list: who can feed a parked recv.
     pub(crate) producers: HashMap<(String, String), Vec<usize>>,
-    /// Index of the observer component, excluded from demand-starts of
-    /// unrelated components (its polling loop would not return).
-    pub(crate) observer_idx: Option<usize>,
+    /// Per-slot observer flag (root or regional observer components),
+    /// excluded from demand-starts of unrelated components (a polling
+    /// loop would not return). Observers are still demand-started when
+    /// a parked component waits on an interface they feed — that is
+    /// what pulls the observer tree through on this backend.
+    pub(crate) observers: Vec<bool>,
     pub(crate) observe: bool,
 }
 
@@ -111,7 +114,7 @@ fn next_unstarted_producer(shared: &Shared, consumer: &str, provided: &str) -> O
 fn next_unstarted_app_component(shared: &Shared) -> Option<usize> {
     let slots = shared.slots.borrow();
     (0..slots.len())
-        .find(|&i| Some(i) != shared.observer_idx && matches!(slots[i], Slot::Unstarted { .. }))
+        .find(|&i| !shared.observers[i] && matches!(slots[i], Slot::Unstarted { .. }))
 }
 
 /// Answer every pending introspection request in the application via

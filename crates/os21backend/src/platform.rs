@@ -10,8 +10,8 @@ use sim_kernel::Kernel;
 use embera::observe::engine::ObsEngine;
 use embera::runtime::ComponentRuntime;
 use embera::{
-    AppReport, AppSpec, ComponentStats, EmberaError, Placement, Platform, RunningApp,
-    INTROSPECTION, OBSERVER_NAME,
+    is_observer_component, AppReport, AppSpec, ComponentStats, EmberaError, Placement, Platform,
+    RunningApp, INTROSPECTION,
 };
 use embx::{EmbxCostConfig, Transport};
 use mpsoc_sim::{CpuId, Machine};
@@ -151,7 +151,7 @@ impl Platform for Os21Platform {
             remaining: Arc::new(AtomicUsize::new(
                 spec.components
                     .iter()
-                    .filter(|c| c.name != OBSERVER_NAME)
+                    .filter(|c| !is_observer_component(&c.name))
                     .count(),
             )),
             activity_events: Arc::new(Mutex::new(Vec::new())),
@@ -196,7 +196,7 @@ impl Platform for Os21Platform {
             let required = c.required.clone();
             let app = Arc::clone(&app_shared);
             let observe = self.config.observe;
-            let is_observer = c.name == OBSERVER_NAME;
+            let is_observer = is_observer_component(&c.name);
             let sink = trace.as_ref().map(|t| t.sink_for(&c.name));
             let stats2 = Arc::clone(&stats);
             let restart = c.restart;

@@ -10,8 +10,8 @@ use parking_lot::{Condvar, Mutex};
 use embera::observe::engine::ObsEngine;
 use embera::runtime::ComponentRuntime;
 use embera::{
-    AppReport, AppSpec, ComponentStats, EmberaError, Platform, RunningApp, INTROSPECTION,
-    OBSERVER_NAME,
+    is_observer_component, AppReport, AppSpec, ComponentStats, EmberaError, Platform, RunningApp,
+    INTROSPECTION,
 };
 
 use crate::mailbox::{Mailbox, MailboxKind};
@@ -123,7 +123,7 @@ impl Platform for SmpPlatform {
         let app_component_count = spec
             .components
             .iter()
-            .filter(|c| c.name != OBSERVER_NAME)
+            .filter(|c| !is_observer_component(&c.name))
             .count();
         for c in spec.components {
             let stats = Arc::new(ComponentStats::new(&c.name, &c.provided, &c.required));
@@ -166,7 +166,7 @@ impl Platform for SmpPlatform {
                 shutdown: Arc::clone(&shutdown),
                 observe: self.config.observe,
                 finish: Arc::clone(&finish),
-                is_app_component: c.name != OBSERVER_NAME,
+                is_app_component: !is_observer_component(&c.name),
                 pool: spec.pool.clone(),
             };
             let mut runtime = ComponentRuntime::new(

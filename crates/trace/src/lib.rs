@@ -25,7 +25,11 @@
 //!   application description,
 //! * [`analysis`] — timeline statistics: per-component activity spans,
 //!   communication matrix, utilization,
-//! * [`export`] — a line-oriented text format with round-trip parsing.
+//! * [`export`] — a line-oriented text format with round-trip parsing,
+//! * [`stream`] — incremental export during the run: a [`TraceStream`]
+//!   background thread drains the rings into a pluggable
+//!   [`StreamEndpoint`] (file or channel) instead of one post-mortem
+//!   dump.
 
 pub mod analysis;
 pub mod collector;
@@ -34,9 +38,11 @@ pub mod export;
 pub mod instrument;
 pub mod ring;
 pub mod sink;
+pub mod stream;
 
 pub use analysis::{ComponentActivity, TimelineStats};
 pub use collector::{TraceCollector, TraceHandle};
 pub use event::{EventKind, TraceEvent};
 pub use instrument::TracingCtx;
 pub use ring::SpscRing;
+pub use stream::{ChannelEndpoint, FileEndpoint, StreamEndpoint, StreamStats, TraceStream};

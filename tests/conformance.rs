@@ -9,8 +9,8 @@
 use bytes::Bytes;
 use embera::behavior::behavior_fn;
 use embera::{
-    AppBuilder, AppReport, AppSpec, ComponentSpec, EmberaError, Message, ObsRequest, Platform,
-    RunningApp, INTROSPECTION,
+    AppBuilder, AppReport, AppSpec, ComponentSpec, EmberaError, Message, ObsRequest,
+    ObserverConfig, Platform, RunningApp, INTROSPECTION,
 };
 use embera_exec::ExecPlatform;
 use embera_inproc::InprocPlatform;
@@ -403,4 +403,129 @@ fn mjpeg_worker_counts_agree_across_backends() {
         checksums.windows(2).all(|w| w[0] == w[1]),
         "checksum varies with worker count: {checksums:?}"
     );
+}
+
+#[test]
+fn observed_hierarchy_rolls_up_identical_counters_on_every_backend() {
+    // A fan-out application (source -> 4 relays -> sink) observed by a
+    // two-level observer tree: two regional observers each polling half
+    // the components, rolling `RegionSummary` aggregates up to the root.
+    // The rolled-up totals must be exact and identical on all four
+    // backends — hierarchical observation may change *who* polls, never
+    // *what* is counted. A `waiter` component (deliberately left out of
+    // every region) blocks until the root's done-notification, keeping
+    // the application alive until observation of the whole run has
+    // converged.
+    const RELAYS: usize = 4;
+    const PER_RELAY: u64 = 5;
+    let mut rollups = Vec::new();
+    for (backend, run) in backends() {
+        let mut app = AppBuilder::new("observed-hierarchy");
+        let mut source = ComponentSpec::new(
+            "source",
+            behavior_fn(|ctx| {
+                for r in 0..RELAYS {
+                    for i in 0..PER_RELAY {
+                        let payload = (r as u64 * PER_RELAY + i).to_le_bytes();
+                        ctx.send(&format!("out{r}"), Bytes::copy_from_slice(&payload))?;
+                    }
+                }
+                Ok(())
+            }),
+        )
+        .with_stack_bytes(1 << 20);
+        for r in 0..RELAYS {
+            source = source.with_required(format!("out{r}"));
+        }
+        app.add(source);
+        app.add(
+            ComponentSpec::new(
+                "sink",
+                behavior_fn(|ctx| {
+                    for _ in 0..RELAYS as u64 * PER_RELAY {
+                        ctx.recv("in")?;
+                    }
+                    Ok(())
+                }),
+            )
+            .with_provided("in")
+            .with_stack_bytes(1 << 20),
+        );
+        for r in 0..RELAYS {
+            app.add(
+                ComponentSpec::new(
+                    format!("relay{r}"),
+                    behavior_fn(|ctx| {
+                        for _ in 0..PER_RELAY {
+                            let b = ctx.recv("in")?;
+                            ctx.send("out", b)?;
+                        }
+                        Ok(())
+                    }),
+                )
+                .with_provided("in")
+                .with_required("out")
+                .with_stack_bytes(1 << 20),
+            );
+            let out = format!("out{r}");
+            let relay = format!("relay{r}");
+            app.connect(("source", out.as_str()), (relay.as_str(), "in"));
+            app.connect((relay.as_str(), "out"), ("sink", "in"));
+        }
+        // Deployed after the pipeline: on inproc its parked recv is what
+        // demand-starts the observer tree once the application is done.
+        app.add(
+            ComponentSpec::new("waiter", behavior_fn(|ctx| ctx.recv("done").map(|_| ())))
+                .with_provided("done")
+                .with_stack_bytes(1 << 20),
+        );
+        let log = app.with_observer(
+            ObserverConfig::default()
+                .grouped(vec![
+                    (
+                        "left".to_string(),
+                        vec!["source".into(), "relay0".into(), "relay1".into()],
+                    ),
+                    (
+                        "right".to_string(),
+                        vec!["relay2".into(), "relay3".into(), "sink".into()],
+                    ),
+                ])
+                .notify_done("waiter", "done"),
+        );
+        let report = run(app.build().unwrap()).unwrap();
+        assert_eq!(
+            report.component("waiter").unwrap().app.total_receives,
+            1,
+            "[{backend}] waiter got the root's done notification"
+        );
+        let rollup = log
+            .rollup()
+            .unwrap_or_else(|| panic!("[{backend}] no region summaries reached the root"));
+        assert_eq!(rollup.regions, 2, "[{backend}]");
+        assert_eq!(rollup.components, 6, "[{backend}]");
+        assert_eq!(rollup.finished, 6, "[{backend}]");
+        assert_eq!(rollup.faulted, 0, "[{backend}]");
+        // source 20 sends + each relay 5: the hierarchy's final counters
+        // are the exact application totals, not a sample.
+        assert_eq!(rollup.total_sends, 40, "[{backend}]");
+        assert_eq!(rollup.total_receives, 40, "[{backend}]");
+        assert!(rollup.all_terminal, "[{backend}]");
+        rollups.push((
+            backend,
+            (
+                rollup.regions,
+                rollup.components,
+                rollup.finished,
+                rollup.faulted,
+                rollup.total_sends,
+                rollup.total_receives,
+                rollup.all_terminal,
+            ),
+        ));
+    }
+    let (_, first) = rollups[0];
+    for (backend, totals) in &rollups {
+        assert_eq!(*totals, first, "[{backend}] rollup differs across backends");
+    }
 }
