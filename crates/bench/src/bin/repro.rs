@@ -15,11 +15,15 @@
 //! Reduced scale keeps the default run under a minute; `--paper` uses
 //! the paper's exact stream lengths (578 and 3000 images).
 
-use embera::{ObserverConfig, Platform, RunningApp};
+use embera::{ObserverConfig, OverloadPolicy, Platform, RunningApp};
+use embera_bench::jsonv::{self, Json, Ty};
+use embera_bench::loadgen::{overload_stream, run_overload_smp, OverloadOutcome};
+use embera_bench::provenance::provenance_json;
 use embera_bench::{
     fanio, run_mjpeg_stream_observed, run_mjpeg_stream_on, run_mpsoc_mjpeg, run_smp_mjpeg,
     run_smp_mjpeg_with, stream, BenchBackend, ObsMode, FIGURE4_SIZES_KB, FIGURE8_SIZES_KB,
 };
+use mjpeg::{ArrivalProcess, AutoscaleConfig, OverloadConfig, Pacing};
 use embera_os21::Os21Platform;
 use embera_repro::stats::linear_fit;
 use embera_repro::sweep::{mpsoc_send_sweep, smp_send_sweep, MpsocSender};
@@ -118,6 +122,9 @@ fn main() {
         "bench-sweep" => bench_sweep(&scale, &args),
         "alloc-check" => alloc_check(&scale, &args),
         "obs-budget" => obs_budget(&scale, &args),
+        "overload" => overload(&scale, &args),
+        "bench-validate" => bench_validate(&args),
+        "fuzz" => fuzz(&args),
         "all" => {
             table1_and_2(&scale, true, true);
             figure4(&scale);
@@ -132,7 +139,7 @@ fn main() {
         other => {
             eprintln!("unknown experiment '{other}'");
             eprintln!(
-                "available: table1 table2 figure4 figure5 table3 figure8 cache memseries trace scaling dot bench-json bench-sweep alloc-check obs-budget all"
+                "available: table1 table2 figure4 figure5 table3 figure8 cache memseries trace scaling dot bench-json bench-sweep alloc-check obs-budget overload bench-validate fuzz all"
             );
             std::process::exit(2);
         }
@@ -407,14 +414,6 @@ fn bad_backend(s: &str) -> ! {
     std::process::exit(2)
 }
 
-/// JSON value for the worker-pool provenance field: the pool size on
-/// the executor, `null` on thread-per-component (pool = component count).
-fn worker_pool_json(backend: BenchBackend, pool_workers: usize) -> String {
-    backend
-        .worker_pool(pool_workers)
-        .map_or("null".into(), |n| n.to_string())
-}
-
 /// One measured pipeline configuration for `bench-json` / `bench-sweep`.
 struct BenchRun {
     label: String,
@@ -577,30 +576,6 @@ fn sweep_run_json(r: &BenchRun) -> String {
         r.label, r.workers, r.blocks_per_msg, r.kernel, r.dispatch, r.pooled, r.wall_s,
         r.frames_per_s, r.blocks_per_s, r.mean_send_us, r.sends
     )
-}
-
-fn git_rev() -> String {
-    std::process::Command::new("git")
-        .args(["rev-parse", "--short=12", "HEAD"])
-        .output()
-        .ok()
-        .filter(|o| o.status.success())
-        .and_then(|o| String::from_utf8(o.stdout).ok())
-        .map(|s| s.trim().to_string())
-        .unwrap_or_else(|| "unknown".into())
-}
-
-#[cfg(target_arch = "x86_64")]
-fn cpu_features() -> (bool, bool) {
-    (
-        is_x86_feature_detected!("sse2"),
-        is_x86_feature_detected!("avx2"),
-    )
-}
-
-#[cfg(not(target_arch = "x86_64"))]
-fn cpu_features() -> (bool, bool) {
-    (false, false)
 }
 
 /// The `optimized.blocks_per_s` field of a previously written
@@ -829,19 +804,14 @@ fn bench_sweep(scale: &Scale, args: &[String]) {
             best.blocks_per_s / pr1
         );
     }
-    let (sse2, avx2) = cpu_features();
     let runs_json = runs.iter().map(sweep_run_json).collect::<Vec<_>>().join(",\n    ");
     let json = format!(
         concat!(
             "{{\n",
             "  \"benchmark\": \"smp_mjpeg_scaling_sweep\",\n",
             "  \"workload\": \"table1\",\n",
-            "  \"backend\": \"smp\",\n",
-            "  \"worker_pool\": null,\n",
+            "  \"provenance\": {},\n",
             "  \"frames\": {},\n",
-            "  \"git_rev\": \"{}\",\n",
-            "  \"host_cores\": {},\n",
-            "  \"cpu_features\": {{ \"simd_level\": \"{}\", \"sse2\": {}, \"avx2\": {} }},\n",
             "  \"observer_attached\": false,\n",
             "  \"steady_state_marginal_allocs\": {},\n",
             "  \"steady_state_allocs_per_frame\": {:.4},\n",
@@ -853,12 +823,8 @@ fn bench_sweep(scale: &Scale, args: &[String]) {
             "  \"speedup_vs_pr1_optimized\": {}\n",
             "}}\n"
         ),
+        provenance_json(Some(BenchBackend::Smp), 0),
         frames,
-        git_rev(),
-        cores,
-        mjpeg::active_level().name(),
-        sse2,
-        avx2,
         marginal,
         per_frame,
         stats.grown,
@@ -997,7 +963,6 @@ fn bench_sweep_exec(scale: &Scale, args: &[String]) {
         stats.grown
     );
 
-    let (sse2, avx2) = cpu_features();
     let fanio_json = fanio_runs
         .iter()
         .map(fanio_run_json)
@@ -1008,13 +973,9 @@ fn bench_sweep_exec(scale: &Scale, args: &[String]) {
             "{{\n",
             "  \"benchmark\": \"exec_component_scaling_sweep\",\n",
             "  \"workload\": \"table1+fanio\",\n",
-            "  \"backend\": \"exec\",\n",
-            "  \"worker_pool\": {},\n",
+            "  \"provenance\": {},\n",
             "  \"frames\": {},\n",
             "  \"fanio_message_budget\": {},\n",
-            "  \"git_rev\": \"{}\",\n",
-            "  \"host_cores\": {},\n",
-            "  \"cpu_features\": {{ \"simd_level\": \"{}\", \"sse2\": {}, \"avx2\": {} }},\n",
             "  \"observer_attached\": false,\n",
             "  \"steady_state_marginal_allocs\": {},\n",
             "  \"steady_state_allocs_per_frame\": {:.4},\n",
@@ -1028,14 +989,9 @@ fn bench_sweep_exec(scale: &Scale, args: &[String]) {
             "  \"fanio_runs\": [\n    {}\n  ]\n",
             "}}\n"
         ),
-        worker_pool_json(BenchBackend::Exec, pool_workers),
+        provenance_json(Some(BenchBackend::Exec), pool_workers),
         frames,
         fanio_total,
-        git_rev(),
-        cores,
-        mjpeg::active_level().name(),
-        sse2,
-        avx2,
         marginal,
         per_frame,
         stats.grown,
@@ -1094,8 +1050,7 @@ fn bench_json(scale: &Scale, args: &[String]) {
             "{{\n",
             "  \"benchmark\": \"smp_mjpeg_pipeline\",\n",
             "  \"workload\": \"table1\",\n",
-            "  \"backend\": \"smp\",\n",
-            "  \"worker_pool\": null,\n",
+            "  \"provenance\": {},\n",
             "  \"frames\": {},\n",
             "  \"blocks_per_frame\": 18,\n",
             "  \"baseline\": {},\n",
@@ -1103,6 +1058,7 @@ fn bench_json(scale: &Scale, args: &[String]) {
             "  \"speedup\": {:.3}\n",
             "}}\n"
         ),
+        provenance_json(Some(BenchBackend::Smp), 0),
         frames,
         bench_run_json(&baseline),
         bench_run_json(&optimized),
@@ -1382,8 +1338,7 @@ fn obs_budget(scale: &Scale, args: &[String]) {
         concat!(
             "{{\n",
             "  \"benchmark\": \"observation_overhead_budget\",\n",
-            "  \"git_rev\": \"{}\",\n",
-            "  \"host_cores\": {},\n",
+            "  \"provenance\": {},\n",
             "  \"frames\": {},\n",
             "  \"fanio\": {{ \"n\": {}, \"m\": {}, \"payload_bytes\": 256, ",
             "\"interval_ms\": {} }},\n",
@@ -1396,8 +1351,9 @@ fn obs_budget(scale: &Scale, args: &[String]) {
             "  \"cells\": [\n  {}\n  ]\n",
             "}}\n"
         ),
-        git_rev(),
-        std::thread::available_parallelism().map_or(1, |n| n.get()),
+        // The budget cells mix the smp pipeline and the exec fanio
+        // topology, so the backend slot stays null here.
+        provenance_json(None, 0),
         frames,
         fanio_n,
         fanio_m,
@@ -1420,5 +1376,672 @@ fn obs_budget(scale: &Scale, args: &[String]) {
             max_overhead * 100.0
         );
         std::process::exit(1);
+    }
+}
+
+// ---------------------------------------------------------------------
+// PR 8: overload robustness — open-loop traffic, shedding policies, and
+// the observation-driven autoscaler.
+// ---------------------------------------------------------------------
+
+/// Policy axis of the `overload` curves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum OverloadMode {
+    /// Unbounded queueing: the degradation baseline.
+    NoPolicy,
+    /// `OverloadPolicy::deadline_drop()` at Fetch's ingress with a
+    /// tight latency budget.
+    DeadlineDrop,
+    /// Observation-driven worker scaling (1..4 lanes), no shedding.
+    Autoscale,
+}
+
+impl OverloadMode {
+    const ALL: [OverloadMode; 3] = [
+        OverloadMode::NoPolicy,
+        OverloadMode::DeadlineDrop,
+        OverloadMode::Autoscale,
+    ];
+
+    fn name(self) -> &'static str {
+        match self {
+            OverloadMode::NoPolicy => "none",
+            OverloadMode::DeadlineDrop => "deadline_drop",
+            OverloadMode::Autoscale => "autoscale",
+        }
+    }
+}
+
+fn overload_run_json(mode: OverloadMode, offered_x: f64, offered_fps: f64, out: &OverloadOutcome) -> String {
+    format!(
+        concat!(
+            "{{\n",
+            "      \"policy\": \"{}\",\n",
+            "      \"offered_x\": {:.2},\n",
+            "      \"offered_fps\": {:.1},\n",
+            "      \"injected\": {},\n",
+            "      \"completed\": {},\n",
+            "      \"expired_frames\": {},\n",
+            "      \"shed_messages\": {},\n",
+            "      \"expired_messages\": {},\n",
+            "      \"incomplete\": {},\n",
+            "      \"idct_skipped_blocks\": {},\n",
+            "      \"completed_fraction\": {:.4},\n",
+            "      \"scale_events\": {},\n",
+            "      \"final_workers\": {},\n",
+            "      \"wall_s\": {:.6},\n",
+            "      \"p50_ms\": {:.4},\n",
+            "      \"p99_ms\": {:.4},\n",
+            "      \"p999_ms\": {:.4},\n",
+            "      \"ledger_ok\": {}\n",
+            "    }}"
+        ),
+        mode.name(),
+        offered_x,
+        offered_fps,
+        out.injected,
+        out.completed,
+        out.expired_frames,
+        out.shed_messages,
+        out.expired_messages,
+        out.incomplete,
+        out.idct_skipped,
+        out.completed_fraction(),
+        out.scale_history.len(),
+        out.scale_history.last().map_or("null".into(), |w| w.to_string()),
+        out.wall_s,
+        out.p50_ns as f64 / 1e6,
+        out.p99_ns as f64 / 1e6,
+        out.p999_ns as f64 / 1e6,
+        out.ledger_balances(),
+    )
+}
+
+/// `overload` — the PR 8 throughput-vs-p99 curves: an open-loop Poisson
+/// load generator drives the MJPEG pipeline at offered loads bracketing
+/// its calibrated capacity, under three policies (unbounded queueing,
+/// ingress deadline-drop with a tight budget, observation-driven worker
+/// autoscaling). Writes `BENCH_pr8.json` (or `--out <path>`).
+///
+/// `--frames N` frames injected per run; `--assert-accounting` exits
+/// nonzero if any run's shed ledger does not balance exactly;
+/// `--assert-curves` additionally enforces the robustness criteria
+/// (deadline-drop keeps completed-frame p99 within 5× the low-load p99
+/// at 2× saturation while the no-policy baseline degrades past it, and
+/// autoscale completes ≥95% of injected frames).
+fn overload(scale: &Scale, args: &[String]) {
+    let out_path = arg_value(args, "--out").unwrap_or("BENCH_pr8.json");
+    let assert_acct = args.iter().any(|a| a == "--assert-accounting");
+    let assert_curves = args.iter().any(|a| a == "--assert-curves");
+    let frames: u64 = arg_value(args, "--frames")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or((scale.small as u64).clamp(48, 600) * 4)
+        .max(32);
+    // 96×48 frames (72 blocks): 4× the Table-1 service time, so offered
+    // gaps stay well above the threaded backends' timer granularity.
+    let base = overload_stream(5, 0x578);
+    let blocks_per_frame = 72u64;
+    // Generous budget for runs that measure latency without shedding:
+    // far beyond any queueing delay these runs can build, never hit.
+    const GENEROUS_NS: u64 = 120_000_000_000;
+    let fixed_workers = 2usize;
+    let cfg = |mean_gap_ns: u64,
+               arrival: ArrivalProcess,
+               budget: u64,
+               policy: Option<OverloadPolicy>,
+               autoscale: Option<AutoscaleConfig>,
+               initial: usize,
+               max: usize| OverloadConfig {
+        frames,
+        mean_gap_ns,
+        arrival,
+        seed: 0x0BAD_CAFE,
+        deadline_budget_ns: budget,
+        max_workers: max,
+        initial_workers: initial,
+        fetch_policy: policy,
+        autoscale,
+        pacing: Pacing::RealTime,
+        ..OverloadConfig::default()
+    };
+    println!("=== overload — open-loop robustness curves, {frames} frames/run, 72-block frames ===");
+
+    // 1. Capacity calibration: back-to-back injection (no pacing) on the
+    //    fixed 2-worker pipeline; completed/wall is the service rate.
+    let calib = run_overload_smp(
+        base.clone(),
+        &cfg(0, ArrivalProcess::Periodic, GENEROUS_NS, None, None, fixed_workers, fixed_workers),
+    );
+    assert_eq!(calib.completed, frames, "calibration run dropped frames");
+    let capacity_fps = calib.completed as f64 / calib.wall_s;
+    println!("calibrated capacity: {capacity_fps:.0} frames/s ({:.4} s for {frames})", calib.wall_s);
+    let gap_for = |x: f64| (1e9 / (capacity_fps * x)) as u64;
+
+    // 2. Low-load latency reference at 0.5×: the p99 every curve is
+    //    judged against, and the source of the deadline-drop budget.
+    let low = run_overload_smp(
+        base.clone(),
+        &cfg(
+            gap_for(0.5),
+            ArrivalProcess::Poisson,
+            GENEROUS_NS,
+            None,
+            None,
+            fixed_workers,
+            fixed_workers,
+        ),
+    );
+    let p99_low = low.p99_ns.max(1);
+    let tight_budget = 5 * p99_low;
+    println!(
+        "low-load (0.5x) p99: {:.3} ms -> deadline budget {:.3} ms",
+        p99_low as f64 / 1e6,
+        tight_budget as f64 / 1e6
+    );
+
+    // 3. The curves: three policies at offered loads bracketing
+    //    saturation.
+    let loads = [0.5f64, 0.8, 1.2, 2.0];
+    let autoscale_cfg = AutoscaleConfig {
+        high_queue: 6,
+        low_queue: 1,
+        hysteresis_rounds: 2,
+        min_workers: 1,
+        interval_ns: 2_000_000,
+    };
+    let mut rows: Vec<(OverloadMode, f64, OverloadOutcome)> = Vec::new();
+    for &x in &loads {
+        for mode in OverloadMode::ALL {
+            let c = match mode {
+                OverloadMode::NoPolicy => cfg(
+                    gap_for(x),
+                    ArrivalProcess::Poisson,
+                    GENEROUS_NS,
+                    None,
+                    None,
+                    fixed_workers,
+                    fixed_workers,
+                ),
+                OverloadMode::DeadlineDrop => cfg(
+                    gap_for(x),
+                    ArrivalProcess::Poisson,
+                    tight_budget,
+                    Some(OverloadPolicy::deadline_drop()),
+                    None,
+                    fixed_workers,
+                    fixed_workers,
+                ),
+                OverloadMode::Autoscale => cfg(
+                    gap_for(x),
+                    ArrivalProcess::Poisson,
+                    GENEROUS_NS,
+                    None,
+                    Some(autoscale_cfg),
+                    1,
+                    2 * fixed_workers,
+                ),
+            };
+            let out = run_overload_smp(base.clone(), &c);
+            println!(
+                "{:<14} {:>4.1}x  completed {:>5}/{:<5} ({:>5.1}%)  shed {:>4}+{:<4}  p50 {:>8.3} ms  p99 {:>8.3} ms  scale {:?}",
+                mode.name(),
+                x,
+                out.completed,
+                out.injected,
+                out.completed_fraction() * 100.0,
+                out.shed_messages,
+                out.expired_messages,
+                out.p50_ns as f64 / 1e6,
+                out.p99_ns as f64 / 1e6,
+                out.scale_history,
+            );
+            if !out.ledger_balances() {
+                eprintln!(
+                    "overload: shed ledger does not balance for {} at {x}x: {out:?}",
+                    mode.name()
+                );
+                if assert_acct {
+                    std::process::exit(1);
+                }
+            }
+            rows.push((mode, x, out));
+        }
+    }
+
+    // 4. Robustness verdicts at the top offered load. The histogram
+    //    over-reports percentiles by at most one sub-bucket (6.25%), so
+    //    the 5× comparison carries that slack explicitly.
+    let top = *loads.last().expect("loads nonempty");
+    let at = |mode: OverloadMode, x: f64| {
+        &rows
+            .iter()
+            .find(|(m, l, _)| *m == mode && *l == x)
+            .expect("measured")
+            .2
+    };
+    let quant_slack = 1.07;
+    let dd_top = at(OverloadMode::DeadlineDrop, top);
+    let none_top = at(OverloadMode::NoPolicy, top);
+    let dd_bounded = dd_top.completed > 0
+        && (dd_top.p99_ns as f64) <= 5.0 * p99_low as f64 * quant_slack;
+    let none_degrades = (none_top.p99_ns as f64) > 5.0 * p99_low as f64;
+    let autoscale_completes = loads
+        .iter()
+        .all(|&x| at(OverloadMode::Autoscale, x).completed_fraction() >= 0.95);
+    let ledger_all = rows.iter().all(|(_, _, o)| o.ledger_balances());
+    println!(
+        "verdicts: deadline_drop_p99_bounded={dd_bounded} none_degrades={none_degrades} autoscale_completes={autoscale_completes} ledger_all={ledger_all}"
+    );
+
+    let runs_json = rows
+        .iter()
+        .map(|(m, x, o)| overload_run_json(*m, *x, capacity_fps * x, o))
+        .collect::<Vec<_>>()
+        .join(",\n    ");
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"benchmark\": \"overload_robustness\",\n",
+            "  \"workload\": \"openloop_mjpeg_96x48\",\n",
+            "  \"provenance\": {},\n",
+            "  \"frames\": {},\n",
+            "  \"blocks_per_frame\": {},\n",
+            "  \"arrival\": \"poisson\",\n",
+            "  \"capacity_fps\": {:.1},\n",
+            "  \"low_load_p99_ms\": {:.4},\n",
+            "  \"deadline_budget_ms\": {:.4},\n",
+            "  \"fixed_workers\": {},\n",
+            "  \"autoscale\": {{ \"min_workers\": 1, \"max_workers\": {}, \"high_queue\": {}, ",
+            "\"low_queue\": {}, \"hysteresis_rounds\": {}, \"interval_ms\": {} }},\n",
+            "  \"offered_x\": [0.5, 0.8, 1.2, 2.0],\n",
+            "  \"runs\": [\n    {}\n  ],\n",
+            "  \"curve_checks\": {{\n",
+            "    \"deadline_drop_p99_within_5x_low\": {},\n",
+            "    \"no_policy_p99_degrades\": {},\n",
+            "    \"autoscale_completes_95\": {},\n",
+            "    \"ledger_balances\": {}\n",
+            "  }}\n",
+            "}}\n"
+        ),
+        provenance_json(Some(BenchBackend::Smp), 0),
+        frames,
+        blocks_per_frame,
+        capacity_fps,
+        p99_low as f64 / 1e6,
+        tight_budget as f64 / 1e6,
+        fixed_workers,
+        2 * fixed_workers,
+        autoscale_cfg.high_queue,
+        autoscale_cfg.low_queue,
+        autoscale_cfg.hysteresis_rounds,
+        autoscale_cfg.interval_ns / 1_000_000,
+        runs_json,
+        dd_bounded,
+        none_degrades,
+        autoscale_completes,
+        ledger_all,
+    );
+    std::fs::write(out_path, json).expect("write overload json");
+    println!("wrote {out_path}");
+
+    if assert_acct && !ledger_all {
+        eprintln!("overload: shed accounting ledger violated");
+        std::process::exit(1);
+    }
+    if assert_curves && !(dd_bounded && none_degrades && autoscale_completes) {
+        eprintln!(
+            "overload: robustness criteria failed (deadline_drop_bounded={dd_bounded}, \
+             none_degrades={none_degrades}, autoscale_completes={autoscale_completes})"
+        );
+        std::process::exit(1);
+    }
+}
+
+/// `bench-validate` — schema-check every `BENCH_*.json` in the working
+/// directory (or `--dir <path>`): parseable JSON, the uniform
+/// `provenance` header, and the per-benchmark required fields. Exits
+/// nonzero listing every violation.
+fn bench_validate(args: &[String]) {
+    let dir = arg_value(args, "--dir").unwrap_or(".");
+    let mut files: Vec<std::path::PathBuf> = std::fs::read_dir(dir)
+        .unwrap_or_else(|e| {
+            eprintln!("bench-validate: cannot read {dir}: {e}");
+            std::process::exit(2);
+        })
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with("BENCH_") && n.ends_with(".json"))
+        })
+        .collect();
+    files.sort();
+    if files.is_empty() {
+        eprintln!("bench-validate: no BENCH_*.json found in {dir}");
+        std::process::exit(1);
+    }
+    let mut all_errs = Vec::new();
+    for path in &files {
+        let name = path.file_name().unwrap().to_string_lossy().to_string();
+        let mut errs = validate_bench_file(path);
+        if errs.is_empty() {
+            println!("{name}: ok");
+        } else {
+            println!("{name}: {} violation(s)", errs.len());
+            for e in &errs {
+                println!("  {e}");
+            }
+        }
+        all_errs.append(&mut errs);
+    }
+    if !all_errs.is_empty() {
+        eprintln!("bench-validate: {} violation(s) across {} file(s)", all_errs.len(), files.len());
+        std::process::exit(1);
+    }
+    println!("bench-validate: {} file(s) conform", files.len());
+}
+
+/// Schema of one benchmark artifact: the shared provenance header plus
+/// per-benchmark required fields (including per-element checks of the
+/// run arrays).
+fn validate_bench_file(path: &std::path::Path) -> Vec<String> {
+    let name = path.file_name().unwrap().to_string_lossy().to_string();
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => return vec![format!("{name}: unreadable: {e}")],
+    };
+    let doc = match jsonv::parse(&text) {
+        Ok(d) => d,
+        Err(e) => return vec![format!("{name}: invalid JSON: {e}")],
+    };
+    let mut errs = jsonv::require(&doc, &name, &[("benchmark", Ty::Str), ("provenance", Ty::Obj)]);
+    if let Some(prov) = doc.get("provenance") {
+        errs.extend(jsonv::require(
+            prov,
+            &format!("{name}.provenance"),
+            &[
+                ("git_rev", Ty::Str),
+                ("backend", Ty::StrOrNull),
+                ("worker_pool", Ty::NumOrNull),
+                ("simd_level", Ty::Str),
+                ("sse2", Ty::Bool),
+                ("avx2", Ty::Bool),
+                ("host_cores", Ty::Num),
+            ],
+        ));
+    }
+    let Some(benchmark) = doc.get("benchmark").and_then(Json::str) else {
+        return errs;
+    };
+    let run_fields: &[(&str, Ty)] = &[
+        ("label", Ty::Str),
+        ("wall_s", Ty::Num),
+        ("blocks_per_s", Ty::Num),
+    ];
+    match benchmark {
+        "smp_mjpeg_pipeline" => {
+            errs.extend(jsonv::require(
+                &doc,
+                &name,
+                &[
+                    ("frames", Ty::Num),
+                    ("baseline", Ty::Obj),
+                    ("optimized", Ty::Obj),
+                    ("speedup", Ty::Num),
+                ],
+            ));
+            for key in ["baseline", "optimized"] {
+                if let Some(run) = doc.get(key) {
+                    errs.extend(jsonv::require(run, &format!("{name}.{key}"), run_fields));
+                }
+            }
+        }
+        "smp_mjpeg_scaling_sweep" => {
+            errs.extend(jsonv::require(
+                &doc,
+                &name,
+                &[
+                    ("frames", Ty::Num),
+                    ("runs", Ty::Arr),
+                    ("best", Ty::Str),
+                    ("best_blocks_per_s", Ty::Num),
+                    ("steady_state_marginal_allocs", Ty::Num),
+                ],
+            ));
+            for (i, run) in doc.get("runs").and_then(Json::arr).unwrap_or(&[]).iter().enumerate() {
+                errs.extend(jsonv::require(run, &format!("{name}.runs[{i}]"), run_fields));
+            }
+        }
+        "exec_component_scaling_sweep" => {
+            errs.extend(jsonv::require(
+                &doc,
+                &name,
+                &[
+                    ("frames", Ty::Num),
+                    ("table1_compare", Ty::Obj),
+                    ("max_components", Ty::Num),
+                    ("fanio_runs", Ty::Arr),
+                ],
+            ));
+            for (i, run) in doc.get("fanio_runs").and_then(Json::arr).unwrap_or(&[]).iter().enumerate() {
+                errs.extend(jsonv::require(
+                    run,
+                    &format!("{name}.fanio_runs[{i}]"),
+                    &[("components", Ty::Num), ("msgs_per_s", Ty::Num), ("wall_s", Ty::Num)],
+                ));
+            }
+        }
+        "observation_overhead_budget" => {
+            errs.extend(jsonv::require(
+                &doc,
+                &name,
+                &[
+                    ("frames", Ty::Num),
+                    ("cells", Ty::Arr),
+                    ("max_overhead", Ty::Num),
+                    ("worst_hier_adaptive_overhead", Ty::Num),
+                    ("within_budget", Ty::Bool),
+                ],
+            ));
+            for (i, cell) in doc.get("cells").and_then(Json::arr).unwrap_or(&[]).iter().enumerate() {
+                errs.extend(jsonv::require(
+                    cell,
+                    &format!("{name}.cells[{i}]"),
+                    &[("cell", Ty::Str), ("runs", Ty::Arr), ("hier_adaptive_overhead", Ty::Num)],
+                ));
+            }
+        }
+        "overload_robustness" => {
+            errs.extend(jsonv::require(
+                &doc,
+                &name,
+                &[
+                    ("frames", Ty::Num),
+                    ("capacity_fps", Ty::Num),
+                    ("low_load_p99_ms", Ty::Num),
+                    ("deadline_budget_ms", Ty::Num),
+                    ("offered_x", Ty::Arr),
+                    ("runs", Ty::Arr),
+                    ("curve_checks", Ty::Obj),
+                ],
+            ));
+            for (i, run) in doc.get("runs").and_then(Json::arr).unwrap_or(&[]).iter().enumerate() {
+                errs.extend(jsonv::require(
+                    run,
+                    &format!("{name}.runs[{i}]"),
+                    &[
+                        ("policy", Ty::Str),
+                        ("offered_x", Ty::Num),
+                        ("injected", Ty::Num),
+                        ("completed", Ty::Num),
+                        ("shed_messages", Ty::Num),
+                        ("expired_messages", Ty::Num),
+                        ("p99_ms", Ty::Num),
+                        ("ledger_ok", Ty::Bool),
+                    ],
+                ));
+            }
+            if let Some(checks) = doc.get("curve_checks") {
+                errs.extend(jsonv::require(
+                    checks,
+                    &format!("{name}.curve_checks"),
+                    &[
+                        ("deadline_drop_p99_within_5x_low", Ty::Bool),
+                        ("no_policy_p99_degrades", Ty::Bool),
+                        ("autoscale_completes_95", Ty::Bool),
+                        ("ledger_balances", Ty::Bool),
+                    ],
+                ));
+            }
+        }
+        other => errs.push(format!("{name}: unknown benchmark kind \"{other}\"")),
+    }
+    errs
+}
+
+// ---------------------------------------------------------------------
+// PR 8: bounded fuzz loop over the byte-level parsers.
+// ---------------------------------------------------------------------
+
+/// Deterministic splitmix64 for the fuzz mutation stream.
+struct FuzzRng(u64);
+
+impl FuzzRng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n.max(1) as u64) as usize
+    }
+}
+
+/// Run every fuzz target over one input; panics propagate to the
+/// caller's `catch_unwind`. Every byte-level parser that consumes
+/// untrusted or cross-component data: the JFIF container decoder and
+/// the batch wire format (header parse + per-block payload decode).
+fn fuzz_targets(input: &[u8]) {
+    let _ = mjpeg::decode_jfif(input);
+    let b = bytes::Bytes::copy_from_slice(input);
+    if let Ok(view) = mjpeg::BatchView::coeffs(&b) {
+        for i in 0..view.len() {
+            let (_f, _bi, payload) = view.block(i);
+            let _ = mjpeg::pipeline::coeffs_from_bytes(&payload);
+        }
+    }
+    if let Ok(view) = mjpeg::BatchView::pixels(&b) {
+        for i in 0..view.len() {
+            let _ = view.block(i);
+        }
+    }
+}
+
+/// `fuzz` — a bounded, deterministic fuzz loop over the byte-level
+/// parsers (`decode_jfif`, `BatchView`): a seeded corpus of valid
+/// artifacts is mutated (byte sets, bit flips, truncations, splices)
+/// for `--iters` iterations (default 2000) from `--seed` (default 1).
+/// Every target must return `Ok`/`Err`, never panic. On a panic the
+/// failing input is written to `--replay-out` (default
+/// `fuzz_replay.bin`) and the exit is nonzero; `--replay <file>`
+/// re-runs exactly that input under the panic.
+fn fuzz(args: &[String]) {
+    if let Some(path) = arg_value(args, "--replay") {
+        let input = std::fs::read(path).unwrap_or_else(|e| {
+            eprintln!("fuzz: cannot read replay file {path}: {e}");
+            std::process::exit(2);
+        });
+        println!("fuzz: replaying {} bytes from {path}", input.len());
+        fuzz_targets(&input);
+        println!("fuzz: replay completed without panic");
+        return;
+    }
+    let iters: u64 = arg_value(args, "--iters")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2000);
+    let seed: u64 = arg_value(args, "--seed")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1);
+    let replay_out = arg_value(args, "--replay-out").unwrap_or("fuzz_replay.bin");
+
+    // Corpus: valid artifacts of every target format, so mutations
+    // explore deep parser states instead of bouncing off the magic
+    // bytes.
+    let gray: Vec<u8> = (0..24usize * 16).map(|i| (i * 7) as u8).collect();
+    let rgb: Vec<u8> = (0..16usize * 8 * 3).map(|i| (i * 13) as u8).collect();
+    let coeff_batch =
+        mjpeg::pipeline::encode_coeff_batch(&[(0, 0, [3i32; 64]), (0, 1, [-7i32; 64])]).to_vec();
+    let pixel_batch =
+        mjpeg::pipeline::encode_pixel_batch(&[(1, 0, [128u8; 64]), (1, 1, [9u8; 64])]).to_vec();
+    let corpus: Vec<Vec<u8>> = vec![
+        mjpeg::encode_jfif_gray(&gray, 24, 16, 75),
+        mjpeg::encode_jfif_rgb(&rgb, 16, 8, 60),
+        coeff_batch,
+        pixel_batch,
+    ];
+
+    println!(
+        "=== fuzz — {} corpus entries, {iters} iterations, seed {seed} ===",
+        corpus.len()
+    );
+    let mut rng = FuzzRng(seed);
+    // Silence the default panic hook: a caught fuzz panic is a recorded
+    // finding, not console noise (the hook is restored after the loop).
+    let saved_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let mut failure: Option<(u64, Vec<u8>)> = None;
+    for iter in 0..iters {
+        let mut input = corpus[rng.below(corpus.len())].clone();
+        for _ in 0..1 + rng.below(4) {
+            if input.is_empty() {
+                break;
+            }
+            match rng.below(5) {
+                0 => {
+                    let i = rng.below(input.len());
+                    input[i] = rng.next() as u8;
+                }
+                1 => {
+                    let i = rng.below(input.len());
+                    input[i] ^= 1 << rng.below(8);
+                }
+                2 => input.truncate(rng.below(input.len() + 1)),
+                3 => {
+                    // Splice a slice of the input over another offset.
+                    let src = rng.below(input.len());
+                    let dst = rng.below(input.len());
+                    let len = rng.below(16).min(input.len() - src.max(dst));
+                    input.copy_within(src..src + len, dst);
+                }
+                _ => {
+                    let i = rng.below(input.len() + 1);
+                    input.insert(i, rng.next() as u8);
+                }
+            }
+        }
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            fuzz_targets(&input);
+        }));
+        if result.is_err() {
+            failure = Some((iter, input));
+            break;
+        }
+    }
+    std::panic::set_hook(saved_hook);
+    match failure {
+        Some((iter, input)) => {
+            std::fs::write(replay_out, &input).expect("write replay file");
+            eprintln!(
+                "fuzz: PANIC at iteration {iter} (seed {seed}); {} bytes written to {replay_out}",
+                input.len()
+            );
+            eprintln!("fuzz: reproduce with `repro fuzz --replay {replay_out}`");
+            std::process::exit(1);
+        }
+        None => println!("fuzz: {iters} iterations, no panics"),
     }
 }

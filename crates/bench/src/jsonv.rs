@@ -1,0 +1,330 @@
+//! Minimal JSON parsing and schema checking for `repro bench-validate`.
+//!
+//! The benchmark artifacts (`BENCH_*.json`) are hand-formatted by the
+//! emitters in `repro`; nothing in the workspace depends on a JSON
+//! crate, so the validator carries its own ~150-line recursive-descent
+//! parser. It is a validator, not a general-purpose library: numbers
+//! are parsed as `f64`, objects as ordered key/value lists, and all
+//! input is expected to be UTF-8 text that fits in memory.
+
+use std::collections::BTreeMap;
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any number (always `f64` — good enough for schema checks).
+    Num(f64),
+    /// A string (escapes decoded).
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object. `BTreeMap`: key order is irrelevant to validation.
+    Obj(BTreeMap<String, Json>),
+}
+
+impl Json {
+    /// Member lookup on an object, `None` on other variants.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(m) => m.get(key),
+            _ => None,
+        }
+    }
+
+    /// The array items, `None` on other variants.
+    pub fn arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The number, `None` on other variants.
+    pub fn num(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The string, `None` on other variants.
+    pub fn str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// Parse a complete JSON document (trailing whitespace allowed,
+/// trailing garbage rejected).
+pub fn parse(text: &str) -> Result<Json, String> {
+    let b = text.as_bytes();
+    let mut pos = 0usize;
+    let v = value(b, &mut pos)?;
+    skip_ws(b, &mut pos);
+    if pos != b.len() {
+        return Err(format!("trailing garbage at byte {pos}"));
+    }
+    Ok(v)
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(b: &[u8], pos: &mut usize, c: u8) -> Result<(), String> {
+    if *pos < b.len() && b[*pos] == c {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!(
+            "expected '{}' at byte {} (found {:?})",
+            c as char,
+            *pos,
+            b.get(*pos).map(|&c| c as char)
+        ))
+    }
+}
+
+fn value(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        None => Err("unexpected end of input".into()),
+        Some(b'{') => object(b, pos),
+        Some(b'[') => array(b, pos),
+        Some(b'"') => Ok(Json::Str(string(b, pos)?)),
+        Some(b't') => literal(b, pos, "true", Json::Bool(true)),
+        Some(b'f') => literal(b, pos, "false", Json::Bool(false)),
+        Some(b'n') => literal(b, pos, "null", Json::Null),
+        Some(_) => number(b, pos),
+    }
+}
+
+fn literal(b: &[u8], pos: &mut usize, word: &str, v: Json) -> Result<Json, String> {
+    if b[*pos..].starts_with(word.as_bytes()) {
+        *pos += word.len();
+        Ok(v)
+    } else {
+        Err(format!("bad literal at byte {}", *pos))
+    }
+}
+
+fn number(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    let start = *pos;
+    while *pos < b.len() && matches!(b[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E') {
+        *pos += 1;
+    }
+    std::str::from_utf8(&b[start..*pos])
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+        .filter(|n| n.is_finite())
+        .map(Json::Num)
+        .ok_or_else(|| format!("bad number at byte {start}"))
+}
+
+fn string(b: &[u8], pos: &mut usize) -> Result<String, String> {
+    expect(b, pos, b'"')?;
+    let mut out = String::new();
+    loop {
+        match b.get(*pos) {
+            None => return Err("unterminated string".into()),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match b.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'u') => {
+                        let hex = b
+                            .get(*pos + 1..*pos + 5)
+                            .and_then(|h| std::str::from_utf8(h).ok())
+                            .and_then(|h| u32::from_str_radix(h, 16).ok())
+                            .ok_or_else(|| format!("bad \\u escape at byte {}", *pos))?;
+                        // Surrogate pairs are not emitted by our own
+                        // formatters; map lone surrogates to U+FFFD.
+                        out.push(char::from_u32(hex).unwrap_or('\u{FFFD}'));
+                        *pos += 4;
+                    }
+                    other => return Err(format!("bad escape {other:?}")),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Consume one UTF-8 scalar (input is a &str, so
+                // continuation bytes are well-formed).
+                let s = &b[*pos..];
+                let ch = std::str::from_utf8(s)
+                    .map_err(|e| e.to_string())?
+                    .chars()
+                    .next()
+                    .unwrap();
+                out.push(ch);
+                *pos += ch.len_utf8();
+            }
+        }
+    }
+}
+
+fn array(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    expect(b, pos, b'[')?;
+    let mut items = Vec::new();
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(Json::Arr(items));
+    }
+    loop {
+        items.push(value(b, pos)?);
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            other => return Err(format!("expected ',' or ']' (found {other:?})")),
+        }
+    }
+}
+
+fn object(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    expect(b, pos, b'{')?;
+    let mut map = BTreeMap::new();
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(Json::Obj(map));
+    }
+    loop {
+        skip_ws(b, pos);
+        let key = string(b, pos)?;
+        skip_ws(b, pos);
+        expect(b, pos, b':')?;
+        let v = value(b, pos)?;
+        map.insert(key, v);
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(Json::Obj(map));
+            }
+            other => return Err(format!("expected ',' or '}}' (found {other:?})")),
+        }
+    }
+}
+
+/// Expected type of a required member.
+#[derive(Debug, Clone, Copy)]
+pub enum Ty {
+    /// A string.
+    Str,
+    /// A number.
+    Num,
+    /// A boolean.
+    Bool,
+    /// A non-empty array.
+    Arr,
+    /// An object.
+    Obj,
+    /// A string or `null`.
+    StrOrNull,
+    /// A number or `null`.
+    NumOrNull,
+}
+
+fn type_ok(v: &Json, ty: Ty) -> bool {
+    match ty {
+        Ty::Str => matches!(v, Json::Str(_)),
+        Ty::Num => matches!(v, Json::Num(_)),
+        Ty::Bool => matches!(v, Json::Bool(_)),
+        Ty::Arr => matches!(v, Json::Arr(a) if !a.is_empty()),
+        Ty::Obj => matches!(v, Json::Obj(_)),
+        Ty::StrOrNull => matches!(v, Json::Str(_) | Json::Null),
+        Ty::NumOrNull => matches!(v, Json::Num(_) | Json::Null),
+    }
+}
+
+/// Check required members of an object; `path` prefixes error messages.
+pub fn require(v: &Json, path: &str, fields: &[(&str, Ty)]) -> Vec<String> {
+    let mut errs = Vec::new();
+    for (key, ty) in fields {
+        match v.get(key) {
+            None => errs.push(format!("{path}: missing required key \"{key}\"")),
+            Some(member) if !type_ok(member, *ty) => {
+                errs.push(format!("{path}: \"{key}\" has the wrong type ({ty:?} expected)"))
+            }
+            Some(_) => {}
+        }
+    }
+    errs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_the_shapes_our_emitters_produce() {
+        let text = r#"{
+  "benchmark": "x",
+  "n": 578, "f": -1.25e3, "flag": true, "none": null,
+  "nested": { "a": [1, 2, 3], "s": "with \"escapes\" and \n" },
+  "empty_arr": [], "empty_obj": {}
+}"#;
+        let v = parse(text).unwrap();
+        assert_eq!(v.get("benchmark").unwrap().str(), Some("x"));
+        assert_eq!(v.get("n").unwrap().num(), Some(578.0));
+        assert_eq!(v.get("f").unwrap().num(), Some(-1250.0));
+        assert_eq!(v.get("flag"), Some(&Json::Bool(true)));
+        assert_eq!(v.get("none"), Some(&Json::Null));
+        assert_eq!(v.get("nested").unwrap().get("a").unwrap().arr().unwrap().len(), 3);
+        assert_eq!(v.get("empty_arr").unwrap().arr(), Some(&[][..]));
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        for bad in [
+            "",
+            "{",
+            "{\"a\": }",
+            "{\"a\": 1,}",
+            "[1 2]",
+            "{\"a\": 1} trailing",
+            "{\"a\": 1e999}",
+            "\"unterminated",
+        ] {
+            assert!(parse(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn require_reports_missing_and_mistyped() {
+        let v = parse(r#"{ "a": "s", "b": 1, "c": [] }"#).unwrap();
+        let errs = require(
+            &v,
+            "t",
+            &[("a", Ty::Str), ("b", Ty::Str), ("c", Ty::Arr), ("d", Ty::Num)],
+        );
+        assert_eq!(errs.len(), 3, "{errs:?}");
+        assert!(errs.iter().any(|e| e.contains("\"b\"")));
+        assert!(errs.iter().any(|e| e.contains("\"c\"")));
+        assert!(errs.iter().any(|e| e.contains("missing required key \"d\"")));
+    }
+}

@@ -9,6 +9,9 @@ use embera_smp::SmpPlatform;
 use mjpeg::{build_mpsoc_app, build_smp_app, synthesize_stream, MjpegAppConfig, MjpegStream};
 
 pub mod fanio;
+pub mod jsonv;
+pub mod loadgen;
+pub mod provenance;
 
 /// Observation arrangement for an overhead measurement — the `--obs`
 /// axis of `bench-sweep` and the cells of the `obs-budget` gate.

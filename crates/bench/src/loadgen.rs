@@ -1,0 +1,252 @@
+//! Open-loop overload measurement: the driver that runs the MJPEG
+//! overload harness ([`mjpeg::build_overload_app`]) on the SMP backend
+//! at a configured offered load, plus the log-bucketed latency
+//! histogram its percentiles come from.
+
+use embera::{Platform, RunningApp};
+use embera_smp::SmpPlatform;
+use mjpeg::{synthesize_stream, MjpegStream, OverloadConfig};
+
+/// Buckets per octave: latency values are grouped by their top
+/// `log2(SUBBUCKETS)` mantissa bits, bounding the relative quantization
+/// error of any reported percentile to `1/SUBBUCKETS` (6.25%).
+const SUBBUCKETS: usize = 16;
+
+/// A log-bucketed (HDR-style) latency histogram: constant-time record,
+/// percentiles with bounded relative error, no per-sample storage.
+#[derive(Clone)]
+pub struct LatencyHistogram {
+    counts: Vec<u64>,
+    total: u64,
+    max_ns: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        // 64 octaves × SUBBUCKETS covers the full u64 range.
+        LatencyHistogram {
+            counts: vec![0; 64 * SUBBUCKETS],
+            total: 0,
+            max_ns: 0,
+        }
+    }
+}
+
+impl LatencyHistogram {
+    /// Histogram over `samples` (ns).
+    pub fn from_samples(samples: &[u64]) -> Self {
+        let mut h = Self::default();
+        for &s in samples {
+            h.record(s);
+        }
+        h
+    }
+
+    fn bucket(v: u64) -> usize {
+        if (v as usize) < SUBBUCKETS {
+            return v as usize;
+        }
+        let exp = 63 - v.leading_zeros() as usize;
+        let mantissa = ((v >> (exp - 4)) & 0xF) as usize;
+        (exp - 3) * SUBBUCKETS + mantissa
+    }
+
+    /// Upper bound of a bucket: every value in the bucket is ≤ this, so
+    /// percentiles never under-report.
+    fn bucket_max(idx: usize) -> u64 {
+        if idx < SUBBUCKETS {
+            return idx as u64;
+        }
+        let exp = idx / SUBBUCKETS + 3;
+        let mantissa = (idx % SUBBUCKETS) as u64;
+        ((SUBBUCKETS as u64 + mantissa) << (exp - 4)) + ((1u64 << (exp - 4)) - 1)
+    }
+
+    /// Record one latency sample (ns).
+    pub fn record(&mut self, ns: u64) {
+        self.counts[Self::bucket(ns)] += 1;
+        self.total += 1;
+        self.max_ns = self.max_ns.max(ns);
+    }
+
+    /// Recorded sample count.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Largest recorded sample, ns (exact).
+    pub fn max_ns(&self) -> u64 {
+        self.max_ns
+    }
+
+    /// Value at quantile `q` in [0, 1]: the smallest bucket upper bound
+    /// with at least `q × count` samples at or below it. 0 on an empty
+    /// histogram; the exact max for `q = 1`.
+    pub fn percentile(&self, q: f64) -> u64 {
+        if self.total == 0 {
+            return 0;
+        }
+        let rank = (q.clamp(0.0, 1.0) * self.total as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (idx, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Self::bucket_max(idx).min(self.max_ns);
+            }
+        }
+        self.max_ns
+    }
+}
+
+/// Everything one overload run produced: the frame-level ledger, the
+/// message-level shed accounting from Fetch's health counters, and the
+/// completed-frame latency percentiles.
+#[derive(Debug, Clone)]
+pub struct OverloadOutcome {
+    /// Frame tokens the generator injected.
+    pub injected: u64,
+    /// Frames that folded within their deadline.
+    pub completed: u64,
+    /// Frames that folded past their deadline.
+    pub expired_frames: u64,
+    /// Messages the queue-bound policy shed at Fetch's ingress.
+    pub shed_messages: u64,
+    /// Messages the deadline policy shed at Fetch's ingress.
+    pub expired_messages: u64,
+    /// Frames left partially assembled at exit.
+    pub incomplete: u64,
+    /// Blocks whose IDCT transform was skipped as already-late.
+    pub idct_skipped: u64,
+    /// Autoscaler retargets, in order.
+    pub scale_history: Vec<u32>,
+    /// Application wall time, s.
+    pub wall_s: f64,
+    /// Completed-frame latency percentiles, ns.
+    pub p50_ns: u64,
+    /// 99th percentile, ns.
+    pub p99_ns: u64,
+    /// 99.9th percentile, ns.
+    pub p999_ns: u64,
+}
+
+impl OverloadOutcome {
+    /// The exact conservation law the CI smoke gate asserts: every
+    /// injected frame is either completed, expired at the judge, shed
+    /// or expired at Fetch's ingress, or left incomplete at exit.
+    pub fn ledger_balances(&self) -> bool {
+        self.injected
+            == self.completed
+                + self.expired_frames
+                + self.shed_messages
+                + self.expired_messages
+                + self.incomplete
+    }
+
+    /// Completed fraction of injected frames.
+    pub fn completed_fraction(&self) -> f64 {
+        if self.injected == 0 {
+            return 0.0;
+        }
+        self.completed as f64 / self.injected as f64
+    }
+}
+
+/// Frame geometry of the overload experiments: 96×48 = 72 blocks per
+/// frame, 4× the Table-1 workload, so per-frame service time dominates
+/// the threaded backends' timer granularity and offered loads near
+/// saturation are actually reached.
+pub const OVERLOAD_WIDTH: usize = 96;
+/// Frame height.
+pub const OVERLOAD_HEIGHT: usize = 48;
+
+/// Synthesize the overload experiment stream.
+pub fn overload_stream(frames: usize, seed: u64) -> MjpegStream {
+    synthesize_stream(frames, OVERLOAD_WIDTH, OVERLOAD_HEIGHT, 75, seed)
+}
+
+/// Run one overload configuration on the SMP backend and fold the
+/// probe + report into an [`OverloadOutcome`].
+pub fn run_overload_smp(stream: MjpegStream, cfg: &OverloadConfig) -> OverloadOutcome {
+    let (app, probe) = mjpeg::build_overload_app(stream, cfg);
+    let report = SmpPlatform::new()
+        .deploy(app.build().expect("valid overload app"))
+        .expect("deploy")
+        .wait()
+        .expect("run");
+    let health = report
+        .component("Fetch")
+        .expect("Fetch")
+        .health
+        .expect("health info");
+    let ord = std::sync::atomic::Ordering::SeqCst;
+    let hist = LatencyHistogram::from_samples(&probe.latencies());
+    OverloadOutcome {
+        injected: probe.injected.load(ord),
+        completed: probe.completed.load(ord),
+        expired_frames: probe.expired.load(ord),
+        shed_messages: health.shed_messages,
+        expired_messages: health.expired_messages,
+        incomplete: probe.incomplete.load(ord),
+        idct_skipped: probe.idct_skipped.load(ord),
+        scale_history: probe.scale_history(),
+        wall_s: report.wall_time_ns as f64 / 1e9,
+        p50_ns: hist.percentile(0.50),
+        p99_ns: hist.percentile(0.99),
+        p999_ns: hist.percentile(0.999),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mjpeg::{ArrivalProcess, Pacing};
+
+    #[test]
+    fn histogram_percentiles_have_bounded_error() {
+        // 1..=10_000 uniformly: p50 ≈ 5000, p99 ≈ 9900, each within the
+        // 6.25% bucket quantization plus the exact-max clamp.
+        let samples: Vec<u64> = (1..=10_000).collect();
+        let h = LatencyHistogram::from_samples(&samples);
+        assert_eq!(h.count(), 10_000);
+        assert_eq!(h.max_ns(), 10_000);
+        for (q, exact) in [(0.50, 5_000.0), (0.99, 9_900.0), (0.999, 9_990.0)] {
+            let got = h.percentile(q) as f64;
+            assert!(
+                got >= exact * 0.999 && got <= exact * 1.07,
+                "p{q}: got {got}, exact {exact}"
+            );
+        }
+        assert_eq!(h.percentile(1.0), 10_000);
+        assert_eq!(LatencyHistogram::default().percentile(0.99), 0);
+    }
+
+    #[test]
+    fn histogram_buckets_are_monotone() {
+        let mut last = 0;
+        for v in [0u64, 1, 15, 16, 17, 100, 1_000, 1 << 20, 1 << 40, u64::MAX] {
+            let b = LatencyHistogram::bucket(v);
+            assert!(b >= last, "bucket({v}) = {b} < {last}");
+            assert!(LatencyHistogram::bucket_max(b) >= v);
+            last = b;
+        }
+    }
+
+    #[test]
+    fn smp_overload_run_completes_and_balances() {
+        let cfg = OverloadConfig {
+            frames: 24,
+            mean_gap_ns: 400_000,
+            arrival: ArrivalProcess::Poisson,
+            deadline_budget_ns: 2_000_000_000,
+            max_workers: 2,
+            initial_workers: 2,
+            pacing: Pacing::RealTime,
+            ..OverloadConfig::default()
+        };
+        let out = run_overload_smp(overload_stream(4, 0x0F), &cfg);
+        assert_eq!(out.injected, 24);
+        assert_eq!(out.completed, 24, "{out:?}");
+        assert!(out.ledger_balances(), "{out:?}");
+        assert!(out.p50_ns > 0 && out.p99_ns >= out.p50_ns);
+    }
+}

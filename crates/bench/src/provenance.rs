@@ -1,0 +1,112 @@
+//! The one provenance header every `BENCH_*.json` emitter stamps.
+//!
+//! Before this module each emitter assembled its own header fields and
+//! they drifted: `BENCH_pr1.json` carried no git revision at all,
+//! `BENCH_pr7.json` dropped the backend and SIMD level, and the two
+//! sweep emitters spelled the same facts in different shapes. Every
+//! emitter now embeds the object returned by [`provenance_json`] under
+//! a top-level `"provenance"` key, and `repro bench-validate` rejects
+//! any benchmark artifact without it.
+
+use crate::BenchBackend;
+
+/// Short git revision of the working tree, or `"unknown"` outside a
+/// repository.
+pub fn git_rev() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short=12", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .unwrap_or_else(|| "unknown".into())
+}
+
+/// Detected (sse2, avx2) support on the host.
+#[cfg(target_arch = "x86_64")]
+pub fn cpu_features() -> (bool, bool) {
+    (
+        is_x86_feature_detected!("sse2"),
+        is_x86_feature_detected!("avx2"),
+    )
+}
+
+/// Detected (sse2, avx2) support on the host.
+#[cfg(not(target_arch = "x86_64"))]
+pub fn cpu_features() -> (bool, bool) {
+    (false, false)
+}
+
+/// Available host parallelism.
+pub fn host_cores() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// The uniform provenance object: git revision, execution backend,
+/// worker-pool size (`null` for thread-per-component or backend-less
+/// measurements), active SIMD level, CPU features, and host cores.
+/// `backend = None` marks artifacts that mix backends (e.g. the
+/// observation budget's smp + exec cells).
+pub fn provenance_json(backend: Option<BenchBackend>, pool_workers: usize) -> String {
+    let (sse2, avx2) = cpu_features();
+    let backend_json = backend.map_or("null".into(), |b| format!("\"{}\"", b.name()));
+    let pool_json = backend
+        .and_then(|b| b.worker_pool(pool_workers))
+        .map_or("null".into(), |n| n.to_string());
+    format!(
+        concat!(
+            "{{\n",
+            "    \"git_rev\": \"{}\",\n",
+            "    \"backend\": {},\n",
+            "    \"worker_pool\": {},\n",
+            "    \"simd_level\": \"{}\",\n",
+            "    \"sse2\": {},\n",
+            "    \"avx2\": {},\n",
+            "    \"host_cores\": {}\n",
+            "  }}"
+        ),
+        git_rev(),
+        backend_json,
+        pool_json,
+        mjpeg::active_level().name(),
+        sse2,
+        avx2,
+        host_cores(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn provenance_carries_every_field() {
+        for p in [
+            provenance_json(None, 0),
+            provenance_json(Some(BenchBackend::Smp), 0),
+            provenance_json(Some(BenchBackend::Exec), 3),
+        ] {
+            for key in [
+                "git_rev",
+                "backend",
+                "worker_pool",
+                "simd_level",
+                "sse2",
+                "avx2",
+                "host_cores",
+            ] {
+                assert!(p.contains(&format!("\"{key}\"")), "missing {key} in {p}");
+            }
+        }
+    }
+
+    #[test]
+    fn backend_and_pool_are_stamped() {
+        let p = provenance_json(Some(BenchBackend::Exec), 5);
+        assert!(p.contains("\"backend\": \"exec\""));
+        assert!(p.contains("\"worker_pool\": 5"));
+        let p = provenance_json(Some(BenchBackend::Smp), 5);
+        assert!(p.contains("\"worker_pool\": null"));
+    }
+}

@@ -232,6 +232,23 @@ impl AppBuilder {
         self
     }
 
+    /// Attach an overload policy to an already-added component — the
+    /// overload hook for components created by application builders.
+    /// Panics if no component with that name has been added.
+    pub fn overload_component(
+        &mut self,
+        name: &str,
+        policy: crate::overload::OverloadPolicy,
+    ) -> &mut Self {
+        let c = self
+            .components
+            .iter_mut()
+            .find(|c| c.name == name)
+            .unwrap_or_else(|| panic!("overload_component: no component named '{name}'"));
+        c.overload = Some(policy);
+        self
+    }
+
     /// Validate and finalize the application.
     pub fn build(mut self) -> Result<AppSpec, EmberaError> {
         // Auto-wire the observer before validation so its connections are
@@ -252,7 +269,16 @@ impl AppBuilder {
             let targets: Vec<String> =
                 self.components.iter().map(|c| c.name.clone()).collect();
             match config.topology.clone() {
-                ObserverTopology::Flat => self.wire_flat_observer(targets, config),
+                ObserverTopology::Flat => {
+                    if config.actuate.is_some() {
+                        return Err(EmberaError::Validation(
+                            "actuate requires a hierarchical observer topology \
+                             (the root observer streams region summaries)"
+                                .into(),
+                        ));
+                    }
+                    self.wire_flat_observer(targets, config)
+                }
                 ObserverTopology::Sharded { regions } => {
                     let r = regions.clamp(1, targets.len().max(1));
                     let per = targets.len().div_ceil(r).max(1);
@@ -341,6 +367,17 @@ impl AppBuilder {
                 )));
             }
         }
+        if let Some((actuate_component, _)) = &config.actuate {
+            let observed = groups
+                .iter()
+                .any(|(_, members)| members.iter().any(|m| m == actuate_component));
+            if observed {
+                return Err(EmberaError::Validation(format!(
+                    "actuate target '{actuate_component}' must not itself be observed \
+                     (it consumes the observer tree's output)"
+                )));
+            }
+        }
         for (idx, (label, members)) in groups.iter().enumerate() {
             let name = format!("{REGION_OBSERVER_PREFIX}{idx}");
             let mut regional = ComponentSpec::new(
@@ -373,6 +410,13 @@ impl AppBuilder {
             RootObserverBehavior::new(groups.len(), config.clone()),
         )
         .with_provided("regions");
+        if let Some((actuate_component, actuate_iface)) = &config.actuate {
+            root = root.with_required("actuate");
+            self.connections.push(Connection {
+                from: Endpoint::new(OBSERVER_NAME, "actuate"),
+                to: Endpoint::new(actuate_component.clone(), actuate_iface.clone()),
+            });
+        }
         if let Some((done_component, done_iface)) = &config.notify_done {
             root = root.with_required("done");
             self.connections.push(Connection {
@@ -696,6 +740,47 @@ mod tests {
             .any(|c| c.from.component == OBSERVER_NAME
                 && c.from.interface == "done"
                 && c.to.component == "waiter"));
+    }
+
+    #[test]
+    fn actuate_wires_root_to_controller() {
+        // Flat topology cannot actuate.
+        let mut b = AppBuilder::new("app");
+        b.add(ComponentSpec::new("a", noop()));
+        b.add(ComponentSpec::new("ctl", noop()).with_provided("summaries"));
+        b.with_observer(ObserverConfig::default().actuate("ctl", "summaries"));
+        assert!(matches!(b.build(), Err(EmberaError::Validation(_))));
+
+        // An observed actuate target is rejected.
+        let mut b = AppBuilder::new("app");
+        b.add(ComponentSpec::new("a", noop()));
+        b.add(ComponentSpec::new("ctl", noop()).with_provided("summaries"));
+        b.with_observer(
+            ObserverConfig::default()
+                .sharded(1)
+                .actuate("ctl", "summaries"),
+        );
+        assert!(matches!(b.build(), Err(EmberaError::Validation(_))));
+
+        // Grouped hierarchy with an unobserved controller wires up.
+        let mut b = AppBuilder::new("app");
+        b.add(ComponentSpec::new("a", noop()));
+        b.add(ComponentSpec::new("ctl", noop()).with_provided("summaries"));
+        b.with_observer(
+            ObserverConfig::default()
+                .grouped(vec![("g".into(), vec!["a".into()])])
+                .actuate("ctl", "summaries"),
+        );
+        let spec = b.build().unwrap();
+        let root = spec.components.last().unwrap();
+        assert_eq!(root.required, vec!["actuate"]);
+        assert!(spec
+            .connections
+            .iter()
+            .any(|c| c.from.component == OBSERVER_NAME
+                && c.from.interface == "actuate"
+                && c.to.component == "ctl"
+                && c.to.interface == "summaries"));
     }
 
     #[test]

@@ -108,11 +108,32 @@ pub trait Ctx {
         self.send_message(required, Message::Data(payload))
     }
 
+    /// Send a data payload with an absolute deadline (ns) riding the
+    /// envelope. Downstream stages observe the deadline through
+    /// [`Message::deadline_ns`] (or shed expired messages at ingress
+    /// under a deadline-drop [`OverloadPolicy`](crate::OverloadPolicy)).
+    fn send_deadlined(
+        &mut self,
+        required: &str,
+        payload: Bytes,
+        deadline_ns: u64,
+    ) -> Result<(), EmberaError> {
+        self.send_message(
+            required,
+            Message::Deadlined {
+                payload,
+                deadline_ns,
+            },
+        )
+    }
+
     /// Receive a data payload from a provided interface (the paper's
-    /// `receive` primitive).
+    /// `receive` primitive). Deadlined payloads are accepted; the
+    /// deadline is stripped (use [`Ctx::recv_message`] to see it).
     fn recv(&mut self, provided: &str) -> Result<Bytes, EmberaError> {
         match self.recv_message(provided)? {
             Message::Data(b) => Ok(b),
+            Message::Deadlined { payload, .. } => Ok(payload),
             _ => Err(EmberaError::UnexpectedMessage {
                 interface: provided.to_string(),
             }),
@@ -128,6 +149,7 @@ pub trait Ctx {
         match self.recv_message_timeout(provided, timeout_ns)? {
             None => Ok(None),
             Some(Message::Data(b)) => Ok(Some(b)),
+            Some(Message::Deadlined { payload, .. }) => Ok(Some(payload)),
             Some(_) => Err(EmberaError::UnexpectedMessage {
                 interface: provided.to_string(),
             }),

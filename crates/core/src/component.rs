@@ -4,6 +4,7 @@ use std::sync::Arc;
 
 use crate::behavior::Behavior;
 use crate::observe::custom::MetricSource;
+use crate::overload::OverloadPolicy;
 use crate::supervise::RestartPolicy;
 
 /// Name of the implicit observation interface pair created "by default
@@ -50,6 +51,10 @@ pub struct ComponentSpec {
     /// (error or contained panic). `None` keeps the historical
     /// fail-fast semantics.
     pub restart: Option<RestartPolicy>,
+    /// Overload response: bounded-queue backpressure or load shedding
+    /// enforced by the runtime at this component's ingress/egress.
+    /// `None` keeps the historical unbounded semantics.
+    pub overload: Option<OverloadPolicy>,
 }
 
 impl ComponentSpec {
@@ -65,6 +70,7 @@ impl ComponentSpec {
             placement: Placement::Any,
             metrics: Vec::new(),
             restart: None,
+            overload: None,
         }
     }
 
@@ -104,6 +110,12 @@ impl ComponentSpec {
         self
     }
 
+    /// Bound this component's queues with an overload policy.
+    pub fn with_overload(mut self, policy: OverloadPolicy) -> Self {
+        self.overload = Some(policy);
+        self
+    }
+
     /// Does the component declare this provided interface (including the
     /// implicit introspection interface)?
     pub fn has_provided(&self, iface: &str) -> bool {
@@ -126,6 +138,7 @@ impl std::fmt::Debug for ComponentSpec {
             .field("stack_bytes", &self.stack_bytes)
             .field("placement", &self.placement)
             .field("restart", &self.restart)
+            .field("overload", &self.overload)
             .finish_non_exhaustive()
     }
 }

@@ -63,6 +63,7 @@ pub mod error;
 pub mod message;
 pub mod observe;
 pub mod observer;
+pub mod overload;
 pub mod platform;
 pub mod pool;
 pub mod runtime;
@@ -82,10 +83,11 @@ pub use observe::report::{
 pub use observe::stats::ComponentStats;
 pub use observe::topology::{ObserverTopology, RegionSummary, RollupTotals, SamplingPolicy};
 pub use observer::{
-    is_observer_component, ObservationLog, ObserverBehavior, ObserverConfig,
-    RegionObserverBehavior, RootObserverBehavior, StallRecord, OBSERVER_NAME,
-    REGION_OBSERVER_PREFIX, ROOT_REGION,
+    decode_region_summary, encode_region_summary, is_observer_component, ObservationLog,
+    ObserverBehavior, ObserverConfig, RegionObserverBehavior, RootObserverBehavior, StallRecord,
+    OBSERVER_NAME, REGION_OBSERVER_PREFIX, ROOT_REGION,
 };
+pub use overload::{OverloadKind, OverloadPolicy};
 pub use platform::{AppReport, Platform, RunningApp};
 pub use pool::{BufferPool, PoolStats};
 pub use runtime::{ComponentRuntime, TraceConfig, TraceEventKind, TraceSink};

@@ -13,6 +13,16 @@ pub enum Message {
     /// Application payload. Cheap to clone ([`Bytes`] is reference
     /// counted).
     Data(Bytes),
+    /// Application payload with a deadline riding the envelope: the
+    /// absolute platform time (ns) by which downstream stages should
+    /// have finished with it. Stages may skip or shed work on expired
+    /// messages instead of silently burning CPU (overload robustness).
+    Deadlined {
+        /// The payload, identical in role to [`Message::Data`].
+        payload: Bytes,
+        /// Absolute deadline in platform nanoseconds.
+        deadline_ns: u64,
+    },
     /// A request for observation information, carrying the requester's
     /// component name so the reply can be routed.
     ObsRequest {
@@ -36,13 +46,31 @@ impl Message {
     pub fn data_len(&self) -> usize {
         match self {
             Message::Data(b) => b.len(),
+            Message::Deadlined { payload, .. } => payload.len(),
             _ => 0,
         }
     }
 
     /// Is this an application data message?
     pub fn is_data(&self) -> bool {
-        matches!(self, Message::Data(_))
+        matches!(self, Message::Data(_) | Message::Deadlined { .. })
+    }
+
+    /// Absolute deadline riding the envelope, if any.
+    pub fn deadline_ns(&self) -> Option<u64> {
+        match self {
+            Message::Deadlined { deadline_ns, .. } => Some(*deadline_ns),
+            _ => None,
+        }
+    }
+
+    /// The data payload, for both plain and deadlined data messages.
+    pub fn payload(&self) -> Option<&Bytes> {
+        match self {
+            Message::Data(b) => Some(b),
+            Message::Deadlined { payload, .. } => Some(payload),
+            _ => None,
+        }
     }
 
     /// Approximate wire size of the message in bytes, used by backends
@@ -51,6 +79,7 @@ impl Message {
     pub fn wire_size(&self) -> usize {
         match self {
             Message::Data(b) => b.len(),
+            Message::Deadlined { payload, .. } => payload.len() + 8,
             Message::ObsRequest { .. } => 64,
             Message::ObsReply { .. } => 512,
         }
@@ -67,6 +96,19 @@ mod tests {
         assert_eq!(m.data_len(), 4);
         assert!(m.is_data());
         assert_eq!(m.wire_size(), 4);
+    }
+
+    #[test]
+    fn deadlined_counts_as_data() {
+        let m = Message::Deadlined {
+            payload: Bytes::from_static(b"abcd"),
+            deadline_ns: 77,
+        };
+        assert_eq!(m.data_len(), 4);
+        assert!(m.is_data());
+        assert_eq!(m.deadline_ns(), Some(77));
+        assert_eq!(m.payload().map(|b| b.len()), Some(4));
+        assert_eq!(m.wire_size(), 12);
     }
 
     #[test]

@@ -221,6 +221,14 @@ pub struct HealthInfo {
     pub queued_bytes: u64,
     /// Restarts performed by the component's supervision policy so far.
     pub restarts: u64,
+    /// Messages shed at ingress by a queue-bound overload policy
+    /// (absent in reports produced before the overload layer existed).
+    #[serde(default)]
+    pub shed_messages: u64,
+    /// Deadlined messages shed at ingress because their deadline had
+    /// expired (the `DeadlineExceeded` count).
+    #[serde(default)]
+    pub expired_messages: u64,
 }
 
 impl HealthInfo {

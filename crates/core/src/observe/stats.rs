@@ -124,6 +124,11 @@ pub struct ComponentStats {
     /// `FLAG_*` supervision bits.
     flags: AtomicU64,
     restarts: AtomicU64,
+    /// Messages shed at ingress by a queue-bound overload policy.
+    shed_messages: AtomicU64,
+    /// Deadlined messages shed at ingress because their deadline had
+    /// already expired.
+    expired_messages: AtomicU64,
 }
 
 impl ComponentStats {
@@ -160,6 +165,8 @@ impl ComponentStats {
             last_progress_ns: AtomicU64::new(0),
             flags: AtomicU64::new(0),
             restarts: AtomicU64::new(0),
+            shed_messages: AtomicU64::new(0),
+            expired_messages: AtomicU64::new(0),
         }
     }
 
@@ -252,6 +259,28 @@ impl ComponentStats {
         self.restarts.load(Ordering::Relaxed)
     }
 
+    /// Record one message shed at ingress by a queue-bound overload
+    /// policy (drop-oldest).
+    pub fn record_shed(&self) {
+        self.shed_messages.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one deadlined message shed at ingress because its
+    /// deadline had expired.
+    pub fn record_expired(&self) {
+        self.expired_messages.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Messages shed by queue-bound overload policies so far.
+    pub fn shed_messages(&self) -> u64 {
+        self.shed_messages.load(Ordering::Relaxed)
+    }
+
+    /// Deadline-expired messages shed so far.
+    pub fn expired_messages(&self) -> u64 {
+        self.expired_messages.load(Ordering::Relaxed)
+    }
+
     /// Supervision snapshot taken at platform time `now_ns`. Progress
     /// marks accumulated since the previous snapshot are folded into
     /// `last_progress_ns` here, with the caller's clock.
@@ -279,6 +308,8 @@ impl ComponentStats {
             queued_messages: self.queued_messages.load(Ordering::Acquire),
             queued_bytes: self.queued_bytes.load(Ordering::Acquire),
             restarts: self.restarts(),
+            shed_messages: self.shed_messages(),
+            expired_messages: self.expired_messages(),
         }
     }
 

@@ -178,6 +178,13 @@ pub struct RegionSummary {
     pub total_receives: u64,
     /// Sum of the members' latest queued message gauges.
     pub queued_messages: u64,
+    /// Sum of the members' messages shed by queue-bound overload
+    /// policies (absent in summaries from before the overload layer).
+    #[serde(default)]
+    pub shed_messages: u64,
+    /// Sum of the members' deadline-expired shed messages.
+    #[serde(default)]
+    pub expired_messages: u64,
 }
 
 impl RegionSummary {
@@ -206,6 +213,10 @@ pub struct RollupTotals {
     pub total_sends: u64,
     /// Sum of member data receives.
     pub total_receives: u64,
+    /// Sum of member messages shed by queue-bound overload policies.
+    pub shed_messages: u64,
+    /// Sum of member deadline-expired shed messages.
+    pub expired_messages: u64,
     /// True when every reporting region is all-terminal.
     pub all_terminal: bool,
 }

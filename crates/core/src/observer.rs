@@ -190,6 +190,8 @@ impl ObservationLog {
             t.polls += s.polls;
             t.total_sends += s.total_sends;
             t.total_receives += s.total_receives;
+            t.shed_messages += s.shed_messages;
+            t.expired_messages += s.expired_messages;
             if !s.all_terminal() {
                 t.all_terminal = false;
             }
@@ -230,6 +232,14 @@ pub struct ObserverConfig {
     /// target component must not itself be observed (use
     /// [`ObserverTopology::Grouped`] and leave it out of every group).
     pub notify_done: Option<(String, String)>,
+    /// Hierarchical topologies only: `(component, provided_interface)`
+    /// the root observer streams every received [`RegionSummary`] to,
+    /// encoded with [`encode_region_summary`] — the observation→actuation
+    /// feed a controller component (e.g. an autoscaler) consumes. An
+    /// empty sentinel payload is sent when the root exits. Like
+    /// [`ObserverConfig::notify_done`], the target must not itself be
+    /// observed.
+    pub actuate: Option<(String, String)>,
     pub(crate) log: ObservationLog,
 }
 
@@ -244,6 +254,7 @@ impl Default for ObserverConfig {
             topology: ObserverTopology::Flat,
             sampling: None,
             notify_done: None,
+            actuate: None,
             log: ObservationLog::new(),
         }
     }
@@ -313,10 +324,83 @@ impl ObserverConfig {
         self
     }
 
+    /// Have the root observer stream every region summary it receives to
+    /// `(component, interface)`, closing the observation→actuation loop.
+    pub fn actuate(
+        mut self,
+        component: impl Into<String>,
+        interface: impl Into<String>,
+    ) -> Self {
+        self.actuate = Some((component.into(), interface.into()));
+        self
+    }
+
     pub(crate) fn with_log(mut self, log: ObservationLog) -> Self {
         self.log = log;
         self
     }
+}
+
+/// Fixed-field little-endian wire encoding of a [`RegionSummary`] for
+/// the [`ObserverConfig::actuate`] feed:
+/// `label_len u16 | label bytes | 11 × u64` (components, round, polls,
+/// finished, faulted, stalled, total_sends, total_receives,
+/// queued_messages, shed_messages, expired_messages). Deliberately not
+/// serde: controller components parse it allocation-light inside their
+/// control loop.
+pub fn encode_region_summary(s: &RegionSummary) -> bytes::Bytes {
+    let label = s.region.as_bytes();
+    let mut out = Vec::with_capacity(2 + label.len() + 11 * 8);
+    out.extend_from_slice(&(label.len() as u16).to_le_bytes());
+    out.extend_from_slice(label);
+    for v in [
+        s.components,
+        s.round,
+        s.polls,
+        s.finished,
+        s.faulted,
+        s.stalled,
+        s.total_sends,
+        s.total_receives,
+        s.queued_messages,
+        s.shed_messages,
+        s.expired_messages,
+    ] {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    bytes::Bytes::from(out)
+}
+
+/// Inverse of [`encode_region_summary`]; `None` on malformed input.
+pub fn decode_region_summary(buf: &[u8]) -> Option<RegionSummary> {
+    if buf.len() < 2 {
+        return None;
+    }
+    let label_len = u16::from_le_bytes([buf[0], buf[1]]) as usize;
+    let fields_at = 2 + label_len;
+    if buf.len() != fields_at + 11 * 8 {
+        return None;
+    }
+    let region = std::str::from_utf8(&buf[2..fields_at]).ok()?.to_string();
+    let mut vals = [0u64; 11];
+    for (i, v) in vals.iter_mut().enumerate() {
+        let at = fields_at + i * 8;
+        *v = u64::from_le_bytes(buf[at..at + 8].try_into().ok()?);
+    }
+    Some(RegionSummary {
+        region,
+        components: vals[0],
+        round: vals[1],
+        polls: vals[2],
+        finished: vals[3],
+        faulted: vals[4],
+        stalled: vals[5],
+        total_sends: vals[6],
+        total_receives: vals[7],
+        queued_messages: vals[8],
+        shed_messages: vals[9],
+        expired_messages: vals[10],
+    })
 }
 
 /// Lift a (possibly partial) reply into a sparse report so every request
@@ -592,6 +676,8 @@ impl Behavior for RegionObserverBehavior {
                             _ => {}
                         }
                         summary.queued_messages += h.queued_messages;
+                        summary.shed_messages += h.shed_messages;
+                        summary.expired_messages += h.expired_messages;
                     }
                     if stalled[i] {
                         summary.stalled += 1;
@@ -650,10 +736,20 @@ impl Behavior for RootObserverBehavior {
                 Some(Message::ObsReply { reply, .. }) => {
                     if let ObsReply::Region(summary) = *reply {
                         self.config.log.push_summary(summary.clone());
+                        if self.config.actuate.is_some() {
+                            // Observation→actuation: stream the summary
+                            // to the configured controller component.
+                            ctx.send("actuate", encode_region_summary(&summary))?;
+                        }
                         latest.insert(summary.region.clone(), summary);
                         if latest.len() >= self.regions
                             && latest.values().all(|s| s.all_terminal())
                         {
+                            if self.config.actuate.is_some() {
+                                // Empty sentinel: the controller's exit
+                                // signal.
+                                ctx.send("actuate", bytes::Bytes::new())?;
+                            }
                             if self.config.notify_done.is_some() {
                                 ctx.send("done", bytes::Bytes::from_static(&[1]))?;
                             }
@@ -792,6 +888,28 @@ mod tests {
         assert_eq!(t.total_receives, 25);
         assert_eq!(t.polls, 11);
         assert!(t.all_terminal);
+    }
+
+    #[test]
+    fn region_summary_codec_round_trips() {
+        let s = RegionSummary {
+            region: "left".into(),
+            components: 4,
+            round: 9,
+            polls: 36,
+            finished: 3,
+            faulted: 1,
+            stalled: 2,
+            total_sends: 100,
+            total_receives: 99,
+            queued_messages: 7,
+            shed_messages: 5,
+            expired_messages: 11,
+        };
+        let wire = encode_region_summary(&s);
+        assert_eq!(decode_region_summary(&wire), Some(s));
+        assert_eq!(decode_region_summary(&[]), None);
+        assert_eq!(decode_region_summary(&wire[..wire.len() - 1]), None);
     }
 
     #[test]

@@ -54,6 +54,7 @@ use crate::message::Message;
 use crate::observe::engine::ObsEngine;
 use crate::observe::protocol::ObsReply;
 use crate::observe::stats::ComponentStats;
+use crate::overload::{OverloadKind, OverloadPolicy};
 use crate::supervise::{ComponentFaults, Escalation, FaultAction, FaultPlan, RestartPolicy};
 
 /// What a platform backend must provide to host components: message
@@ -170,6 +171,15 @@ pub trait Transport {
         None
     }
 
+    /// Messages currently queued on this component's provided interface
+    /// `provided` — the per-inbox depth that queue-bound overload
+    /// policies enforce against. The default falls back to the
+    /// component-wide [`Transport::queued_messages`] count, which is
+    /// exact for single-inbox components.
+    fn inbox_depth(&self, _provided: &str) -> u64 {
+        self.queued_messages()
+    }
+
     /// The component's execution flow is about to end (behavior done and
     /// quiescent service finished).
     fn on_exit(&mut self) {}
@@ -196,6 +206,9 @@ pub struct ComponentRuntime<T: Transport> {
     /// This component's slice of the application's fault-injection plan
     /// (`None` — the overwhelmingly common case — costs one branch).
     faults: Option<ComponentFaults>,
+    /// Overload response ([`crate::ComponentSpec::with_overload`]):
+    /// ingress shedding or egress backpressure enforced by this runtime.
+    overload: Option<OverloadPolicy>,
 }
 
 impl<T: Transport> ComponentRuntime<T> {
@@ -221,6 +234,7 @@ impl<T: Transport> ComponentRuntime<T> {
             trace,
             restart: None,
             faults: None,
+            overload: None,
         }
     }
 
@@ -240,6 +254,12 @@ impl<T: Transport> ComponentRuntime<T> {
     /// [`crate::AppSpec::faults`](crate::AppSpec) through here).
     pub fn set_fault_plan(&mut self, plan: &FaultPlan) {
         self.faults = plan.for_component(&self.name);
+    }
+
+    /// Attach the component's overload policy (backends thread
+    /// [`crate::ComponentSpec::overload`] through here at deployment).
+    pub fn set_overload_policy(&mut self, policy: Option<OverloadPolicy>) {
+        self.overload = policy;
     }
 
     /// The underlying transport.
@@ -428,6 +448,51 @@ impl<T: Transport> ComponentRuntime<T> {
             if let Some((msg, cost)) = self.transport.try_pop(provided) {
                 if parked {
                     self.stats.set_blocked(false);
+                    parked = false;
+                }
+                // Overload ingress enforcement: shed the popped message
+                // (never recorded as a receive — sends = receives + shed
+                // in the rollup) and keep draining. Shed decisions are a
+                // pure function of queue depth / message deadline against
+                // the platform clock, so they are bit-for-bit
+                // reproducible on the deterministic inproc backend.
+                if msg.is_data() {
+                    if let Some(policy) = self.overload {
+                        match policy.kind {
+                            OverloadKind::DropOldest => {
+                                // Depth including the popped message
+                                // exceeds the bound: this message is the
+                                // oldest — shed it, keep the newest.
+                                if self.transport.inbox_depth(provided) >= policy.max_queue {
+                                    self.stats.record_shed();
+                                    self.stats.mark_progress();
+                                    self.emit(
+                                        self.trace_now(),
+                                        TraceEventKind::Shed,
+                                        0,
+                                        msg.data_len() as u64,
+                                    );
+                                    continue;
+                                }
+                            }
+                            OverloadKind::DeadlineDrop => {
+                                if let Some(deadline) = msg.deadline_ns() {
+                                    if self.transport.now_ns() >= deadline {
+                                        self.stats.record_expired();
+                                        self.stats.mark_progress();
+                                        self.emit(
+                                            self.trace_now(),
+                                            TraceEventKind::Shed,
+                                            1,
+                                            msg.data_len() as u64,
+                                        );
+                                        continue;
+                                    }
+                                }
+                            }
+                            OverloadKind::Block => {} // egress-side policy
+                        }
+                    }
                 }
                 if msg.is_data() && self.observe {
                     self.stats
@@ -488,6 +553,17 @@ fn corrupt_data(msg: Message) -> Message {
             let mut bytes = data.to_vec();
             bytes[0] ^= 0xFF;
             Message::Data(bytes.into())
+        }
+        Message::Deadlined {
+            payload,
+            deadline_ns,
+        } if !payload.is_empty() => {
+            let mut bytes = payload.to_vec();
+            bytes[0] ^= 0xFF;
+            Message::Deadlined {
+                payload: bytes.into(),
+                deadline_ns,
+            }
         }
         other => other,
     }
@@ -554,6 +630,25 @@ impl<T: Transport> Ctx for RuntimeCtx<'_, T> {
                         rt.transport.delay(ns);
                     }
                     None => {}
+                }
+            }
+        }
+        // Overload egress backpressure: a Block policy bounds every
+        // destination mailbox this component sends into. Only effective
+        // on backends that can observe peer queue depth (`route_depth`);
+        // the rest keep the historical unbounded behavior.
+        if is_data {
+            if let Some(policy) = rt.overload {
+                if policy.kind == OverloadKind::Block {
+                    while !rt.transport.is_shutdown() {
+                        match rt.transport.route_depth(required) {
+                            Some(depth) if depth >= policy.max_queue => {
+                                rt.service_introspection();
+                                rt.transport.delay(policy.poll_ns);
+                            }
+                            _ => break,
+                        }
+                    }
                 }
             }
         }
@@ -681,6 +776,12 @@ mod tests {
         fn park_quiescent(&mut self) -> bool {
             self.shutdown = true;
             true
+        }
+        fn inbox_depth(&self, provided: &str) -> u64 {
+            self.inboxes
+                .get(provided)
+                .map(|q| q.len() as u64)
+                .unwrap_or(0)
         }
         fn compute(&mut self, work: Work) {
             self.clock += work.ops;
@@ -924,6 +1025,78 @@ mod tests {
             }
             other => panic!("expected injected panic, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn drop_oldest_sheds_at_ingress() {
+        let mut t = Loopback::default();
+        t.routes.push("out".into());
+        t.inboxes.insert("out".into(), VecDeque::new());
+        let mut rt = runtime_with(t, &["out"]);
+        rt.set_overload_policy(Some(crate::OverloadPolicy::drop_oldest(2)));
+        let stats = Arc::clone(&rt.stats);
+        let mut b = behavior_fn(|ctx| {
+            for i in 0..5u8 {
+                ctx.send("out", Bytes::from(vec![i]))?;
+            }
+            // 5 queued against a bound of 2: the 3 oldest are shed, the
+            // newest 2 delivered.
+            assert_eq!(ctx.recv("out")?.as_ref(), &[3]);
+            assert_eq!(ctx.recv("out")?.as_ref(), &[4]);
+            Ok(())
+        });
+        rt.run_behavior(&mut b).unwrap();
+        assert_eq!(stats.shed_messages(), 3);
+        assert_eq!(stats.expired_messages(), 0);
+        let app = rt.engine.full_report(0).app;
+        assert_eq!(app.total_sends, 5);
+        assert_eq!(app.total_receives, 2, "shed messages are not receives");
+        assert_eq!(stats.health(0).shed_messages, 3);
+    }
+
+    #[test]
+    fn deadline_drop_sheds_expired_envelopes() {
+        let mut t = Loopback::default();
+        t.routes.push("out".into());
+        t.inboxes.insert("out".into(), VecDeque::new());
+        let mut rt = runtime_with(t, &["out"]);
+        rt.set_overload_policy(Some(crate::OverloadPolicy::deadline_drop()));
+        let stats = Arc::clone(&rt.stats);
+        let mut b = behavior_fn(|ctx| {
+            // Loopback's clock advances on every send, so deadline 0 has
+            // always expired by receive time.
+            ctx.send_deadlined("out", Bytes::from_static(b"late"), 0)?;
+            ctx.send_deadlined("out", Bytes::from_static(b"fresh"), u64::MAX)?;
+            ctx.send("out", Bytes::from_static(b"plain"))?;
+            assert_eq!(ctx.recv("out")?.as_ref(), b"fresh");
+            assert_eq!(ctx.recv("out")?.as_ref(), b"plain");
+            Ok(())
+        });
+        rt.run_behavior(&mut b).unwrap();
+        assert_eq!(stats.expired_messages(), 1);
+        assert_eq!(stats.shed_messages(), 0);
+        assert_eq!(stats.health(0).expired_messages, 1);
+    }
+
+    #[test]
+    fn block_policy_is_inert_without_route_depth() {
+        // Loopback's route_depth is None (the default): a Block policy
+        // must degrade to the historical unbounded send.
+        let mut t = Loopback::default();
+        t.routes.push("out".into());
+        t.inboxes.insert("out".into(), VecDeque::new());
+        let mut rt = runtime_with(t, &["out"]);
+        rt.set_overload_policy(Some(crate::OverloadPolicy::block(1)));
+        let mut b = behavior_fn(|ctx| {
+            for i in 0..4u8 {
+                ctx.send("out", Bytes::from(vec![i]))?;
+            }
+            for i in 0..4u8 {
+                assert_eq!(ctx.recv("out")?.as_ref(), &[i]);
+            }
+            Ok(())
+        });
+        rt.run_behavior(&mut b).unwrap();
     }
 
     #[test]

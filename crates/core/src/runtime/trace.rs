@@ -47,6 +47,10 @@ pub enum TraceEventKind {
     /// The fault-injection plan fired; `a` = action code (0 drop,
     /// 1 corrupt, 2 delay), `b` = payload bytes of the targeted message.
     FaultInjected,
+    /// An overload policy shed a message at component ingress; `a` =
+    /// reason code (0 queue-bound drop-oldest, 1 deadline expired),
+    /// `b` = payload bytes of the shed message.
+    Shed,
 }
 
 /// Receives trace events for one component. Implemented by

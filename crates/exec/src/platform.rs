@@ -219,6 +219,7 @@ impl Platform for ExecPlatform {
                 trace.as_ref().map(|t| t.sink_for(&c.name)),
             );
             runtime.set_restart_policy(c.restart);
+            runtime.set_overload_policy(c.overload);
             if let Some(plan) = &faults {
                 runtime.set_fault_plan(plan);
             }

@@ -114,15 +114,23 @@ impl Transport for ExecTransport {
         // Same copy semantics as the thread backend: the mailbox send
         // materializes a real copy of data payloads (pool-recycled when
         // a pool is attached, so the warm path allocates nothing).
+        let copy_payload = |pool: &Option<embera::BufferPool>, payload: bytes::Bytes| match pool {
+            Some(pool) => {
+                let copied = pool.take_from(payload.as_ref());
+                pool.recycle(payload);
+                copied
+            }
+            None => bytes::Bytes::from(payload.as_ref().to_vec()),
+        };
         let msg = match msg {
-            Message::Data(payload) => Message::Data(match &self.pool {
-                Some(pool) => {
-                    let copied = pool.take_from(payload.as_ref());
-                    pool.recycle(payload);
-                    copied
-                }
-                None => bytes::Bytes::from(payload.as_ref().to_vec()),
-            }),
+            Message::Data(payload) => Message::Data(copy_payload(&self.pool, payload)),
+            Message::Deadlined {
+                payload,
+                deadline_ns,
+            } => Message::Deadlined {
+                payload: copy_payload(&self.pool, payload),
+                deadline_ns,
+            },
             other => other,
         };
         route.push(msg);
@@ -267,6 +275,20 @@ impl Transport for ExecTransport {
 
     fn route_depth(&self, required: &str) -> Option<u64> {
         self.routes.get(required).map(|mb| mb.len() as u64)
+    }
+
+    fn inbox_depth(&self, provided: &str) -> u64 {
+        let in_flight = self
+            .pending
+            .get(provided)
+            .map(|q| q.len() as u64)
+            .unwrap_or(0);
+        let resident = self
+            .provided
+            .get(provided)
+            .map(|mb| mb.len() as u64)
+            .unwrap_or(0);
+        in_flight + resident
     }
 
     fn drain_inboxes(&mut self) {

@@ -169,6 +169,7 @@ impl Platform for InprocPlatform {
                 trace.as_ref().map(|t| t.sink_for(&c.name)),
             );
             runtime.set_restart_policy(c.restart);
+            runtime.set_overload_policy(c.overload);
             if let Some(plan) = &faults {
                 runtime.set_fault_plan(plan);
             }

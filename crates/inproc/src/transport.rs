@@ -315,6 +315,13 @@ impl Transport for InprocTransport {
         self.shared.clock.set(self.shared.clock.get() + ns);
     }
 
+    fn inbox_depth(&self, provided: &str) -> u64 {
+        self.provided
+            .get(provided)
+            .map(|q| q.borrow().len() as u64)
+            .unwrap_or(0)
+    }
+
     fn drain_inboxes(&mut self) {
         for (iface, q) in &self.provided {
             if iface != INTROSPECTION {

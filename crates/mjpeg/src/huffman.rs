@@ -79,6 +79,23 @@ impl HuffSpec {
     pub fn num_codes(&self) -> usize {
         self.bits.iter().map(|&b| b as usize).sum()
     }
+
+    /// Whether the spec describes a realizable prefix code: the
+    /// canonical code counter must never exceed the code space at any
+    /// length (Kraft inequality for the Annex-C construction) and there
+    /// must be exactly one symbol per code. Untrusted `DHT` segments
+    /// can violate both; building a decoder from such a spec would
+    /// index past the primary LUT.
+    pub fn is_valid(&self) -> bool {
+        let mut code: u32 = 0;
+        for (len_idx, &count) in self.bits.iter().enumerate() {
+            code = (code << 1) + count as u32;
+            if code > 1u32 << (len_idx + 1) {
+                return false;
+            }
+        }
+        self.num_codes() == self.values.len()
+    }
 }
 
 /// Encoder-side table: symbol → (code, length).
@@ -173,7 +190,14 @@ impl HuffDecoder {
             if len as u32 <= LUT_BITS {
                 let shift = LUT_BITS - len as u32;
                 let base = (code as usize) << shift;
-                for slot in &mut lut[base..base + (1 << shift)] {
+                // An over-subscribed spec (rejected by `is_valid`, but
+                // this constructor stays total regardless) would run
+                // codes past the code space; skip them.
+                let Some(slots) = lut.get_mut(base..base + (1 << shift)) else {
+                    debug_assert!(!spec.is_valid());
+                    continue;
+                };
+                for slot in slots {
                     *slot = ((len as u16) << 8) | sym as u16;
                 }
             }

@@ -370,6 +370,9 @@ pub fn decode_jfif(bytes: &[u8]) -> Result<JfifImage, String> {
                         bits,
                         values: payload[p + 17..p + 17 + nvals].to_vec(),
                     };
+                    if !spec.is_valid() {
+                        return Err("over-subscribed Huffman table".into());
+                    }
                     let dec = HuffDecoder::new(&spec);
                     if class == 0 {
                         dc_tables[id] = Some(dec);
@@ -662,6 +665,27 @@ mod tests {
         // SOF0 payload: len u16 | precision | height u16 | width u16 ...
         file[sof + 5..sof + 9].copy_from_slice(&[0xFF, 0xFF, 0xFF, 0xFF]);
         assert!(decode_jfif(&file).is_err());
+    }
+
+    #[test]
+    fn oversubscribed_huffman_table_rejected() {
+        // Fuzz-found (repro fuzz, seed 1): a DHT whose code-length
+        // histogram over-subscribes the code space made the canonical
+        // code counter run past the decoder's primary LUT. The spec
+        // fails the Kraft check and the parser must reject it.
+        let mut file = encode_jfif_gray(&gray_image(16, 16), 16, 16, 75);
+        let dht = file
+            .windows(2)
+            .position(|w| w == [0xFF, 0xC4])
+            .expect("no DHT");
+        // DHT payload: len u16 | class/id | bits[16] | values. This is
+        // the 12-symbol DC table; claim all 12 codes are 1 bit long.
+        // The total count (and so the segment length) is unchanged, but
+        // only 2 codes of length 1 exist — the spec over-subscribes.
+        let mut bits = [0u8; 16];
+        bits[0] = 12;
+        file[dht + 5..dht + 21].copy_from_slice(&bits);
+        assert!(matches!(decode_jfif(&file), Err(e) if e.contains("Huffman")));
     }
 
     #[test]

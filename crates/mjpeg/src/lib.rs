@@ -33,6 +33,7 @@ pub mod dct;
 pub mod frame;
 pub mod huffman;
 pub mod jfif;
+pub mod overload;
 pub mod pipeline;
 pub mod quant;
 pub mod simd;
@@ -45,6 +46,10 @@ pub use frame::{FrameHeader, MjpegStream};
 pub use pipeline::{
     build_mpsoc_app, build_smp_app, pipeline_pool, BatchView, DispatchPolicy, FetchBehavior,
     FetchReorderBehavior, IdctBehavior, MjpegAppConfig, ReorderBehavior, WorkProfile,
+};
+pub use overload::{
+    build_overload_app, ArrivalProcess, AutoscaleConfig, LoadGenBehavior, OverloadConfig,
+    OverloadProbe, Pacing,
 };
 pub use simd::{active_level, SimdLevel};
 pub use workload::synthesize_stream;

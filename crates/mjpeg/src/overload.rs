@@ -1,0 +1,1105 @@
+//! Open-loop overload harness for the MJPEG pipeline: a load generator
+//! injecting frames at a configured offered rate (independent of how
+//! fast the pipeline drains them — the queueing-theory "open loop"),
+//! per-frame deadlines riding the message envelopes, deadline-aware
+//! stages that skip work on already-late frames, and an
+//! observation-driven autoscaler that grows/shrinks the active IDCT
+//! worker set from the root observer's region summaries.
+//!
+//! Topology (`build_overload_app`):
+//!
+//! ```text
+//! LoadGen ──frames──▶ Fetch ──lanes──▶ IDCT_1..max ──▶ Reorder
+//!                       ▲ _scale                         (judge)
+//!                       │
+//!               ScaleController ◀──feed── root observer (actuate)
+//! ```
+//!
+//! * **LoadGen** samples inter-arrival gaps (periodic / exponential /
+//!   log-normal) from a seeded splitmix64 stream and sends one frame
+//!   token per arrival as a [`Message::Deadlined`](embera::Message)
+//!   envelope (`deadline = arrival + budget`), then an empty sentinel.
+//! * **Fetch** (open-loop variant of the pipeline's Fetch) decodes each
+//!   token's frame and deals its coefficient blocks round-robin over the
+//!   currently *active* lanes, flushing one deadlined batch per lane per
+//!   frame. An [`OverloadPolicy`] attached to it
+//!   sheds at ingress (queue-bound drop-oldest, or deadline drop) with
+//!   full accounting in its health counters.
+//! * **IDCT** workers skip the transform for frames whose deadline
+//!   already passed (forwarding a zero block so reassembly stays
+//!   structural) — shed *work*, not messages.
+//! * **Reorder** reassembles and judges: a frame folding past its
+//!   deadline counts as expired, otherwise completed with latency
+//!   `fold − arrival` (arrival recovered as `deadline − budget`).
+//! * **ScaleController** consumes the root observer's encoded
+//!   [`RegionSummary`](embera::RegionSummary) stream, applies
+//!   hysteresis over total queued messages, and retargets Fetch's
+//!   active lane count over the `scale` control interface.
+//!
+//! Every decision (shed, expire, skip, scale) is a pure function of
+//! queue state and the platform clock, so on the deterministic inproc
+//! backend whole overload runs are bit-for-bit reproducible — traces
+//! included.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use bytes::Bytes;
+
+use embera::{
+    AppBuilder, Behavior, ComponentSpec, Ctx, EmberaError, Message, ObserverConfig,
+    OverloadPolicy, Work, WorkClass,
+};
+
+use crate::codec::EntropyDecoder;
+use crate::dct::{idct_scaled_to_pixels, idct_to_pixels, DctKind, BLOCK_SIZE};
+use crate::frame::MjpegStream;
+use crate::pipeline::{coeffs_from_bytes, encode_coeff_batch, encode_pixel_batch, BatchView, WorkProfile};
+use crate::quant::{
+    dequantize_reorder, dequantize_reorder_scaled, fast_dequant_table, scaled_qtable,
+};
+
+/// LoadGen's never-connected pacing interface: timed receives on it are
+/// how the generator sleeps between arrivals under real-time pacing.
+const TICK_IFACE: &str = "_tick";
+/// Fetch's frame-token inbox.
+const FRAMES_IFACE: &str = "_frames";
+/// Fetch's scale-control inbox (fed by the autoscale controller).
+const SCALE_IFACE: &str = "_scale";
+/// Controller's region-summary inbox (fed by the root observer).
+const FEED_IFACE: &str = "feed";
+/// Reorder's lane poll slice while waiting for stragglers.
+const JUDGE_POLL_NS: u64 = 200_000;
+
+/// How arrivals are spaced.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ArrivalProcess {
+    /// Fixed gap: `mean_gap_ns` exactly.
+    Periodic,
+    /// Poisson arrivals: exponential gaps with mean `mean_gap_ns`.
+    Poisson,
+    /// Log-normal gaps with mean `mean_gap_ns` and the given shape
+    /// (σ of the underlying normal) — heavy-tailed bursts.
+    LogNormal {
+        /// Shape parameter σ; 0 degenerates to periodic.
+        sigma: f64,
+    },
+}
+
+/// How LoadGen waits out inter-arrival gaps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Pacing {
+    /// Timed receives on a never-connected interface: real sleeps on the
+    /// threaded backends. The mode benchmarks use.
+    RealTime,
+    /// Compute annotations: advances virtual time without parking, so
+    /// the run-to-completion inproc backend executes LoadGen first and
+    /// every downstream decision is made against a fully materialized,
+    /// deterministic queue state. The mode determinism tests use.
+    Virtual,
+}
+
+/// Autoscaler tuning.
+#[derive(Debug, Clone, Copy)]
+pub struct AutoscaleConfig {
+    /// Scale up once total queued messages stay at/above this.
+    pub high_queue: u64,
+    /// Scale down once total queued messages stay at/below this.
+    pub low_queue: u64,
+    /// Consecutive summaries pointing the same way before acting.
+    pub hysteresis_rounds: u32,
+    /// Floor for the active worker count.
+    pub min_workers: usize,
+    /// Observer polling interval, ns.
+    pub interval_ns: u64,
+}
+
+impl Default for AutoscaleConfig {
+    fn default() -> Self {
+        AutoscaleConfig {
+            high_queue: 8,
+            low_queue: 1,
+            hysteresis_rounds: 2,
+            min_workers: 1,
+            interval_ns: 2_000_000,
+        }
+    }
+}
+
+/// Configuration of the overload harness application.
+#[derive(Debug, Clone)]
+pub struct OverloadConfig {
+    /// Frames LoadGen injects (cycling over the stream's frames).
+    pub frames: u64,
+    /// Mean inter-arrival gap, ns (offered load = 1e9 / mean_gap_ns
+    /// frames per second).
+    pub mean_gap_ns: u64,
+    /// Arrival process shape.
+    pub arrival: ArrivalProcess,
+    /// Seed of the arrival sampler.
+    pub seed: u64,
+    /// Per-frame latency budget, ns: `deadline = arrival + budget`.
+    pub deadline_budget_ns: u64,
+    /// IDCT lanes deployed (the autoscaler's ceiling).
+    pub max_workers: usize,
+    /// Lanes active at start.
+    pub initial_workers: usize,
+    /// Overload policy attached to Fetch (`None`: unbounded queueing).
+    pub fetch_policy: Option<OverloadPolicy>,
+    /// Observation-driven autoscaling (`None`: fixed worker set).
+    pub autoscale: Option<AutoscaleConfig>,
+    /// How LoadGen paces arrivals.
+    pub pacing: Pacing,
+    /// Work annotations for the codec stages.
+    pub profile: WorkProfile,
+    /// (I)DCT kernel.
+    pub kernel: DctKind,
+    /// Component stack size.
+    pub stack_bytes: u64,
+}
+
+impl Default for OverloadConfig {
+    fn default() -> Self {
+        OverloadConfig {
+            frames: 64,
+            mean_gap_ns: 1_000_000,
+            arrival: ArrivalProcess::Poisson,
+            seed: 0x5EED_CAFE,
+            deadline_budget_ns: 50_000_000,
+            max_workers: 3,
+            initial_workers: 3,
+            fetch_policy: None,
+            autoscale: None,
+            pacing: Pacing::RealTime,
+            profile: WorkProfile::default(),
+            kernel: DctKind::ReferenceFloat,
+            stack_bytes: 8_392_000,
+        }
+    }
+}
+
+/// Shared counters of one overload run. Shed/expired *messages* at
+/// Fetch's ingress live in the component's health counters (see
+/// [`embera::HealthInfo::shed_messages`]); this probe tracks the
+/// frame-level ledger the bench asserts:
+/// `injected = completed + expired + fetch_shed + fetch_expired`.
+#[derive(Clone, Default)]
+pub struct OverloadProbe {
+    /// Frame tokens LoadGen sent.
+    pub injected: Arc<AtomicU64>,
+    /// Frames that folded within their deadline.
+    pub completed: Arc<AtomicU64>,
+    /// Frames that folded past their deadline.
+    pub expired: Arc<AtomicU64>,
+    /// Blocks whose IDCT transform was skipped as already-late.
+    pub idct_skipped: Arc<AtomicU64>,
+    /// Frames left partially assembled at Reorder exit (blocks lost
+    /// upstream, e.g. under an injected fault plan).
+    pub incomplete: Arc<AtomicU64>,
+    /// Completed-frame latencies, ns (fold − arrival), in fold order.
+    pub latencies: Arc<Mutex<Vec<u64>>>,
+    /// Active-worker retargets the controller issued, in order.
+    pub scale_history: Arc<Mutex<Vec<u32>>>,
+}
+
+impl OverloadProbe {
+    /// Completed-frame latencies, ns, in fold order.
+    pub fn latencies(&self) -> Vec<u64> {
+        self.latencies.lock().unwrap().clone()
+    }
+
+    /// Controller retargets, in order.
+    pub fn scale_history(&self) -> Vec<u32> {
+        self.scale_history.lock().unwrap().clone()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Arrival sampling: a vendored splitmix64 stream (no external RNG crate)
+// with exponential and log-normal transforms hand-rolled from f64 math.
+// ---------------------------------------------------------------------
+
+/// Minimal splitmix64, the same generator the bench crate vendors.
+struct SplitMix64(u64);
+
+impl SplitMix64 {
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in (0, 1]: never 0, so `ln` stays finite.
+    fn next_unit(&mut self) -> f64 {
+        (((self.next_u64() >> 11) + 1) as f64) / (1u64 << 53) as f64
+    }
+}
+
+/// Sample the next inter-arrival gap, ns.
+fn sample_gap(rng: &mut SplitMix64, arrival: ArrivalProcess, mean_gap_ns: u64) -> u64 {
+    let mean = mean_gap_ns as f64;
+    let gap = match arrival {
+        ArrivalProcess::Periodic => mean,
+        ArrivalProcess::Poisson => -mean * rng.next_unit().ln(),
+        ArrivalProcess::LogNormal { sigma } => {
+            // Box-Muller standard normal; μ chosen so the log-normal's
+            // *mean* is `mean` (μ = ln(mean) − σ²/2).
+            let u1 = rng.next_unit();
+            let u2 = rng.next_unit();
+            let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+            (mean.ln() - sigma * sigma / 2.0 + sigma * z).exp()
+        }
+    };
+    gap.clamp(0.0, 1e15) as u64
+}
+
+/// Frame-token wire format (LoadGen → Fetch): `seq u32 | stream_frame
+/// u32`. The deadline rides the [`Message::Deadlined`] envelope, not
+/// the payload. An empty payload is the end-of-load sentinel.
+fn encode_token(seq: u32, stream_frame: u32) -> Bytes {
+    let mut v = Vec::with_capacity(8);
+    v.extend_from_slice(&seq.to_le_bytes());
+    v.extend_from_slice(&stream_frame.to_le_bytes());
+    Bytes::from(v)
+}
+
+fn decode_token(b: &[u8]) -> Option<(u32, u32)> {
+    if b.len() != 8 {
+        return None;
+    }
+    Some((
+        u32::from_le_bytes(b[0..4].try_into().unwrap()),
+        u32::from_le_bytes(b[4..8].try_into().unwrap()),
+    ))
+}
+
+/// The open-loop load generator: one frame token per sampled arrival,
+/// deadline-stamped, then an empty sentinel.
+pub struct LoadGenBehavior {
+    frames: u64,
+    stream_frames: u32,
+    mean_gap_ns: u64,
+    arrival: ArrivalProcess,
+    seed: u64,
+    deadline_budget_ns: u64,
+    pacing: Pacing,
+    probe: OverloadProbe,
+}
+
+impl LoadGenBehavior {
+    /// Generator over a stream with `stream_frames` frames (frame 0 is
+    /// the configuration frame and never injected).
+    pub fn new(cfg: &OverloadConfig, stream_frames: usize, probe: OverloadProbe) -> Self {
+        assert!(stream_frames >= 2, "need at least one forwardable frame");
+        LoadGenBehavior {
+            frames: cfg.frames,
+            stream_frames: stream_frames as u32,
+            mean_gap_ns: cfg.mean_gap_ns,
+            arrival: cfg.arrival,
+            seed: cfg.seed,
+            deadline_budget_ns: cfg.deadline_budget_ns,
+            pacing: cfg.pacing,
+            probe,
+        }
+    }
+}
+
+impl Behavior for LoadGenBehavior {
+    fn run(&mut self, ctx: &mut dyn Ctx) -> Result<(), EmberaError> {
+        let mut rng = SplitMix64(self.seed);
+        let cycle = self.stream_frames - 1;
+        // Absolute arrival schedule: each wait targets the *cumulative*
+        // arrival time, so timer overshoot on one gap is recovered on
+        // the next and the offered rate stays what was configured —
+        // the defining property of an open-loop generator.
+        let mut next = ctx.now_ns();
+        for seq in 0..self.frames {
+            let gap = sample_gap(&mut rng, self.arrival, self.mean_gap_ns);
+            next = next.saturating_add(gap);
+            match self.pacing {
+                Pacing::RealTime => {
+                    // Sleep on a never-connected inbox; `Ok(None)` is
+                    // the expected timeout, shutdown drains out the
+                    // same way. Behind schedule: inject immediately.
+                    let now = ctx.now_ns();
+                    if next > now
+                        && ctx.recv_message_timeout(TICK_IFACE, next - now)?.is_some()
+                    {
+                        return Err(EmberaError::Platform(
+                            "unexpected message on LoadGen pacing interface".into(),
+                        ));
+                    }
+                }
+                Pacing::Virtual => {
+                    // 1 op ≈ 1 ns on the deterministic backend; no
+                    // park, so LoadGen runs to completion first.
+                    if gap > 0 {
+                        ctx.compute(Work::ops(WorkClass::Control, gap));
+                    }
+                }
+            }
+            if ctx.should_stop() {
+                break;
+            }
+            let now = ctx.now_ns();
+            let stream_frame = 1 + (seq % cycle as u64) as u32;
+            ctx.send_deadlined(
+                "frames",
+                encode_token(seq as u32, stream_frame),
+                now.saturating_add(self.deadline_budget_ns),
+            )?;
+            self.probe.injected.fetch_add(1, Ordering::AcqRel);
+        }
+        ctx.send("frames", Bytes::new())
+    }
+}
+
+/// Dequantization state for the configured kernel (mirrors the
+/// pipeline's private helper).
+enum Tables {
+    Reference([u16; BLOCK_SIZE]),
+    Fast([i32; BLOCK_SIZE]),
+}
+
+impl Tables {
+    fn for_kernel(kernel: DctKind, quality: u8) -> Self {
+        let q = scaled_qtable(quality);
+        match kernel {
+            DctKind::ReferenceFloat => Tables::Reference(q),
+            DctKind::FastAan | DctKind::FastSimd => Tables::Fast(fast_dequant_table(&q)),
+        }
+    }
+
+    fn apply(&self, zz: &[i16; BLOCK_SIZE]) -> [i32; BLOCK_SIZE] {
+        match self {
+            Tables::Reference(q) => dequantize_reorder(zz, q),
+            Tables::Fast(f) => dequantize_reorder_scaled(zz, f),
+        }
+    }
+}
+
+/// The open-loop Fetch: consumes frame tokens (its attached
+/// [`OverloadPolicy`] sheds at this inbox), decodes the referenced
+/// frame, and deals its blocks over the currently active lanes — one
+/// deadlined coefficient batch per lane per frame.
+pub struct OpenLoopFetchBehavior {
+    stream: MjpegStream,
+    out_ifaces: Vec<String>,
+    active: usize,
+    profile: WorkProfile,
+    kernel: DctKind,
+    probe: OverloadProbe,
+}
+
+impl OpenLoopFetchBehavior {
+    /// Open-loop Fetch over `stream`, dealing to `out_ifaces` with the
+    /// first `initial_active` lanes live.
+    pub fn new(
+        stream: MjpegStream,
+        out_ifaces: Vec<String>,
+        initial_active: usize,
+        profile: WorkProfile,
+        kernel: DctKind,
+        probe: OverloadProbe,
+    ) -> Self {
+        let n = out_ifaces.len();
+        OpenLoopFetchBehavior {
+            stream,
+            out_ifaces,
+            active: initial_active.clamp(1, n.max(1)),
+            profile,
+            kernel,
+            probe,
+        }
+    }
+
+    /// Drain pending scale retargets without blocking.
+    fn drain_scale(&mut self, ctx: &mut dyn Ctx) -> Result<(), EmberaError> {
+        while let Some(m) = ctx.recv_timeout(SCALE_IFACE, 0)? {
+            if m.len() == 4 {
+                let want = u32::from_le_bytes(m[0..4].try_into().unwrap()) as usize;
+                self.active = want.clamp(1, self.out_ifaces.len());
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Behavior for OpenLoopFetchBehavior {
+    fn run(&mut self, ctx: &mut dyn Ctx) -> Result<(), EmberaError> {
+        if self.stream.is_empty() {
+            return Ok(());
+        }
+        let header = self.stream.frames[0].header;
+        let tables = Tables::for_kernel(self.kernel, header.quality);
+        let blocks = header.blocks();
+        let mut lanes: Vec<Vec<(u32, u32, [i32; BLOCK_SIZE])>> =
+            vec![Vec::with_capacity(blocks); self.out_ifaces.len()];
+        loop {
+            self.drain_scale(ctx)?;
+            let (payload, deadline) = match ctx.recv_message(FRAMES_IFACE) {
+                Ok(Message::Deadlined {
+                    payload,
+                    deadline_ns,
+                }) => (payload, Some(deadline_ns)),
+                Ok(Message::Data(b)) => (b, None),
+                Ok(_) => continue,
+                Err(EmberaError::Terminated) => break,
+                Err(e) => return Err(e),
+            };
+            if payload.is_empty() {
+                break;
+            }
+            let Some((seq, stream_frame)) = decode_token(&payload) else {
+                return Err(EmberaError::Platform(format!(
+                    "bad frame token length {}",
+                    payload.len()
+                )));
+            };
+            let frame = &self.stream.frames[stream_frame as usize % self.stream.frames.len()];
+            ctx.compute(Work::ops(
+                WorkClass::Control,
+                self.profile.file_mgmt_ops_per_frame,
+            ));
+            let mut dec = match self.kernel {
+                DctKind::ReferenceFloat => EntropyDecoder::reference(&frame.data),
+                DctKind::FastAan | DctKind::FastSimd => EntropyDecoder::new(&frame.data),
+            };
+            let mut bits_before = 0u64;
+            for bi in 0..blocks {
+                let zz = dec.next_block().map_err(|e| {
+                    EmberaError::Platform(format!("frame {stream_frame} block {bi}: {e}"))
+                })?;
+                let bits = dec.bits_consumed() - bits_before;
+                bits_before = dec.bits_consumed();
+                ctx.compute(
+                    Work::ops(
+                        WorkClass::Control,
+                        bits * self.profile.huffman_ops_per_bit
+                            + BLOCK_SIZE as u64 * self.profile.dequant_ops_per_coeff,
+                    )
+                    .with_mem(BLOCK_SIZE as u64 * 4),
+                );
+                lanes[bi % self.active].push((seq, bi as u32, tables.apply(&zz)));
+            }
+            for (lane, buf) in lanes.iter_mut().enumerate() {
+                if buf.is_empty() {
+                    continue;
+                }
+                let msg = encode_coeff_batch(buf);
+                buf.clear();
+                match deadline {
+                    Some(d) => ctx.send_deadlined(&self.out_ifaces[lane], msg, d)?,
+                    None => ctx.send(&self.out_ifaces[lane], msg)?,
+                }
+            }
+        }
+        // End of load: sentinel every lane (active or not) so each IDCT
+        // — and through it each Reorder lane — terminates.
+        for iface in &self.out_ifaces.clone() {
+            ctx.send(iface, Bytes::new())?;
+        }
+        let _ = &self.probe;
+        Ok(())
+    }
+}
+
+/// A deadline-aware IDCT lane: transforms on-time batches, forwards
+/// zero blocks for already-late ones (structural completeness without
+/// the work), and passes the sentinel through.
+pub struct OverloadIdctBehavior {
+    in_iface: String,
+    out_iface: String,
+    profile: WorkProfile,
+    kernel: DctKind,
+    probe: OverloadProbe,
+}
+
+impl OverloadIdctBehavior {
+    /// Lane from `in_iface` to `out_iface`.
+    pub fn new(
+        in_iface: impl Into<String>,
+        out_iface: impl Into<String>,
+        profile: WorkProfile,
+        kernel: DctKind,
+        probe: OverloadProbe,
+    ) -> Self {
+        OverloadIdctBehavior {
+            in_iface: in_iface.into(),
+            out_iface: out_iface.into(),
+            profile,
+            kernel,
+            probe,
+        }
+    }
+
+    fn transform(&self, coeffs: &[i32; BLOCK_SIZE]) -> [u8; BLOCK_SIZE] {
+        match self.kernel {
+            DctKind::ReferenceFloat => idct_to_pixels(coeffs),
+            DctKind::FastAan => idct_scaled_to_pixels(coeffs),
+            DctKind::FastSimd => crate::simd::idct_scaled_to_pixels_simd(coeffs),
+        }
+    }
+}
+
+impl Behavior for OverloadIdctBehavior {
+    fn run(&mut self, ctx: &mut dyn Ctx) -> Result<(), EmberaError> {
+        let mut out: Vec<(u32, u32, [u8; BLOCK_SIZE])> = Vec::new();
+        loop {
+            let (payload, deadline) = match ctx.recv_message(&self.in_iface) {
+                Ok(Message::Deadlined {
+                    payload,
+                    deadline_ns,
+                }) => (payload, Some(deadline_ns)),
+                Ok(Message::Data(b)) => (b, None),
+                Ok(_) => continue,
+                Err(EmberaError::Terminated) => return Ok(()),
+                Err(e) => return Err(e),
+            };
+            if payload.is_empty() {
+                return ctx.send(&self.out_iface, Bytes::new());
+            }
+            let view = BatchView::coeffs(&payload)?;
+            out.clear();
+            let late = deadline.is_some_and(|d| ctx.now_ns() >= d);
+            if late {
+                // Already past deadline: shed the *work*, keep the
+                // structure, so Reorder can complete and judge the
+                // frame instead of waiting on blocks that never come.
+                for i in 0..view.len() {
+                    let (f, bi, _) = view.block(i);
+                    out.push((f, bi, [0u8; BLOCK_SIZE]));
+                }
+                self.probe
+                    .idct_skipped
+                    .fetch_add(view.len() as u64, Ordering::AcqRel);
+            } else {
+                for i in 0..view.len() {
+                    let (f, bi, payload) = view.block(i);
+                    let coeffs = coeffs_from_bytes(&payload)?;
+                    out.push((f, bi, self.transform(&coeffs)));
+                }
+                ctx.compute(
+                    Work::ops(
+                        WorkClass::Dsp,
+                        self.profile.idct_ops_per_block * view.len() as u64,
+                    )
+                    .with_mem(BLOCK_SIZE as u64 * 5 * view.len() as u64),
+                );
+            }
+            let msg = encode_pixel_batch(&out);
+            match deadline {
+                Some(d) => ctx.send_deadlined(&self.out_iface, msg, d)?,
+                None => ctx.send(&self.out_iface, msg)?,
+            }
+        }
+    }
+}
+
+/// The judging Reorder: reassembles frames by block count and scores
+/// each completed frame against its deadline.
+pub struct ReorderJudgeBehavior {
+    in_ifaces: Vec<String>,
+    blocks_per_frame: usize,
+    deadline_budget_ns: u64,
+    profile: WorkProfile,
+    probe: OverloadProbe,
+}
+
+impl ReorderJudgeBehavior {
+    /// Judge draining `in_ifaces`, completing frames of
+    /// `blocks_per_frame` blocks.
+    pub fn new(
+        in_ifaces: Vec<String>,
+        blocks_per_frame: usize,
+        deadline_budget_ns: u64,
+        profile: WorkProfile,
+        probe: OverloadProbe,
+    ) -> Self {
+        ReorderJudgeBehavior {
+            in_ifaces,
+            blocks_per_frame,
+            deadline_budget_ns,
+            profile,
+            probe,
+        }
+    }
+
+    fn absorb(
+        &self,
+        ctx: &mut dyn Ctx,
+        partial: &mut HashMap<u32, (usize, u64)>,
+        payload: &Bytes,
+        deadline: Option<u64>,
+    ) -> Result<(), EmberaError> {
+        let view = BatchView::pixels(payload)?;
+        ctx.compute(
+            Work::ops(
+                WorkClass::MemCopy,
+                BLOCK_SIZE as u64 * self.profile.reorder_ops_per_pixel * view.len() as u64,
+            )
+            .with_mem(BLOCK_SIZE as u64 * 2 * view.len() as u64),
+        );
+        // A frame's batches all come from one token, so they share one
+        // deadline; remember it for the fold-time judgment.
+        let mut seen: Vec<u32> = Vec::new();
+        for i in 0..view.len() {
+            let (frame, _bi, _px) = view.block(i);
+            if !seen.contains(&frame) {
+                seen.push(frame);
+            }
+            let entry = partial.entry(frame).or_insert((0, u64::MAX));
+            entry.0 += 1;
+            if let Some(d) = deadline {
+                entry.1 = d;
+            }
+        }
+        for frame in seen {
+            let Some(&(count, d)) = partial.get(&frame) else {
+                continue;
+            };
+            if count < self.blocks_per_frame {
+                continue;
+            }
+            partial.remove(&frame);
+            let now = ctx.now_ns();
+            if d != u64::MAX && now > d {
+                self.probe.expired.fetch_add(1, Ordering::AcqRel);
+            } else {
+                self.probe.completed.fetch_add(1, Ordering::AcqRel);
+                let arrival = if d == u64::MAX {
+                    now
+                } else {
+                    d.saturating_sub(self.deadline_budget_ns)
+                };
+                self.probe
+                    .latencies
+                    .lock()
+                    .unwrap()
+                    .push(now.saturating_sub(arrival));
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Behavior for ReorderJudgeBehavior {
+    fn run(&mut self, ctx: &mut dyn Ctx) -> Result<(), EmberaError> {
+        let n = self.in_ifaces.len();
+        let mut partial: HashMap<u32, (usize, u64)> = HashMap::new();
+        let mut done = vec![false; n];
+        'drain: while done.iter().any(|d| !d) {
+            if ctx.should_stop() {
+                break;
+            }
+            #[allow(clippy::needless_range_loop)] // `done[lane]` is also written below
+            for lane in 0..n {
+                if done[lane] {
+                    continue;
+                }
+                // Greedily drain this lane, then hop to the next; the
+                // short poll keeps fold timestamps close to delivery.
+                loop {
+                    let iface = self.in_ifaces[lane].clone();
+                    match ctx.recv_message_timeout(&iface, JUDGE_POLL_NS) {
+                        Ok(None) => break,
+                        Ok(Some(Message::Data(b))) if b.is_empty() => {
+                            done[lane] = true;
+                            break;
+                        }
+                        Ok(Some(Message::Data(b))) => {
+                            self.absorb(ctx, &mut partial, &b, None)?;
+                        }
+                        Ok(Some(Message::Deadlined {
+                            payload,
+                            deadline_ns,
+                        })) => {
+                            self.absorb(ctx, &mut partial, &payload, Some(deadline_ns))?;
+                        }
+                        Ok(Some(_)) => {}
+                        Err(EmberaError::Terminated) => break 'drain,
+                        Err(e) => return Err(e),
+                    }
+                }
+            }
+        }
+        let leftover = partial.len() as u64;
+        if leftover > 0 {
+            self.probe.incomplete.fetch_add(leftover, Ordering::AcqRel);
+        }
+        Ok(())
+    }
+}
+
+/// The observation-driven autoscaler: folds the root observer's region
+/// summaries into a total queued-message gauge and retargets Fetch's
+/// active lane count with hysteresis.
+pub struct ScaleControllerBehavior {
+    cfg: AutoscaleConfig,
+    max_workers: usize,
+    active: usize,
+    probe: OverloadProbe,
+}
+
+impl ScaleControllerBehavior {
+    /// Controller starting at `initial` active workers, capped at `max`.
+    pub fn new(cfg: AutoscaleConfig, max: usize, initial: usize, probe: OverloadProbe) -> Self {
+        ScaleControllerBehavior {
+            cfg,
+            max_workers: max.max(1),
+            active: initial.clamp(cfg.min_workers.max(1), max.max(1)),
+            probe,
+        }
+    }
+}
+
+impl Behavior for ScaleControllerBehavior {
+    fn run(&mut self, ctx: &mut dyn Ctx) -> Result<(), EmberaError> {
+        let mut region_queue: HashMap<String, u64> = HashMap::new();
+        let mut up_streak = 0u32;
+        let mut down_streak = 0u32;
+        loop {
+            let buf = match ctx.recv(FEED_IFACE) {
+                Ok(b) => b,
+                Err(EmberaError::Terminated) => return Ok(()),
+                Err(e) => return Err(e),
+            };
+            if buf.is_empty() {
+                // Root observer's exit sentinel.
+                return Ok(());
+            }
+            let Some(summary) = embera::decode_region_summary(&buf) else {
+                continue;
+            };
+            region_queue.insert(summary.region.clone(), summary.queued_messages);
+            let total: u64 = region_queue.values().sum();
+            if total >= self.cfg.high_queue {
+                up_streak += 1;
+                down_streak = 0;
+            } else if total <= self.cfg.low_queue {
+                down_streak += 1;
+                up_streak = 0;
+            } else {
+                up_streak = 0;
+                down_streak = 0;
+            }
+            let floor = self.cfg.min_workers.max(1);
+            let mut target = self.active;
+            if up_streak >= self.cfg.hysteresis_rounds && self.active < self.max_workers {
+                target = self.active + 1;
+                up_streak = 0;
+            } else if down_streak >= self.cfg.hysteresis_rounds && self.active > floor {
+                target = self.active - 1;
+                down_streak = 0;
+            }
+            if target != self.active {
+                self.active = target;
+                ctx.send(
+                    "scale",
+                    Bytes::from((target as u32).to_le_bytes().to_vec()),
+                )?;
+                self.probe
+                    .scale_history
+                    .lock()
+                    .unwrap()
+                    .push(target as u32);
+            }
+        }
+    }
+}
+
+/// Build the overload harness application. Deployment order matters on
+/// the run-to-completion inproc backend: LoadGen first (so virtual-paced
+/// load materializes before Fetch drains), then the pipeline stages in
+/// flow order, the controller last.
+pub fn build_overload_app(stream: MjpegStream, cfg: &OverloadConfig) -> (AppBuilder, OverloadProbe) {
+    assert!(cfg.max_workers >= 1);
+    assert!(stream.len() >= 2, "need a config frame plus payload frames");
+    let probe = OverloadProbe::default();
+    let header = stream.frames[0].header;
+    let blocks_per_frame = header.blocks();
+
+    let mut app = AppBuilder::new("MJPEG-overload");
+
+    let mut loadgen = ComponentSpec::new(
+        "LoadGen",
+        LoadGenBehavior::new(cfg, stream.len(), probe.clone()),
+    )
+    .with_required("frames")
+    .with_stack_bytes(cfg.stack_bytes);
+    if cfg.pacing == Pacing::RealTime {
+        loadgen = loadgen.with_provided(TICK_IFACE);
+    }
+    app.add(loadgen);
+
+    let lane_ifaces: Vec<String> = (1..=cfg.max_workers)
+        .map(|k| format!("fetchIdct{k}"))
+        .collect();
+    let mut fetch = ComponentSpec::new(
+        "Fetch",
+        OpenLoopFetchBehavior::new(
+            stream,
+            lane_ifaces.clone(),
+            cfg.initial_workers,
+            cfg.profile,
+            cfg.kernel,
+            probe.clone(),
+        ),
+    )
+    .with_provided(FRAMES_IFACE)
+    .with_provided(SCALE_IFACE)
+    .with_stack_bytes(cfg.stack_bytes);
+    for iface in &lane_ifaces {
+        fetch = fetch.with_required(iface);
+    }
+    if let Some(policy) = cfg.fetch_policy {
+        fetch = fetch.with_overload(policy);
+    }
+    app.add(fetch);
+    app.connect(("LoadGen", "frames"), ("Fetch", FRAMES_IFACE));
+
+    for k in 1..=cfg.max_workers {
+        app.add(
+            ComponentSpec::new(
+                format!("IDCT_{k}"),
+                OverloadIdctBehavior::new(
+                    format!("_fetchIdct{k}"),
+                    "idctReorder",
+                    cfg.profile,
+                    cfg.kernel,
+                    probe.clone(),
+                ),
+            )
+            .with_provided(format!("_fetchIdct{k}"))
+            .with_required("idctReorder")
+            .with_stack_bytes(cfg.stack_bytes)
+            .on_cpu(k),
+        );
+        app.connect(
+            ("Fetch", &format!("fetchIdct{k}")),
+            (&format!("IDCT_{k}"), &format!("_fetchIdct{k}")),
+        );
+    }
+
+    let reorder_ins: Vec<String> = (1..=cfg.max_workers)
+        .map(|k| format!("_idct{k}Reorder"))
+        .collect();
+    let mut reorder = ComponentSpec::new(
+        "Reorder",
+        ReorderJudgeBehavior::new(
+            reorder_ins.clone(),
+            blocks_per_frame,
+            cfg.deadline_budget_ns,
+            cfg.profile,
+            probe.clone(),
+        ),
+    )
+    .with_stack_bytes(cfg.stack_bytes);
+    for iface in &reorder_ins {
+        reorder = reorder.with_provided(iface);
+    }
+    app.add(reorder);
+    for k in 1..=cfg.max_workers {
+        app.connect(
+            (&format!("IDCT_{k}"), "idctReorder"),
+            ("Reorder", &format!("_idct{k}Reorder")),
+        );
+    }
+
+    if let Some(auto) = cfg.autoscale {
+        app.add(
+            ComponentSpec::new(
+                "ScaleController",
+                ScaleControllerBehavior::new(
+                    auto,
+                    cfg.max_workers,
+                    cfg.initial_workers,
+                    probe.clone(),
+                ),
+            )
+            .with_provided(FEED_IFACE)
+            .with_required("scale")
+            .with_stack_bytes(cfg.stack_bytes),
+        );
+        app.connect(("ScaleController", "scale"), ("Fetch", SCALE_IFACE));
+        // Two regions: the ingest side and the worker/judge side; the
+        // controller itself stays unobserved (actuation-target rule).
+        let workers: Vec<String> = (1..=cfg.max_workers)
+            .map(|k| format!("IDCT_{k}"))
+            .collect();
+        let mut worker_group = workers.clone();
+        worker_group.push("Reorder".to_string());
+        app.with_observer(
+            ObserverConfig::default()
+                .interval_ns(auto.interval_ns)
+                .request(embera::ObsRequest::Health)
+                .grouped(vec![
+                    (
+                        "ingest".to_string(),
+                        vec!["LoadGen".to_string(), "Fetch".to_string()],
+                    ),
+                    ("workers".to_string(), worker_group),
+                ])
+                .actuate("ScaleController", FEED_IFACE),
+        );
+    }
+
+    (app, probe)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::synthesize_stream;
+    use embera::{Platform, RunningApp};
+    use embera_inproc::InprocPlatform;
+
+    fn cfg(frames: u64) -> OverloadConfig {
+        OverloadConfig {
+            frames,
+            mean_gap_ns: 200_000,
+            arrival: ArrivalProcess::Periodic,
+            deadline_budget_ns: 1_000_000_000,
+            pacing: Pacing::Virtual,
+            ..OverloadConfig::default()
+        }
+    }
+
+    fn stream() -> MjpegStream {
+        synthesize_stream(4, 48, 24, 75, 0xBEEF)
+    }
+
+    #[test]
+    fn samplers_are_deterministic_and_mean_scaled() {
+        for arrival in [
+            ArrivalProcess::Periodic,
+            ArrivalProcess::Poisson,
+            ArrivalProcess::LogNormal { sigma: 0.5 },
+        ] {
+            let mut a = SplitMix64(42);
+            let mut b = SplitMix64(42);
+            let ga: Vec<u64> = (0..64).map(|_| sample_gap(&mut a, arrival, 1_000)).collect();
+            let gb: Vec<u64> = (0..64).map(|_| sample_gap(&mut b, arrival, 1_000)).collect();
+            assert_eq!(ga, gb, "{arrival:?} not deterministic");
+            let mean = ga.iter().sum::<u64>() / ga.len() as u64;
+            assert!(
+                (100..10_000).contains(&mean),
+                "{arrival:?}: mean gap {mean} wildly off the requested 1000"
+            );
+        }
+    }
+
+    #[test]
+    fn token_round_trip() {
+        let t = encode_token(7, 3);
+        assert_eq!(decode_token(&t), Some((7, 3)));
+        assert_eq!(decode_token(&[0u8; 3]), None);
+    }
+
+    #[test]
+    fn unloaded_run_completes_every_frame() {
+        let (app, probe) = build_overload_app(stream(), &cfg(12));
+        InprocPlatform::new()
+            .deploy(app.build().unwrap())
+            .unwrap()
+            .wait()
+            .unwrap();
+        assert_eq!(probe.injected.load(Ordering::SeqCst), 12);
+        assert_eq!(probe.completed.load(Ordering::SeqCst), 12);
+        assert_eq!(probe.expired.load(Ordering::SeqCst), 0);
+        assert_eq!(probe.incomplete.load(Ordering::SeqCst), 0);
+        assert_eq!(probe.latencies().len(), 12);
+    }
+
+    #[test]
+    fn drop_oldest_sheds_and_ledger_balances() {
+        let mut c = cfg(16);
+        c.fetch_policy = Some(OverloadPolicy::drop_oldest(4));
+        // Virtual pacing on inproc: all 16 tokens plus the end-of-load
+        // sentinel (17 messages) are queued before Fetch drains, so the
+        // 17 − 4 = 13 oldest tokens are shed and 3 survive (the
+        // sentinel is the newest message and is never dropped).
+        let (app, probe) = build_overload_app(stream(), &c);
+        let report = InprocPlatform::new()
+            .deploy(app.build().unwrap())
+            .unwrap()
+            .wait()
+            .unwrap();
+        let health = report.component("Fetch").unwrap().health.as_ref().unwrap();
+        assert_eq!(health.shed_messages, 13);
+        let completed = probe.completed.load(Ordering::SeqCst);
+        let expired = probe.expired.load(Ordering::SeqCst);
+        assert_eq!(completed + expired, 3);
+        assert_eq!(
+            probe.injected.load(Ordering::SeqCst),
+            completed + expired + health.shed_messages + health.expired_messages
+        );
+    }
+
+    #[test]
+    fn deadline_drop_sheds_expired_tokens_at_ingress() {
+        let mut c = cfg(10);
+        c.deadline_budget_ns = 1; // every token is long expired once Fetch runs
+        c.fetch_policy = Some(OverloadPolicy::deadline_drop());
+        let (app, probe) = build_overload_app(stream(), &c);
+        let report = InprocPlatform::new()
+            .deploy(app.build().unwrap())
+            .unwrap()
+            .wait()
+            .unwrap();
+        let health = report.component("Fetch").unwrap().health.as_ref().unwrap();
+        assert_eq!(health.expired_messages, 10);
+        assert_eq!(probe.completed.load(Ordering::SeqCst), 0);
+        assert_eq!(probe.injected.load(Ordering::SeqCst), health.expired_messages);
+    }
+
+    #[test]
+    fn autoscale_controller_wires_and_terminates() {
+        let mut c = cfg(8);
+        c.max_workers = 3;
+        c.initial_workers = 1;
+        c.autoscale = Some(AutoscaleConfig::default());
+        let (app, probe) = build_overload_app(stream(), &c);
+        InprocPlatform::new()
+            .deploy(app.build().unwrap())
+            .unwrap()
+            .wait()
+            .unwrap();
+        // All frames accounted; the controller exited on the sentinel.
+        assert_eq!(
+            probe.completed.load(Ordering::SeqCst) + probe.expired.load(Ordering::SeqCst),
+            8
+        );
+    }
+
+    #[test]
+    fn overload_run_is_deterministic_on_inproc() {
+        let run = || {
+            let mut c = cfg(24);
+            c.arrival = ArrivalProcess::Poisson;
+            c.fetch_policy = Some(OverloadPolicy::drop_oldest(6));
+            let (app, probe) = build_overload_app(stream(), &c);
+            let report = InprocPlatform::new()
+                .deploy(app.build().unwrap())
+                .unwrap()
+                .wait()
+                .unwrap();
+            (
+                report
+                    .component("Fetch")
+                    .unwrap()
+                    .health
+                    .as_ref()
+                    .unwrap()
+                    .shed_messages,
+                probe.completed.load(Ordering::SeqCst),
+                probe.expired.load(Ordering::SeqCst),
+                probe.latencies(),
+            )
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -200,6 +200,7 @@ impl Platform for Os21Platform {
             let sink = trace.as_ref().map(|t| t.sink_for(&c.name));
             let stats2 = Arc::clone(&stats);
             let restart = c.restart;
+            let overload = c.overload;
             let component_faults = faults.clone();
             rtos.spawn_task(&mut kernel, cpu, c.name.clone(), 0, move |task| {
                 let transport = Os21Transport {
@@ -217,6 +218,7 @@ impl Platform for Os21Platform {
                 let mut runtime =
                     ComponentRuntime::new(name, required, transport, engine, observe, sink);
                 runtime.set_restart_policy(restart);
+                runtime.set_overload_policy(overload);
                 if let Some(plan) = &component_faults {
                     runtime.set_fault_plan(plan);
                 }

@@ -61,6 +61,15 @@ pub(crate) fn push_message(
 ) -> u64 {
     let wire: Vec<u8> = match &msg {
         Message::Data(b) => b.to_vec(),
+        Message::Deadlined {
+            payload,
+            deadline_ns,
+        } => {
+            let mut w = Vec::with_capacity(payload.len() + 8);
+            w.extend_from_slice(payload.as_ref());
+            w.extend_from_slice(&deadline_ns.to_le_bytes());
+            w
+        }
         other => vec![0u8; other.wire_size()],
     };
     ep.side.lock().push_back(msg);
@@ -226,6 +235,13 @@ impl Transport for Os21Transport {
             .filter(|(iface, _)| iface.as_str() != INTROSPECTION)
             .map(|(_, ep)| ep.side.lock().len() as u64)
             .sum()
+    }
+
+    fn inbox_depth(&self, provided: &str) -> u64 {
+        self.provided
+            .get(provided)
+            .map(|ep| ep.side.lock().len() as u64)
+            .unwrap_or(0)
     }
 
     fn delay(&mut self, ns: u64) {

@@ -109,10 +109,11 @@ fn kind_rank(k: EventKind) -> u8 {
         EventKind::Compute => 4,
         EventKind::ObsServed => 5,
         EventKind::FaultInjected => 6,
-        EventKind::BehaviorPanic => 7,
-        EventKind::Restart => 8,
-        EventKind::User(_) => 9,
-        EventKind::BehaviorEnd => 10,
+        EventKind::Shed => 7,
+        EventKind::BehaviorPanic => 8,
+        EventKind::Restart => 9,
+        EventKind::User(_) => 10,
+        EventKind::BehaviorEnd => 11,
     }
 }
 

@@ -29,6 +29,10 @@ pub enum EventKind {
     /// The fault-injection plan fired; `a` = action code (0 drop,
     /// 1 corrupt, 2 delay), `b` = targeted payload bytes.
     FaultInjected,
+    /// An overload policy shed a message; `a` = reason code (0
+    /// queue-bound drop-oldest, 1 deadline expired), `b` = payload
+    /// bytes of the shed message.
+    Shed,
     /// Application-defined event; `a`/`b` free.
     User(u16),
 }

@@ -17,6 +17,7 @@ fn kind_token(k: EventKind) -> String {
         EventKind::BehaviorPanic => "behavior_panic".into(),
         EventKind::Restart => "restart".into(),
         EventKind::FaultInjected => "fault_injected".into(),
+        EventKind::Shed => "shed".into(),
         EventKind::User(n) => format!("user:{n}"),
     }
 }
@@ -33,6 +34,7 @@ fn parse_kind(tok: &str) -> Result<EventKind, String> {
         "behavior_panic" => EventKind::BehaviorPanic,
         "restart" => EventKind::Restart,
         "fault_injected" => EventKind::FaultInjected,
+        "shed" => EventKind::Shed,
         other => {
             let Some(n) = other.strip_prefix("user:") else {
                 return Err(format!("unknown event kind '{other}'"));
@@ -108,6 +110,7 @@ pub fn to_chrome_json(events: &[TraceEvent], names: &[String]) -> String {
             EventKind::BehaviorPanic => ("behavior_panic".to_string(), 0, true),
             EventKind::Restart => (format!("restart #{}", e.a), 0, true),
             EventKind::FaultInjected => ("fault_injected".to_string(), 0, true),
+            EventKind::Shed => ("shed".to_string(), 0, true),
             EventKind::User(n) => (format!("user:{n}"), e.b, e.b == 0),
             EventKind::SendStart => continue, // folded into SendEnd
         };
@@ -154,7 +157,8 @@ mod tests {
             TraceEvent::new(8, 1, EventKind::BehaviorPanic, 0, 0),
             TraceEvent::new(9, 1, EventKind::Restart, 1, 1_000),
             TraceEvent::new(10, 0, EventKind::FaultInjected, 0, 64),
-            TraceEvent::new(11, 0, EventKind::BehaviorEnd, 0, 0),
+            TraceEvent::new(11, 0, EventKind::Shed, 1, 512),
+            TraceEvent::new(12, 0, EventKind::BehaviorEnd, 0, 0),
         ];
         let text = to_text(&events);
         assert_eq!(from_text(&text).unwrap(), events);

@@ -28,6 +28,7 @@ pub fn map_kind(kind: TraceEventKind) -> EventKind {
         TraceEventKind::BehaviorPanic => EventKind::BehaviorPanic,
         TraceEventKind::Restart => EventKind::Restart,
         TraceEventKind::FaultInjected => EventKind::FaultInjected,
+        TraceEventKind::Shed => EventKind::Shed,
     }
 }
 

@@ -10,7 +10,7 @@ use bytes::Bytes;
 use embera::behavior::behavior_fn;
 use embera::{
     AppBuilder, AppReport, AppSpec, ComponentSpec, EmberaError, Message, ObsRequest,
-    ObserverConfig, Platform, RunningApp, INTROSPECTION,
+    ObserverConfig, OverloadPolicy, Platform, RunningApp, INTROSPECTION,
 };
 use embera_exec::ExecPlatform;
 use embera_inproc::InprocPlatform;
@@ -527,5 +527,178 @@ fn observed_hierarchy_rolls_up_identical_counters_on_every_backend() {
     let (_, first) = rollups[0];
     for (backend, totals) in &rollups {
         assert_eq!(*totals, first, "[{backend}] rollup differs across backends");
+    }
+}
+
+#[test]
+fn timed_recv_under_shutdown_drains_queued_then_reports_none() {
+    // The timed-receive shutdown contract, identical on every backend:
+    // once fail-fast shutdown is initiated, a timed receive still
+    // drains messages already queued (`Ok(Some)`), then reports
+    // `Ok(None)` *immediately* — it must neither sleep out its timeout
+    // slice nor turn into `Terminated` (that is the blocking-receive
+    // path). The 10-second timeouts below only ever elapse if the
+    // contract is broken.
+    for (backend, run) in backends() {
+        let mut app = AppBuilder::new("timed-shutdown");
+        app.add(
+            ComponentSpec::new(
+                "waiter",
+                behavior_fn(|ctx| {
+                    // Message 1 is guaranteed: the producer queues all
+                    // three before it fails.
+                    ctx.recv("in")?;
+                    // Ride out the shutdown race on a never-connected
+                    // pacing interface.
+                    while !ctx.should_stop() {
+                        ctx.recv_timeout("tick", 100_000)?;
+                    }
+                    // Shutdown is now initiated; the two queued
+                    // messages must still come out...
+                    assert!(ctx.recv_timeout("in", 10_000_000_000)?.is_some());
+                    assert!(ctx.recv_timeout("in", 10_000_000_000)?.is_some());
+                    // ...then the timeout path reports empty, promptly.
+                    assert!(ctx.recv_timeout("in", 10_000_000_000)?.is_none());
+                    // The blocking path, by contrast, is `Terminated`.
+                    match ctx.recv("in") {
+                        Err(EmberaError::Terminated) => Ok(()),
+                        other => panic!("expected Terminated, got {other:?}"),
+                    }
+                }),
+            )
+            .with_provided("in")
+            .with_provided("tick")
+            .with_stack_bytes(1 << 20)
+            .on_cpu(0),
+        );
+        app.add(
+            ComponentSpec::new(
+                "producer",
+                behavior_fn(|ctx| {
+                    for i in 0..3u32 {
+                        ctx.send("out", Bytes::copy_from_slice(&i.to_le_bytes()))?;
+                    }
+                    Err(EmberaError::Platform("injected fault".into()))
+                }),
+            )
+            .with_required("out")
+            .with_stack_bytes(1 << 20)
+            .on_cpu(1),
+        );
+        app.connect(("producer", "out"), ("waiter", "in"));
+        let err = run(app.build().unwrap()).unwrap_err();
+        let EmberaError::Platform(msg) = err else {
+            panic!("[{backend}] wrong error kind");
+        };
+        assert!(
+            msg.contains("producer") && msg.contains("injected fault"),
+            "[{backend}] {msg}"
+        );
+    }
+}
+
+/// Overload conformance harness: `producer` queues a burst into
+/// `consumer`'s bounded ingress, then opens the `gate`; `consumer`
+/// recvs the gate first, so the whole burst is already queued when the
+/// drain starts and the shed decisions are a pure function of the
+/// policy. Returns (messages received, shed, expired) per the report.
+fn gated_overload_rollup(
+    run: RunFn,
+    policy: OverloadPolicy,
+    send: impl Fn(&mut dyn embera::behavior::Ctx) -> Result<(), EmberaError> + Send + Sync + Clone + 'static,
+) -> (u64, u64, u64) {
+    let mut app = AppBuilder::new("gated-overload");
+    app.add(
+        ComponentSpec::new(
+            "consumer",
+            behavior_fn(|ctx| {
+                ctx.recv("gate")?;
+                while ctx.recv_timeout("data", 0)?.is_some() {}
+                Ok(())
+            }),
+        )
+        .with_provided("data")
+        .with_provided("gate")
+        .with_overload(policy)
+        .with_stack_bytes(1 << 20)
+        .on_cpu(0),
+    );
+    app.add(
+        ComponentSpec::new(
+            "producer",
+            behavior_fn(move |ctx| {
+                send(ctx)?;
+                ctx.send("go", Bytes::from_static(b"g"))
+            }),
+        )
+        .with_required("out")
+        .with_required("go")
+        .with_stack_bytes(1 << 20)
+        .on_cpu(1),
+    );
+    app.connect(("producer", "out"), ("consumer", "data"));
+    app.connect(("producer", "go"), ("consumer", "gate"));
+    let report = run(app.build().unwrap()).unwrap();
+    let consumer = report.component("consumer").unwrap();
+    let health = consumer.health.unwrap();
+    (
+        consumer.app.total_receives,
+        health.shed_messages,
+        health.expired_messages,
+    )
+}
+
+#[test]
+fn drop_oldest_shed_rollup_is_identical_on_every_backend() {
+    // 10 queued messages against a bound of 3: the ingress sheds the 7
+    // oldest and delivers the newest 3 (plus the gate). The shed
+    // decision depends only on queue depth at pop time, so all four
+    // backends must agree exactly — shedding is part of the conformance
+    // surface, not a backend heuristic.
+    let mut rollups = Vec::new();
+    for (backend, run) in backends() {
+        let rollup = gated_overload_rollup(run, OverloadPolicy::drop_oldest(3), |ctx| {
+            for i in 0..10u32 {
+                ctx.send("out", Bytes::copy_from_slice(&i.to_le_bytes()))?;
+            }
+            Ok(())
+        });
+        // 3 burst survivors + the gate message.
+        assert_eq!(rollup, (4, 7, 0), "[{backend}]");
+        rollups.push((backend, rollup));
+    }
+    let first = rollups[0].1;
+    for (backend, r) in &rollups {
+        assert_eq!(*r, first, "[{backend}] shed rollup differs");
+    }
+}
+
+#[test]
+fn deadline_drop_shed_rollup_is_identical_on_every_backend() {
+    // DeadlineDrop judges each message's own deadline stamp at pop
+    // time: deadline 0 is born expired, `u64::MAX` never expires, and
+    // plain data (no deadline) is never shed. Every backend must
+    // classify the mixed burst identically.
+    let mut rollups = Vec::new();
+    for (backend, run) in backends() {
+        let rollup = gated_overload_rollup(run, OverloadPolicy::deadline_drop(), |ctx| {
+            for i in 0..4u32 {
+                ctx.send_deadlined("out", Bytes::copy_from_slice(&i.to_le_bytes()), 0)?;
+            }
+            for i in 0..3u32 {
+                ctx.send_deadlined("out", Bytes::copy_from_slice(&i.to_le_bytes()), u64::MAX)?;
+            }
+            for i in 0..3u32 {
+                ctx.send("out", Bytes::copy_from_slice(&i.to_le_bytes()))?;
+            }
+            Ok(())
+        });
+        // 3 immortal + 3 plain + the gate; the 4 born-expired are shed.
+        assert_eq!(rollup, (7, 0, 4), "[{backend}]");
+        rollups.push((backend, rollup));
+    }
+    let first = rollups[0].1;
+    for (backend, r) in &rollups {
+        assert_eq!(*r, first, "[{backend}] expiry rollup differs");
     }
 }

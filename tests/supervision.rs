@@ -526,3 +526,88 @@ fn mjpeg_idct_panic_recovery_is_deterministic_on_inproc() {
     assert_ne!(checksum, 0);
     assert_eq!(run(), first, "logical-clock replay must be bit-for-bit identical");
 }
+
+#[test]
+fn restart_backoff_never_trips_the_watchdog() {
+    // Watchdog-vs-backoff interaction audit: a component pausing in
+    // restart backoff reports `Restarting` — a state `is_stalled`
+    // excludes — and the re-run re-stamps its progress clock before the
+    // behavior resumes. The backoff (100 ms) dwarfs the watchdog
+    // deadline (10 ms), so any leak of the backoff pause into the
+    // stall predicate would fire many records. A genuinely stuck
+    // sibling pins that the watchdog itself is armed and firing in the
+    // very same run.
+    let scenario = |run: RunFn, backend: &str| {
+        let attempts = Arc::new(AtomicU32::new(0));
+        let a = Arc::clone(&attempts);
+        let mut app = AppBuilder::new("backoff-watchdog");
+        // Deployed first: on inproc its parked recv is what pulls the
+        // observer through the demand-driven scheduler *during* the
+        // run, so polls actually interleave with the backoff window.
+        app.add(
+            ComponentSpec::new("waiter", behavior_fn(|ctx| ctx.recv("done").map(|_| ())))
+                .with_provided("done")
+                .with_stack_bytes(1 << 20)
+                .on_cpu(2),
+        );
+        app.add(
+            ComponentSpec::new(
+                "stuck",
+                behavior_fn(|ctx| {
+                    // Parked (Blocked) far beyond the watchdog deadline
+                    // on an interface nobody feeds.
+                    let _ = ctx.recv_timeout("in", 150_000_000)?;
+                    Ok(())
+                }),
+            )
+            .with_provided("in")
+            .with_stack_bytes(1 << 20)
+            .on_cpu(0),
+        );
+        app.add(
+            ComponentSpec::new(
+                "flaky",
+                behavior_fn(move |_| {
+                    if a.fetch_add(1, Ordering::SeqCst) == 0 {
+                        return Err(EmberaError::Platform("first-attempt fault".into()));
+                    }
+                    Ok(())
+                }),
+            )
+            .with_restart(RestartPolicy {
+                max_restarts: 1,
+                backoff_ns: 100_000_000,
+                ..RestartPolicy::default()
+            })
+            .with_stack_bytes(1 << 20)
+            .on_cpu(1),
+        );
+        let log = app.with_observer(
+            ObserverConfig::default()
+                .grouped(vec![(
+                    "app".to_string(),
+                    vec!["stuck".into(), "flaky".into()],
+                )])
+                .interval_ns(2_000_000)
+                .watchdog_ns(10_000_000)
+                .notify_done("waiter", "done"),
+        );
+        let report = run(app.build().unwrap()).unwrap_or_else(|e| panic!("[{backend}] {e}"));
+        assert_eq!(
+            report.component("flaky").unwrap().health.unwrap().restarts,
+            1,
+            "[{backend}] the backoff path must actually have run"
+        );
+        let stalls = log.stalls();
+        assert!(
+            stalls.iter().any(|s| s.component == "stuck"),
+            "[{backend}] watchdog not armed: the stuck sibling never stalled"
+        );
+        assert!(
+            stalls.iter().all(|s| s.component != "flaky"),
+            "[{backend}] false stall during restart backoff: {stalls:?}"
+        );
+    };
+    scenario(|spec| SmpPlatform::new().deploy(spec)?.wait(), "smp");
+    scenario(|spec| InprocPlatform::new().deploy(spec)?.wait(), "inproc");
+}
