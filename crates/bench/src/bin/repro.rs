@@ -19,12 +19,14 @@ use embera::{ObserverConfig, OverloadPolicy, Platform, RunningApp};
 use embera_bench::jsonv::{self, Json, Ty};
 use embera_bench::loadgen::{overload_stream, run_overload_smp, OverloadOutcome};
 use embera_bench::provenance::provenance_json;
+use embera_bench::runner;
 use embera_bench::{
     fanio, run_mjpeg_stream_observed, run_mjpeg_stream_on, run_mpsoc_mjpeg, run_smp_mjpeg,
     run_smp_mjpeg_with, stream, BenchBackend, ObsMode, FIGURE4_SIZES_KB, FIGURE8_SIZES_KB,
 };
 use mjpeg::{ArrivalProcess, AutoscaleConfig, OverloadConfig, Pacing};
 use embera_os21::Os21Platform;
+use sim_kernel::{Kernel, KernelConfig, LatentChannel};
 use embera_repro::stats::linear_fit;
 use embera_repro::sweep::{mpsoc_send_sweep, smp_send_sweep, MpsocSender};
 use embera_repro::tables::{format_table1, format_table2, format_table3, table3_ratio};
@@ -84,6 +86,56 @@ fn allocs_now() -> u64 {
     ALLOC_COUNT.load(std::sync::atomic::Ordering::SeqCst)
 }
 
+/// One `repro` subcommand. `repro all`, `repro help`, and the
+/// unknown-command listing all iterate this same table, so a command
+/// added here is automatically listed, documented, and covered by
+/// `all` — the previous hand-maintained `all` arm had silently drifted
+/// to run only half the commands.
+struct Command {
+    name: &'static str,
+    help: &'static str,
+    run: fn(&Scale, &[String]),
+    /// Arguments appended for the cheap smoke form `repro all` runs.
+    /// `None` excludes the command from `all` (replay-style utilities);
+    /// `Some(&[])` means the full form is already cheap.
+    smoke_args: Option<&'static [&'static str]>,
+}
+
+/// Smoke artifacts land under `target/smoke/` so `repro all` never
+/// clobbers the committed full-scale `BENCH_*.json` in the repo root.
+const SMOKE_DIR: &str = "target/smoke";
+
+const COMMANDS: &[Command] = &[
+    Command { name: "table1", help: "Table 1: SMP execution time and memory", run: |s, _| table1_and_2(s, true, false), smoke_args: Some(&[]) },
+    Command { name: "table2", help: "Table 2: communication operation counts", run: |s, _| table1_and_2(s, false, true), smoke_args: Some(&[]) },
+    Command { name: "figure4", help: "Figure 4: SMP send time vs message size", run: |s, _| figure4(s), smoke_args: Some(&[]) },
+    Command { name: "figure5", help: "Figure 5: interfaces of component IDCT_1", run: |s, _| figure5(s), smoke_args: Some(&[]) },
+    Command { name: "table3", help: "Table 3: simulated STi7200 time and memory", run: |s, _| table3(s), smoke_args: Some(&[]) },
+    Command { name: "figure8", help: "Figure 8: STi7200 send time vs message size", run: |s, _| figure8(s), smoke_args: Some(&[]) },
+    Command { name: "cache", help: "X1: cache-miss observation (future work)", run: |s, _| cache(s), smoke_args: Some(&[]) },
+    Command { name: "memseries", help: "X2: memory evolution over execution", run: |s, _| memseries(s), smoke_args: Some(&[]) },
+    Command { name: "trace", help: "X3: event-trace support demo", run: |_, _| trace_demo(), smoke_args: Some(&[]) },
+    Command { name: "scaling", help: "S1: accelerator scaling study", run: |s, _| scaling(s), smoke_args: Some(&[]) },
+    Command { name: "dot", help: "GraphViz graphs of the paper's deployments", run: |_, _| dot(), smoke_args: Some(&[]) },
+    Command { name: "bench-json", help: "PR1 before/after throughput -> BENCH_pr1.json", run: bench_json, smoke_args: Some(&["--out", "target/smoke/BENCH_pr1.json"]) },
+    Command { name: "bench-sweep", help: "PR5/PR6 scaling sweeps -> BENCH_pr5/pr6.json (--backend exec, --jobs N)", run: bench_sweep, smoke_args: Some(&["--frames", "8", "--out", "target/smoke/BENCH_pr5.json"]) },
+    Command { name: "alloc-check", help: "steady-state allocation proof (--assert-zero)", run: alloc_check, smoke_args: Some(&["--frames", "8"]) },
+    Command { name: "obs-budget", help: "PR7 observation overhead gate -> BENCH_pr7.json", run: obs_budget, smoke_args: Some(&["--frames", "8", "--reps", "2", "--fanio-n", "0", "--out", "target/smoke/BENCH_pr7.json"]) },
+    Command { name: "overload", help: "PR8 overload robustness curves -> BENCH_pr8.json", run: overload, smoke_args: Some(&["--frames", "32", "--out", "target/smoke/BENCH_pr8.json"]) },
+    Command { name: "shard-bench", help: "PR10 sharded-kernel + parallel-runner scaling -> BENCH_pr10.json", run: shard_bench, smoke_args: Some(&["--procs", "8", "--hops", "40", "--cells", "4", "--cell-frames", "24", "--out", "target/smoke/BENCH_pr10.json"]) },
+    Command { name: "bench-validate", help: "schema-check every BENCH_*.json (--dir path)", run: |_, a| bench_validate(a), smoke_args: Some(&[]) },
+    Command { name: "fuzz", help: "bounded deterministic fuzz of the byte-level parsers", run: |_, a| fuzz(a), smoke_args: Some(&["--iters", "200", "--replay-out", "target/smoke/fuzz_replay.bin"]) },
+];
+
+fn print_command_list(out: &mut dyn std::io::Write) {
+    let _ = writeln!(out, "usage: repro <command> [--paper] [command options]\n");
+    for c in COMMANDS {
+        let _ = writeln!(out, "  {:<16} {}", c.name, c.help);
+    }
+    let _ = writeln!(out, "  {:<16} every command above in its cheap smoke form", "all");
+    let _ = writeln!(out, "  {:<16} this listing", "help");
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let paper = args.iter().any(|a| a == "--paper");
@@ -106,41 +158,28 @@ fn main() {
         .map(String::as_str)
         .unwrap_or("all");
 
-    match cmd {
-        "table1" => table1_and_2(&scale, true, false),
-        "table2" => table1_and_2(&scale, false, true),
-        "figure4" => figure4(&scale),
-        "figure5" => figure5(&scale),
-        "table3" => table3(&scale),
-        "figure8" => figure8(&scale),
-        "cache" => cache(&scale),
-        "memseries" => memseries(&scale),
-        "trace" => trace_demo(),
-        "scaling" => scaling(&scale),
-        "dot" => dot(),
-        "bench-json" => bench_json(&scale, &args),
-        "bench-sweep" => bench_sweep(&scale, &args),
-        "alloc-check" => alloc_check(&scale, &args),
-        "obs-budget" => obs_budget(&scale, &args),
-        "overload" => overload(&scale, &args),
-        "bench-validate" => bench_validate(&args),
-        "fuzz" => fuzz(&args),
-        "all" => {
-            table1_and_2(&scale, true, true);
-            figure4(&scale);
-            figure5(&scale);
-            table3(&scale);
-            figure8(&scale);
-            cache(&scale);
-            memseries(&scale);
-            trace_demo();
-            scaling(&scale);
+    if cmd == "help" || args.iter().any(|a| a == "--list") {
+        print_command_list(&mut std::io::stdout());
+        return;
+    }
+    if cmd == "all" {
+        std::fs::create_dir_all(SMOKE_DIR).expect("create smoke dir");
+        for c in COMMANDS {
+            let Some(smoke) = c.smoke_args else { continue };
+            println!("--- repro {} (smoke) ---", c.name);
+            // User args first: an explicit `--frames` etc. overrides the
+            // smoke default (`arg_value` takes the first occurrence).
+            let mut combined = args.clone();
+            combined.extend(smoke.iter().map(|s| s.to_string()));
+            (c.run)(&scale, &combined);
         }
-        other => {
-            eprintln!("unknown experiment '{other}'");
-            eprintln!(
-                "available: table1 table2 figure4 figure5 table3 figure8 cache memseries trace scaling dot bench-json bench-sweep alloc-check obs-budget overload bench-validate fuzz all"
-            );
+        return;
+    }
+    match COMMANDS.iter().find(|c| c.name == cmd) {
+        Some(c) => (c.run)(&scale, &args),
+        None => {
+            eprintln!("unknown experiment '{cmd}'\n");
+            print_command_list(&mut std::io::stderr());
             std::process::exit(2);
         }
     }
@@ -707,18 +746,18 @@ fn bench_sweep(scale: &Scale, args: &[String]) {
         .and_then(|s| s.parse().ok())
         .unwrap_or(scale.small)
         .max(4);
+    let jobs = runner::resolve_jobs(args, runner::default_jobs());
     let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
     println!(
-        "=== bench-sweep — workers x batch x kernel, {frames}-frame stream, {cores} core(s) ==="
+        "=== bench-sweep — workers x batch x kernel, {frames}-frame stream, {cores} core(s), {jobs} job(s) ==="
     );
-    let mut runs = Vec::new();
+    // The cell list is built up front and fanned across the job pool;
+    // results come back in cell order, so the output (and the JSON) is
+    // identical for any `--jobs` modulo the wall-clock readings.
+    let mut cells: Vec<(String, MjpegAppConfig)> = Vec::new();
     // Paper-faithful reference cell (one block per message, float IDCT,
     // no pool) so the sweep records its own "before" point.
-    runs.push(measure_stream(
-        frames,
-        &MjpegAppConfig::default(),
-        "reference".into(),
-    ));
+    cells.push(("reference".into(), MjpegAppConfig::default()));
     for workers in [1usize, 2, 3, 4, 6] {
         for batch in [1usize, 18, 72, 288] {
             for kernel in [DctKind::FastAan, DctKind::FastSimd] {
@@ -729,8 +768,7 @@ fn bench_sweep(scale: &Scale, args: &[String]) {
                     payload_pool: true,
                     ..Default::default()
                 };
-                let label = format!("w{workers}_b{batch}_{}", kernel_name(kernel));
-                runs.push(measure_stream(frames, &cfg, label));
+                cells.push((format!("w{workers}_b{batch}_{}", kernel_name(kernel)), cfg));
             }
         }
     }
@@ -744,8 +782,12 @@ fn bench_sweep(scale: &Scale, args: &[String]) {
             payload_pool: true,
             ..Default::default()
         };
-        runs.push(measure_stream(frames, &cfg, format!("w{workers}_b72_fast_simd_ll")));
+        cells.push((format!("w{workers}_b72_fast_simd_ll"), cfg));
     }
+    let mut runs = runner::run_cells(jobs, cells.len(), |i| {
+        let (label, cfg) = &cells[i];
+        measure_stream(frames, cfg, label.clone())
+    });
     // Observation axis (opt-in): the fastest cell re-measured under
     // every observer arrangement, so the sweep records what observation
     // costs at the throughput-optimal configuration.
@@ -823,7 +865,7 @@ fn bench_sweep(scale: &Scale, args: &[String]) {
             "  \"speedup_vs_pr1_optimized\": {}\n",
             "}}\n"
         ),
-        provenance_json(Some(BenchBackend::Smp), 0),
+        provenance_json(Some(BenchBackend::Smp), 0, jobs),
         frames,
         marginal,
         per_frame,
@@ -893,9 +935,12 @@ fn bench_sweep_exec(scale: &Scale, args: &[String]) {
     let fanio_total: usize = arg_value(args, "--fanio-total")
         .and_then(|s| s.parse().ok())
         .unwrap_or(scale.sweep_iters as usize * 3200);
+    // Default 1: the 10k-component cells are memory- and
+    // scheduler-heavy, so co-scheduling them is opt-in.
+    let jobs = runner::resolve_jobs(args, 1);
     let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
     println!(
-        "=== bench-sweep (exec) — component-count scaling, {pool_workers}-worker pool, {cores} core(s) ==="
+        "=== bench-sweep (exec) — component-count scaling, {pool_workers}-worker pool, {cores} core(s), {jobs} job(s) ==="
     );
 
     // Experiment 1: Table-1 pipeline, executor vs thread-per-component.
@@ -926,25 +971,31 @@ fn bench_sweep_exec(scale: &Scale, args: &[String]) {
         if parity < 0.9 { "  (below the 0.9 budget!)" } else { "" }
     );
 
-    // Experiment 2: fan-in/fan-out component-count scaling.
-    let mut fanio_runs = Vec::new();
+    // Experiment 2: fan-in/fan-out component-count scaling, fanned
+    // across the job pool (results by cell index).
     let worker_cells: Vec<usize> = if pool_workers == 1 {
         vec![1]
     } else {
         vec![1, pool_workers]
     };
+    let mut fanio_cells = Vec::new();
     for n in [100usize, 1_000, 10_000] {
         let m = (fanio_total / n).max(2);
         for &workers in &worker_cells {
-            let run = fanio::run_fanio_exec(n, m, 256, workers);
-            println!(
-                "fanio n={n:<6} workers={workers} messages={:>8} {:>12.0} msgs/s  ({:.4} s)",
-                run.messages,
-                run.msgs_per_s,
-                run.wall_ns as f64 / 1e9
-            );
-            fanio_runs.push(run);
+            fanio_cells.push((n, m, workers));
         }
+    }
+    let fanio_runs = runner::run_cells(jobs, fanio_cells.len(), |i| {
+        let (n, m, workers) = fanio_cells[i];
+        fanio::run_fanio_exec(n, m, 256, workers)
+    });
+    for ((n, _m, workers), run) in fanio_cells.iter().zip(&fanio_runs) {
+        println!(
+            "fanio n={n:<6} workers={workers} messages={:>8} {:>12.0} msgs/s  ({:.4} s)",
+            run.messages,
+            run.msgs_per_s,
+            run.wall_ns as f64 / 1e9
+        );
     }
     let max_components = fanio_runs.iter().map(|r| r.components).max().unwrap_or(0);
 
@@ -989,7 +1040,7 @@ fn bench_sweep_exec(scale: &Scale, args: &[String]) {
             "  \"fanio_runs\": [\n    {}\n  ]\n",
             "}}\n"
         ),
-        provenance_json(Some(BenchBackend::Exec), pool_workers),
+        provenance_json(Some(BenchBackend::Exec), pool_workers, jobs),
         frames,
         fanio_total,
         marginal,
@@ -1058,7 +1109,7 @@ fn bench_json(scale: &Scale, args: &[String]) {
             "  \"speedup\": {:.3}\n",
             "}}\n"
         ),
-        provenance_json(Some(BenchBackend::Smp), 0),
+        provenance_json(Some(BenchBackend::Smp), 0, 1),
         frames,
         bench_run_json(&baseline),
         bench_run_json(&optimized),
@@ -1251,28 +1302,36 @@ fn obs_budget(scale: &Scale, args: &[String]) {
     );
 
     // Cell 1: the paper's Table-1 pipeline on SMP, all four modes.
+    // Default 1 job: overhead ratios compare wall times, so co-scheduled
+    // reps are opt-in (best-of-N absorbs most of the added noise).
+    let jobs = runner::resolve_jobs(args, 1);
     let cfg = MjpegAppConfig::default();
     let base = stream(frames, 0x578);
     let modes = ObsMode::ALL.to_vec();
+    // rep-major cell order keeps the modes interleaved (drift hits every
+    // mode equally); results come back in cell order for any `--jobs`.
+    let walls = runner::run_cells(jobs, reps * modes.len(), |cell| {
+        let mode = modes[cell % modes.len()];
+        let (report, done) = run_mjpeg_stream_observed(
+            BenchBackend::Smp,
+            0,
+            base.clone(),
+            &cfg,
+            mode,
+            interval_ns,
+        );
+        assert_eq!(done, frames as u64 - 1, "pipeline dropped frames");
+        report.wall_time_ns
+    });
     let mut best_ns = vec![u64::MAX; modes.len()];
-    for _ in 0..reps {
-        for (i, mode) in modes.iter().enumerate() {
-            let (report, done) = run_mjpeg_stream_observed(
-                BenchBackend::Smp,
-                0,
-                base.clone(),
-                &cfg,
-                *mode,
-                interval_ns,
-            );
-            assert_eq!(done, frames as u64 - 1, "pipeline dropped frames");
-            println!(
-                "  table1 rep: obs={:<14} {:.4} s",
-                mode.name(),
-                report.wall_time_ns as f64 / 1e9
-            );
-            best_ns[i] = best_ns[i].min(report.wall_time_ns);
-        }
+    for (cell, wall) in walls.iter().enumerate() {
+        let i = cell % modes.len();
+        println!(
+            "  table1 rep: obs={:<14} {:.4} s",
+            modes[i].name(),
+            *wall as f64 / 1e9
+        );
+        best_ns[i] = best_ns[i].min(*wall);
     }
     let table1 = ObsCell {
         name: "table1",
@@ -1353,7 +1412,7 @@ fn obs_budget(scale: &Scale, args: &[String]) {
         ),
         // The budget cells mix the smp pipeline and the exec fanio
         // topology, so the backend slot stays null here.
-        provenance_json(None, 0),
+        provenance_json(None, 0, jobs),
         frames,
         fanio_n,
         fanio_m,
@@ -1540,7 +1599,11 @@ fn overload(scale: &Scale, args: &[String]) {
     );
 
     // 3. The curves: three policies at offered loads bracketing
-    //    saturation.
+    //    saturation. The runs are real-time paced (sleep-dominated at
+    //    sub-saturation loads), so they tolerate co-scheduling; default
+    //    is still 1 job because the >=1.2x cells are CPU-bound and their
+    //    latency tails would share the machine.
+    let jobs = runner::resolve_jobs(args, 1);
     let loads = [0.5f64, 0.8, 1.2, 2.0];
     let autoscale_cfg = AutoscaleConfig {
         high_queue: 6,
@@ -1549,63 +1612,68 @@ fn overload(scale: &Scale, args: &[String]) {
         min_workers: 1,
         interval_ns: 2_000_000,
     };
+    let curve_cells: Vec<(f64, OverloadMode)> = loads
+        .iter()
+        .flat_map(|&x| OverloadMode::ALL.into_iter().map(move |m| (x, m)))
+        .collect();
+    let outs = runner::run_cells(jobs, curve_cells.len(), |i| {
+        let (x, mode) = curve_cells[i];
+        let c = match mode {
+            OverloadMode::NoPolicy => cfg(
+                gap_for(x),
+                ArrivalProcess::Poisson,
+                GENEROUS_NS,
+                None,
+                None,
+                fixed_workers,
+                fixed_workers,
+            ),
+            OverloadMode::DeadlineDrop => cfg(
+                gap_for(x),
+                ArrivalProcess::Poisson,
+                tight_budget,
+                Some(OverloadPolicy::deadline_drop()),
+                None,
+                fixed_workers,
+                fixed_workers,
+            ),
+            OverloadMode::Autoscale => cfg(
+                gap_for(x),
+                ArrivalProcess::Poisson,
+                GENEROUS_NS,
+                None,
+                Some(autoscale_cfg),
+                1,
+                2 * fixed_workers,
+            ),
+        };
+        run_overload_smp(base.clone(), &c)
+    });
     let mut rows: Vec<(OverloadMode, f64, OverloadOutcome)> = Vec::new();
-    for &x in &loads {
-        for mode in OverloadMode::ALL {
-            let c = match mode {
-                OverloadMode::NoPolicy => cfg(
-                    gap_for(x),
-                    ArrivalProcess::Poisson,
-                    GENEROUS_NS,
-                    None,
-                    None,
-                    fixed_workers,
-                    fixed_workers,
-                ),
-                OverloadMode::DeadlineDrop => cfg(
-                    gap_for(x),
-                    ArrivalProcess::Poisson,
-                    tight_budget,
-                    Some(OverloadPolicy::deadline_drop()),
-                    None,
-                    fixed_workers,
-                    fixed_workers,
-                ),
-                OverloadMode::Autoscale => cfg(
-                    gap_for(x),
-                    ArrivalProcess::Poisson,
-                    GENEROUS_NS,
-                    None,
-                    Some(autoscale_cfg),
-                    1,
-                    2 * fixed_workers,
-                ),
-            };
-            let out = run_overload_smp(base.clone(), &c);
-            println!(
-                "{:<14} {:>4.1}x  completed {:>5}/{:<5} ({:>5.1}%)  shed {:>4}+{:<4}  p50 {:>8.3} ms  p99 {:>8.3} ms  scale {:?}",
-                mode.name(),
-                x,
-                out.completed,
-                out.injected,
-                out.completed_fraction() * 100.0,
-                out.shed_messages,
-                out.expired_messages,
-                out.p50_ns as f64 / 1e6,
-                out.p99_ns as f64 / 1e6,
-                out.scale_history,
+    for ((x, mode), out) in curve_cells.iter().copied().zip(outs) {
+        println!(
+            "{:<14} {:>4.1}x  completed {:>5}/{:<5} ({:>5.1}%)  shed {:>4}+{:<4}  p50 {:>8.3} ms  p99 {:>8.3} ms  scale {:?}",
+            mode.name(),
+            x,
+            out.completed,
+            out.injected,
+            out.completed_fraction() * 100.0,
+            out.shed_messages,
+            out.expired_messages,
+            out.p50_ns as f64 / 1e6,
+            out.p99_ns as f64 / 1e6,
+            out.scale_history,
+        );
+        if !out.ledger_balances() {
+            eprintln!(
+                "overload: shed ledger does not balance for {} at {x}x: {out:?}",
+                mode.name()
             );
-            if !out.ledger_balances() {
-                eprintln!(
-                    "overload: shed ledger does not balance for {} at {x}x: {out:?}",
-                    mode.name()
-                );
-                if assert_acct {
-                    std::process::exit(1);
-                }
+            if assert_acct {
+                std::process::exit(1);
             }
-            rows.push((mode, x, out));
         }
+        rows.push((mode, x, out));
     }
 
     // 4. Robustness verdicts at the top offered load. The histogram
@@ -1663,7 +1731,7 @@ fn overload(scale: &Scale, args: &[String]) {
             "  }}\n",
             "}}\n"
         ),
-        provenance_json(Some(BenchBackend::Smp), 0),
+        provenance_json(Some(BenchBackend::Smp), 0, jobs),
         frames,
         blocks_per_frame,
         capacity_fps,
@@ -1693,6 +1761,176 @@ fn overload(scale: &Scale, args: &[String]) {
             "overload: robustness criteria failed (deadline_drop_bounded={dd_bounded}, \
              none_degrades={none_degrades}, autoscale_completes={autoscale_completes})"
         );
+        std::process::exit(1);
+    }
+}
+
+// ---------------------------------------------------------------------
+// PR 10: sharded-kernel scaling + the parallel sweep runner.
+// ---------------------------------------------------------------------
+
+/// `shard-bench` — the two PR 10 measurements in one artifact:
+///
+/// 1. **Kernel sharding.** A PHOLD-style token ring (every hop crosses a
+///    shard boundary under round-robin placement) run at 1, 2, and 4
+///    shards, reporting host-wall events/second. The sequential and
+///    windowed schedules are asserted identical at run time — the
+///    benchmark refuses to publish numbers for diverging simulations.
+/// 2. **Sweep fan-out.** The same list of real-time-paced pipeline
+///    cells dispatched through [`runner::run_cells`] at `--jobs 1` and
+///    `--jobs N`. Pacing sleeps dominate each cell's wall clock and
+///    overlap when cells are co-scheduled, so the comparison measures
+///    the runner's fan-out even on a single-core host.
+fn shard_bench(scale: &Scale, args: &[String]) {
+    let _ = scale;
+    let out_path = arg_value(args, "--out").unwrap_or("BENCH_pr10.json");
+    let assert_speedup = args.iter().any(|a| a == "--assert-speedup");
+    let parse = |key: &str, default: u64| -> u64 {
+        arg_value(args, key).and_then(|s| s.parse().ok()).unwrap_or(default)
+    };
+    let procs = parse("--procs", 32) as usize;
+    let hops = parse("--hops", 600) as u32;
+    let lat = parse("--lat", 1_000);
+    let work = parse("--work", 250);
+    let cells = parse("--cells", 8) as usize;
+    let cell_frames = parse("--cell-frames", 96);
+    // Sleep-dominated cells overlap, so the fan-out defaults wider than
+    // a small host's core count; below 2 the comparison is meaningless.
+    let jobs = runner::resolve_jobs(args, runner::default_jobs().max(4)).max(2);
+    println!("=== shard-bench — sharded kernel + parallel sweep runner ===");
+
+    // 1. Kernel sharding: best-of-3 host wall per shard count.
+    let run_phold = |shards: usize| {
+        let mut kernel = Kernel::with_config(KernelConfig::default().shards(shards));
+        let channels: Vec<LatentChannel<u32>> = (0..procs)
+            .map(|_| LatentChannel::new(&mut kernel, lat))
+            .collect();
+        for pid in 0..procs {
+            let inbox = channels[pid].clone();
+            let next = channels[(pid + 1) % procs].clone();
+            kernel.spawn(format!("site{pid}"), move |ctx| {
+                next.send(&ctx, hops);
+                for _ in 0..hops {
+                    let remaining = inbox.recv(&ctx);
+                    ctx.advance(work);
+                    if remaining > 1 {
+                        next.send(&ctx, remaining - 1);
+                    }
+                }
+            });
+        }
+        let t0 = std::time::Instant::now();
+        kernel.run().expect("phold run");
+        let wall_s = t0.elapsed().as_secs_f64();
+        let stats = kernel.stats();
+        (kernel.now(), stats.events_dispatched, stats.notifications_delivered, wall_s)
+    };
+    let shard_counts = [1usize, 2, 4];
+    let mut kernel_rows: Vec<(usize, f64, u64, f64, u64)> = Vec::new();
+    let mut reference_schedule = None;
+    let mut schedules_identical = true;
+    for &k in &shard_counts {
+        let mut wall = f64::INFINITY;
+        let mut schedule = (0u64, 0u64, 0u64);
+        for _ in 0..3 {
+            let (now, events, notifs, w) = run_phold(k);
+            wall = wall.min(w);
+            schedule = (now, events, notifs);
+        }
+        let reference = *reference_schedule.get_or_insert(schedule);
+        // Hard stop, not a JSON flag alone: scaling numbers for a
+        // simulation that diverged from the sequential schedule are
+        // meaningless.
+        assert_eq!(
+            schedule, reference,
+            "shards={k} diverged from the sequential schedule"
+        );
+        schedules_identical &= schedule == reference;
+        let events_per_s = schedule.1 as f64 / wall;
+        println!(
+            "phold shards={k}: {:>10.0} events/s  ({} events, {:.4} s host wall, t_end {} ns)",
+            events_per_s, schedule.1, wall, schedule.0
+        );
+        kernel_rows.push((k, wall, schedule.1, events_per_s, schedule.0));
+    }
+
+    // 2. Sweep fan-out: identical cell list at jobs=1 and jobs=N.
+    let gap_ns = 4_000_000u64;
+    let base = overload_stream(5, 0x578);
+    let cell_cfg = |i: usize| OverloadConfig {
+        frames: cell_frames,
+        mean_gap_ns: gap_ns,
+        arrival: ArrivalProcess::Periodic,
+        seed: 0x0BAD_CAFE ^ i as u64,
+        deadline_budget_ns: 120_000_000_000,
+        max_workers: 2,
+        initial_workers: 2,
+        pacing: Pacing::RealTime,
+        ..OverloadConfig::default()
+    };
+    let run_sweep = |jobs: usize| {
+        let t0 = std::time::Instant::now();
+        let outs = runner::run_cells(jobs, cells, |i| run_overload_smp(base.clone(), &cell_cfg(i)));
+        let wall = t0.elapsed().as_secs_f64();
+        let completed: Vec<u64> = outs.iter().map(|o| o.completed).collect();
+        (wall, completed)
+    };
+    let (wall_seq, completed_seq) = run_sweep(1);
+    let (wall_par, completed_par) = run_sweep(jobs);
+    assert_eq!(
+        completed_seq, completed_par,
+        "sweep results depend on --jobs; the runner contract is broken"
+    );
+    let speedup = wall_seq / wall_par;
+    println!(
+        "sweep: {cells} cells x {cell_frames} frames  jobs=1 {wall_seq:.3} s  jobs={jobs} {wall_par:.3} s  speedup {speedup:.2}x"
+    );
+
+    let kernel_runs_json = kernel_rows
+        .iter()
+        .map(|(k, wall, events, eps, t_end)| {
+            format!(
+                concat!(
+                    "{{ \"shards\": {}, \"wall_s\": {:.6}, \"events_dispatched\": {}, ",
+                    "\"events_per_s\": {:.1}, \"final_time_ns\": {} }}"
+                ),
+                k, wall, events, eps, t_end
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",\n    ");
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"benchmark\": \"parallel_sim_and_sweep\",\n",
+            "  \"provenance\": {},\n",
+            "  \"phold\": {{ \"procs\": {}, \"hops\": {}, \"latency_ns\": {}, \"work_ns\": {} }},\n",
+            "  \"kernel_runs\": [\n    {}\n  ],\n",
+            "  \"kernel_schedules_identical\": {},\n",
+            "  \"sweep\": {{ \"cells\": {}, \"cell_frames\": {}, \"mean_gap_ms\": {}, ",
+            "\"jobs\": {}, \"wall_jobs1_s\": {:.4}, \"wall_jobsn_s\": {:.4}, \"speedup\": {:.3} }}\n",
+            "}}\n"
+        ),
+        provenance_json(None, 0, jobs),
+        procs,
+        hops,
+        lat,
+        work,
+        kernel_runs_json,
+        schedules_identical,
+        cells,
+        cell_frames,
+        gap_ns / 1_000_000,
+        jobs,
+        wall_seq,
+        wall_par,
+        speedup,
+    );
+    std::fs::write(out_path, json).expect("write shard-bench json");
+    println!("wrote {out_path}");
+
+    if assert_speedup && speedup < 2.0 {
+        eprintln!("shard-bench: sweep speedup {speedup:.2}x below the 2x gate");
         std::process::exit(1);
     }
 }
@@ -1770,6 +2008,15 @@ fn validate_bench_file(path: &std::path::Path) -> Vec<String> {
                 ("host_cores", Ty::Num),
             ],
         ));
+        // `jobs` joined the header in PR 10; artifacts committed before
+        // then lack it, so its type is checked only when present.
+        if prov.get("jobs").is_some() {
+            errs.extend(jsonv::require(
+                prov,
+                &format!("{name}.provenance"),
+                &[("jobs", Ty::Num)],
+            ));
+        }
     }
     let Some(benchmark) = doc.get("benchmark").and_then(Json::str) else {
         return errs;
@@ -1891,6 +2138,44 @@ fn validate_bench_file(path: &std::path::Path) -> Vec<String> {
                         ("no_policy_p99_degrades", Ty::Bool),
                         ("autoscale_completes_95", Ty::Bool),
                         ("ledger_balances", Ty::Bool),
+                    ],
+                ));
+            }
+        }
+        "parallel_sim_and_sweep" => {
+            errs.extend(jsonv::require(
+                &doc,
+                &name,
+                &[
+                    ("phold", Ty::Obj),
+                    ("kernel_runs", Ty::Arr),
+                    ("kernel_schedules_identical", Ty::Bool),
+                    ("sweep", Ty::Obj),
+                ],
+            ));
+            for (i, run) in doc.get("kernel_runs").and_then(Json::arr).unwrap_or(&[]).iter().enumerate() {
+                errs.extend(jsonv::require(
+                    run,
+                    &format!("{name}.kernel_runs[{i}]"),
+                    &[
+                        ("shards", Ty::Num),
+                        ("wall_s", Ty::Num),
+                        ("events_dispatched", Ty::Num),
+                        ("events_per_s", Ty::Num),
+                    ],
+                ));
+            }
+            if let Some(sweep) = doc.get("sweep") {
+                errs.extend(jsonv::require(
+                    sweep,
+                    &format!("{name}.sweep"),
+                    &[
+                        ("cells", Ty::Num),
+                        ("cell_frames", Ty::Num),
+                        ("jobs", Ty::Num),
+                        ("wall_jobs1_s", Ty::Num),
+                        ("wall_jobsn_s", Ty::Num),
+                        ("speedup", Ty::Num),
                     ],
                 ));
             }

@@ -12,6 +12,7 @@ pub mod fanio;
 pub mod jsonv;
 pub mod loadgen;
 pub mod provenance;
+pub mod runner;
 
 /// Observation arrangement for an overhead measurement — the `--obs`
 /// axis of `bench-sweep` and the cells of the `obs-budget` gate.

@@ -45,10 +45,12 @@ pub fn host_cores() -> usize {
 
 /// The uniform provenance object: git revision, execution backend,
 /// worker-pool size (`null` for thread-per-component or backend-less
-/// measurements), active SIMD level, CPU features, and host cores.
+/// measurements), the measurement-cell fan-out (`jobs`, the runner's
+/// `--jobs` value — wall-clock readings were taken with this many cells
+/// co-scheduled), active SIMD level, CPU features, and host cores.
 /// `backend = None` marks artifacts that mix backends (e.g. the
 /// observation budget's smp + exec cells).
-pub fn provenance_json(backend: Option<BenchBackend>, pool_workers: usize) -> String {
+pub fn provenance_json(backend: Option<BenchBackend>, pool_workers: usize, jobs: usize) -> String {
     let (sse2, avx2) = cpu_features();
     let backend_json = backend.map_or("null".into(), |b| format!("\"{}\"", b.name()));
     let pool_json = backend
@@ -60,6 +62,7 @@ pub fn provenance_json(backend: Option<BenchBackend>, pool_workers: usize) -> St
             "    \"git_rev\": \"{}\",\n",
             "    \"backend\": {},\n",
             "    \"worker_pool\": {},\n",
+            "    \"jobs\": {},\n",
             "    \"simd_level\": \"{}\",\n",
             "    \"sse2\": {},\n",
             "    \"avx2\": {},\n",
@@ -69,6 +72,7 @@ pub fn provenance_json(backend: Option<BenchBackend>, pool_workers: usize) -> St
         git_rev(),
         backend_json,
         pool_json,
+        jobs.max(1),
         mjpeg::active_level().name(),
         sse2,
         avx2,
@@ -83,14 +87,15 @@ mod tests {
     #[test]
     fn provenance_carries_every_field() {
         for p in [
-            provenance_json(None, 0),
-            provenance_json(Some(BenchBackend::Smp), 0),
-            provenance_json(Some(BenchBackend::Exec), 3),
+            provenance_json(None, 0, 1),
+            provenance_json(Some(BenchBackend::Smp), 0, 4),
+            provenance_json(Some(BenchBackend::Exec), 3, 1),
         ] {
             for key in [
                 "git_rev",
                 "backend",
                 "worker_pool",
+                "jobs",
                 "simd_level",
                 "sse2",
                 "avx2",
@@ -103,10 +108,19 @@ mod tests {
 
     #[test]
     fn backend_and_pool_are_stamped() {
-        let p = provenance_json(Some(BenchBackend::Exec), 5);
+        let p = provenance_json(Some(BenchBackend::Exec), 5, 1);
         assert!(p.contains("\"backend\": \"exec\""));
         assert!(p.contains("\"worker_pool\": 5"));
-        let p = provenance_json(Some(BenchBackend::Smp), 5);
+        let p = provenance_json(Some(BenchBackend::Smp), 5, 1);
         assert!(p.contains("\"worker_pool\": null"));
+    }
+
+    #[test]
+    fn jobs_fanout_is_stamped() {
+        let p = provenance_json(Some(BenchBackend::Smp), 0, 6);
+        assert!(p.contains("\"jobs\": 6"), "{p}");
+        // Zero is normalized: a measurement always ran on >= 1 thread.
+        let p = provenance_json(None, 0, 0);
+        assert!(p.contains("\"jobs\": 1"), "{p}");
     }
 }

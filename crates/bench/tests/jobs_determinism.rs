@@ -1,0 +1,65 @@
+//! The `--jobs` contract of the repro harness, end to end: fanning the
+//! sweep across worker threads may change *when* cells run, never
+//! *what* they produce. `bench-sweep --jobs 1` and `--jobs 4` must
+//! write identical artifacts modulo wall-clock readings.
+
+use std::process::Command;
+
+/// Run `repro bench-sweep` at the given fan-out and return the artifact.
+fn sweep_artifact(dir: &std::path::Path, jobs: usize) -> String {
+    let out = dir.join(format!("sweep_jobs{jobs}.json"));
+    let status = Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args([
+            "bench-sweep",
+            "--frames",
+            "4",
+            "--jobs",
+            &jobs.to_string(),
+            "--out",
+        ])
+        .arg(&out)
+        .status()
+        .expect("spawn repro");
+    assert!(status.success(), "bench-sweep --jobs {jobs} failed");
+    std::fs::read_to_string(&out).expect("read sweep artifact")
+}
+
+/// Drop every line carrying a host-wall-clock reading (or a value
+/// derived from one) plus the `jobs` stamp itself; everything left —
+/// cell labels and order, configurations, message counts, provenance —
+/// must be byte-identical across fan-outs.
+fn structural_lines(json: &str) -> Vec<&str> {
+    const WALL_DEPENDENT: [&str; 8] = [
+        "\"wall_s\"",
+        "\"frames_per_s\"",
+        "blocks_per_s", // also best_blocks_per_s / pr1_optimized_blocks_per_s
+        "\"fetch_mean_send_us\"",
+        "\"speedup",
+        "\"best\"",
+        "\"jobs\"",
+        // Allocation readings are taken serially either way, but they
+        // sample the allocator under different thread layouts.
+        "steady_state",
+    ];
+    json.lines()
+        .filter(|l| !WALL_DEPENDENT.iter().any(|k| l.contains(k)))
+        .collect()
+}
+
+#[test]
+fn bench_sweep_output_is_identical_for_any_jobs_value() {
+    let dir = std::env::temp_dir().join("embera_jobs_determinism");
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    let sequential = sweep_artifact(&dir, 1);
+    let fanned = sweep_artifact(&dir, 4);
+    let a = structural_lines(&sequential);
+    let b = structural_lines(&fanned);
+    assert!(
+        a.iter().any(|l| l.contains("\"label\"")),
+        "artifact lost its run cells: {sequential}"
+    );
+    assert_eq!(
+        a, b,
+        "bench-sweep artifact structure depends on --jobs"
+    );
+}

@@ -113,8 +113,11 @@ impl Platform for InprocPlatform {
             remaining: Cell::new(remaining),
             app_done_ns: Cell::new(None),
             errors: RefCell::new(Vec::new()),
-            slots: RefCell::new(Vec::new()),
-            servicers: RefCell::new(Vec::new()),
+            // Pre-size from the component count: every component pushes
+            // one slot and one servicer during deployment, so the
+            // scheduler tables never reallocate mid-run.
+            slots: RefCell::new(Vec::with_capacity(observers.len())),
+            servicers: RefCell::new(Vec::with_capacity(observers.len())),
             producers,
             observers: observers.clone(),
             observe: self.config.observe,

@@ -8,7 +8,7 @@
 use std::collections::HashMap;
 
 use parking_lot::Mutex;
-use sim_kernel::{EventId, Kernel, SimCtx};
+use sim_kernel::{EventId, Kernel, SimCtx, Time};
 
 use crate::config::CpuId;
 
@@ -92,6 +92,32 @@ impl InterruptController {
                 }
             }
             ctx.wait(event);
+        }
+    }
+
+    /// Raise an interrupt on `line` whose wakeup propagates after
+    /// `delay` ns of wire latency. The latch is set immediately (the
+    /// line is level-triggered), but blocked waiters are only notified
+    /// once the delay elapses. With `delay == 0` this is [`raise`].
+    ///
+    /// Under sharded kernel execution a non-zero delay at or above the
+    /// kernel's lookahead keeps cross-shard doorbells legal inside a
+    /// window; see the `sim-kernel` module docs.
+    ///
+    /// [`raise`]: InterruptController::raise
+    pub fn raise_after(&self, ctx: &SimCtx, line: IrqLine, delay: Time) {
+        let event = {
+            let mut st = self.state.lock();
+            *st.pending.entry(line).or_insert(0) += 1;
+            st.raised += 1;
+            st.events.get(&line).copied()
+        };
+        if let Some(e) = event {
+            if delay == 0 {
+                ctx.notify(e);
+            } else {
+                ctx.notify_after(e, delay);
+            }
         }
     }
 
@@ -195,6 +221,30 @@ mod tests {
         });
         k.run().unwrap();
         assert_eq!(count.load(Ordering::SeqCst), 3);
+    }
+
+    #[test]
+    fn raise_after_wakes_waiter_at_the_delayed_time() {
+        let mut k = Kernel::new();
+        let ic = Arc::new(InterruptController::new());
+        let line = IrqLine { cpu: 1, line: 2 };
+        ic.register_line(&k, line);
+        let woke_at = Arc::new(AtomicU64::new(0));
+
+        let ic2 = Arc::clone(&ic);
+        let w = Arc::clone(&woke_at);
+        k.spawn("handler", move |ctx| {
+            ic2.wait(&ctx, line);
+            w.store(ctx.now(), Ordering::SeqCst);
+        });
+        let ic3 = Arc::clone(&ic);
+        k.spawn("raiser", move |ctx| {
+            ctx.advance(100);
+            ic3.raise_after(&ctx, line, 250);
+        });
+        k.run().unwrap();
+        assert_eq!(woke_at.load(Ordering::SeqCst), 350);
+        assert_eq!(ic.total_raised(), 1);
     }
 
     #[test]

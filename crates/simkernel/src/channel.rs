@@ -1,15 +1,21 @@
 //! FIFO channels between simulated processes, built on kernel events.
 //!
-//! These are *zero-time* channels: they model only ordering and blocking,
-//! not transfer cost. Higher layers (EMBX) add modeled copy costs by
-//! calling [`SimCtx::advance`] around channel operations.
+//! [`SimChannel`] and [`BoundedSimChannel`] are *zero-time* channels:
+//! they model only ordering and blocking, not transfer cost. Higher
+//! layers (EMBX) add modeled copy costs by calling [`SimCtx::advance`]
+//! around channel operations. [`LatentChannel`] carries an explicit
+//! per-message delivery latency — the primitive that gives sharded
+//! windowed execution its lookahead (see the
+//! [`kernel` module docs](crate::kernel)).
 
 use std::collections::VecDeque;
 use std::sync::Arc;
 
 use parking_lot::Mutex;
 
+use crate::kernel::Kernel;
 use crate::process::{EventId, SimCtx};
+use crate::Time;
 
 /// Unbounded multi-producer multi-consumer FIFO channel between simulated
 /// processes. Cloning shares the underlying queue.
@@ -209,6 +215,103 @@ impl<T> BoundedSimChannel<T> {
     }
 }
 
+/// Unbounded FIFO channel whose messages take `latency` virtual
+/// nanoseconds to arrive: an item sent at `t` becomes receivable at
+/// `t + latency`.
+///
+/// Construction registers the latency with the kernel
+/// ([`Kernel::declare_latency`]), so a simulation wired entirely from
+/// latency-bearing channels derives its windowed-execution lookahead
+/// automatically. A latency of `0` degrades to [`SimChannel`] semantics
+/// (and collapses the kernel's lookahead, forcing the threadsafe
+/// fallback under sharded execution).
+///
+/// Under windowed execution the FIFO order of items from *different
+/// concurrent senders in different shards* is canonicalized by delivery
+/// time only; point-to-point use (one sender per channel) is fully
+/// deterministic for any shard count.
+pub struct LatentChannel<T> {
+    inner: Arc<Mutex<VecDeque<(Time, T)>>>,
+    nonempty: EventId,
+    latency: Time,
+}
+
+impl<T> Clone for LatentChannel<T> {
+    fn clone(&self) -> Self {
+        LatentChannel {
+            inner: Arc::clone(&self.inner),
+            nonempty: self.nonempty,
+            latency: self.latency,
+        }
+    }
+}
+
+impl<T> LatentChannel<T> {
+    /// Create a channel with the given delivery latency, allocating its
+    /// wakeup event from the kernel and declaring the latency for
+    /// lookahead derivation.
+    pub fn new(kernel: &mut Kernel, latency: Time) -> Self {
+        kernel.declare_latency(latency);
+        LatentChannel {
+            inner: Arc::new(Mutex::new(VecDeque::new())),
+            nonempty: kernel.alloc_event(),
+            latency,
+        }
+    }
+
+    /// The modeled delivery latency.
+    pub fn latency(&self) -> Time {
+        self.latency
+    }
+
+    /// Enqueue an item for delivery `latency` nanoseconds from now and
+    /// schedule the receiver wakeup. Never blocks.
+    pub fn send(&self, ctx: &SimCtx, item: T) {
+        let deliver = ctx.now().saturating_add(self.latency);
+        self.inner.lock().push_back((deliver, item));
+        if self.latency == 0 {
+            ctx.notify(self.nonempty);
+        } else {
+            ctx.notify_after(self.nonempty, self.latency);
+        }
+    }
+
+    /// Dequeue the next *arrived* item, blocking in virtual time until
+    /// one's delivery time is reached.
+    pub fn recv(&self, ctx: &SimCtx) -> T {
+        loop {
+            {
+                let mut q = self.inner.lock();
+                if let Some(&(deliver, _)) = q.front() {
+                    if deliver <= ctx.now() {
+                        return q.pop_front().expect("peeked").1;
+                    }
+                }
+            }
+            ctx.wait(self.nonempty);
+        }
+    }
+
+    /// Dequeue an arrived item if one is available right now.
+    pub fn try_recv(&self, ctx: &SimCtx) -> Option<T> {
+        let mut q = self.inner.lock();
+        match q.front() {
+            Some(&(deliver, _)) if deliver <= ctx.now() => q.pop_front().map(|(_, item)| item),
+            _ => None,
+        }
+    }
+
+    /// Number of queued items (arrived or in flight).
+    pub fn len(&self) -> usize {
+        self.inner.lock().len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.inner.lock().is_empty()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -288,5 +391,51 @@ mod tests {
             assert_eq!(ctx.now(), 20);
         });
         k.run().unwrap();
+    }
+
+    #[test]
+    fn latent_channel_delivers_after_latency() {
+        let mut k = Kernel::new();
+        let ch: LatentChannel<u32> = LatentChannel::new(&mut k, 30);
+        let tx = ch.clone();
+        k.spawn("p", move |ctx| {
+            ctx.advance(10);
+            tx.send(&ctx, 42);
+        });
+        k.spawn("c", move |ctx| {
+            assert_eq!(ch.recv(&ctx), 42);
+            assert_eq!(ctx.now(), 40); // sent at 10 + latency 30
+        });
+        k.run().unwrap();
+    }
+
+    #[test]
+    fn latent_channel_preserves_fifo_order() {
+        let mut k = Kernel::new();
+        let ch: LatentChannel<u32> = LatentChannel::new(&mut k, 5);
+        let tx = ch.clone();
+        k.spawn("p", move |ctx| {
+            for i in 0..50 {
+                ctx.advance(1);
+                tx.send(&ctx, i);
+            }
+        });
+        let out = Arc::new(Mutex::new(Vec::new()));
+        let out2 = Arc::clone(&out);
+        k.spawn("c", move |ctx| {
+            for _ in 0..50 {
+                out2.lock().push(ch.recv(&ctx));
+            }
+        });
+        k.run().unwrap();
+        assert_eq!(*out.lock(), (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn latent_channel_declares_its_latency_for_lookahead() {
+        let mut k = Kernel::new();
+        let _a: LatentChannel<u8> = LatentChannel::new(&mut k, 30);
+        let _b: LatentChannel<u8> = LatentChannel::new(&mut k, 10);
+        assert_eq!(k.effective_lookahead(), 10);
     }
 }

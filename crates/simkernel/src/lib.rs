@@ -46,9 +46,9 @@ pub mod error;
 pub mod kernel;
 pub mod process;
 
-pub use channel::{BoundedSimChannel, SimChannel};
+pub use channel::{BoundedSimChannel, LatentChannel, SimChannel};
 pub use error::{DeadlockInfo, SimError};
-pub use kernel::{Kernel, KernelStats};
+pub use kernel::{Kernel, KernelConfig, KernelStats, RunOutcome};
 pub use process::{EventId, Pid, ResumeKind, SimCtx};
 
 /// Virtual time, in nanoseconds of the global reference clock.

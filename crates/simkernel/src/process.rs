@@ -3,8 +3,10 @@
 //! A simulated process is host thread that cooperates with the kernel in
 //! strict lock-step: the kernel resumes it, the process runs until it
 //! needs virtual time to pass (or an event to fire), then it yields back.
-//! Only one process thread executes at any instant, which is what makes
-//! the simulation deterministic.
+//! At most one process executes per kernel *shard* at any instant (one in
+//! total under the default sequential configuration), and the dispatch
+//! order within and across shards is fully determined by virtual time,
+//! which is what makes the simulation deterministic.
 
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -119,11 +121,16 @@ impl Rendezvous {
 }
 
 /// Side-effect queues a running process fills and the kernel drains after
-/// each yield. Shared by all processes; only one process runs at a time,
-/// so contention is nil.
+/// each yield. One instance **per process**: in sharded execution several
+/// processes run concurrently (one per shard), and per-process queues keep
+/// each shard's effect stream private to the dispatching worker.
+/// Notifications carry a delivery delay: `0` means "wake current waiters
+/// when this slice ends" (the classic [`SimCtx::notify`]), a positive
+/// delay defers delivery onto the kernel's timed-notification queue
+/// ([`SimCtx::notify_after`]).
 #[derive(Default)]
 pub(crate) struct SideEffects {
-    pub(crate) notifications: Mutex<VecDeque<EventId>>,
+    pub(crate) notifications: Mutex<VecDeque<(EventId, Time)>>,
     #[allow(clippy::type_complexity)]
     pub(crate) spawns:
         Mutex<VecDeque<(String, Box<dyn FnOnce(SimCtx) + Send + 'static>, Pid)>>,
@@ -199,6 +206,10 @@ pub struct SimCtx {
     pub(crate) name: String,
     pub(crate) rendezvous: Arc<Rendezvous>,
     pub(crate) clock: Arc<SharedClock>,
+    /// Virtual time as seen by this process's shard. With one shard this
+    /// tracks the global clock exactly; in windowed execution each shard
+    /// advances its own copy inside the current time window.
+    pub(crate) now_cell: Arc<AtomicU64>,
     pub(crate) effects: Arc<SideEffects>,
     pub(crate) directory: Arc<Directory>,
 }
@@ -214,9 +225,10 @@ impl SimCtx {
         &self.name
     }
 
-    /// Current virtual time in nanoseconds.
+    /// Current virtual time in nanoseconds (this shard's view; identical
+    /// to the global clock under sequential execution).
     pub fn now(&self) -> Time {
-        self.clock.now.load(Ordering::Acquire)
+        self.now_cell.load(Ordering::Acquire)
     }
 
     /// Allocate a fresh event token. Never blocks.
@@ -228,7 +240,17 @@ impl SimCtx {
     /// on it are woken (at the current virtual time) once this process
     /// next yields. Never blocks and never wakes the caller itself.
     pub fn notify(&self, event: EventId) {
-        self.effects.notifications.lock().push_back(event);
+        self.effects.notifications.lock().push_back((event, 0));
+    }
+
+    /// Queue a notification for `event` to be delivered `dt` virtual
+    /// nanoseconds from now. Waiters registered at delivery time are
+    /// woken then. This is the latency-bearing form of [`SimCtx::notify`]
+    /// that gives sharded execution its lookahead: under windowed
+    /// parallelism `dt` must be at least the kernel's lookahead, or the
+    /// run fails with a lookahead violation.
+    pub fn notify_after(&self, event: EventId, dt: Time) {
+        self.effects.notifications.lock().push_back((event, dt));
     }
 
     /// Let `dt` nanoseconds of virtual time pass.
